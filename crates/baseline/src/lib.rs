@@ -1,0 +1,67 @@
+//! Batch forward-chaining materialisers — the comparison baseline.
+//!
+//! The paper benchmarks Slider against **OWLIM-SE**, a commercial batch
+//! reasoner we cannot ship. This crate provides the stand-in (see
+//! `DESIGN.md` §3 for the substitution argument): two batch materialisers
+//! that run the *same* [`Ruleset`]s over the *same* store substrate, so the
+//! comparison isolates the paper's architectural claim — buffered
+//! incremental evaluation with duplicate limitation vs. batch fixpoint
+//! iteration.
+//!
+//! * [`NaiveReasoner`] re-applies every rule to the **entire store** each
+//!   round until fixpoint. This is the "commonly used iterative rules
+//!   scheme" the paper attributes O(n³) duplicate work to on subsumption
+//!   chains, and is the configuration used as the OWLIM-SE stand-in in the
+//!   benchmark harness.
+//! * [`SemiNaiveReasoner`] applies rules only to the previous round's
+//!   *delta*. It is a stronger baseline and — because it is an independent,
+//!   simple implementation — the correctness oracle for Slider's closures
+//!   in the test suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod naive;
+mod semi_naive;
+
+pub use naive::NaiveReasoner;
+pub use semi_naive::{closure, SemiNaiveReasoner};
+
+/// Statistics of one batch materialisation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Fixpoint rounds executed (the final, empty round included).
+    pub rounds: usize,
+    /// Conclusions derived, *including* duplicates — the quantity the
+    /// paper's duplicate-limitation argument is about.
+    pub derived: usize,
+    /// Conclusions that were actually new (inserted into the store).
+    pub inserted: usize,
+}
+
+impl BatchStats {
+    /// Fraction of derivations that were duplicates (0.0 if none derived).
+    pub fn duplicate_ratio(&self) -> f64 {
+        if self.derived == 0 {
+            0.0
+        } else {
+            1.0 - (self.inserted as f64 / self.derived as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_ratio() {
+        let s = BatchStats {
+            rounds: 3,
+            derived: 100,
+            inserted: 25,
+        };
+        assert!((s.duplicate_ratio() - 0.75).abs() < 1e-9);
+        assert_eq!(BatchStats::default().duplicate_ratio(), 0.0);
+    }
+}

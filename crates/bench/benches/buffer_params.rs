@@ -1,0 +1,66 @@
+//! The demo's tuning parameters (§4): buffer size and timeout sweeps.
+//!
+//! "Three additional parameters can be adjusted … the size of the buffers,
+//! which determines how many triples are needed to fire a new rule
+//! execution; and the timeout, which defines after how long an inactive
+//! buffer is forced to flush."
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slider_bench::{generate_ntriples, run_slider};
+use slider_core::SliderConfig;
+use slider_rules::Fragment;
+use slider_workloads::PaperOntology;
+use std::time::Duration;
+
+fn buffer_size_sweep(c: &mut Criterion) {
+    let text = generate_ntriples(PaperOntology::Bsbm100k, 0.05); // ~5k triples
+    let mut group = c.benchmark_group("buffer_params/buffer_size");
+    group.sample_size(10);
+    for capacity in [1usize, 10, 100, 1_000, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(capacity),
+            &capacity,
+            |b, &cap| {
+                b.iter(|| {
+                    run_slider(
+                        &text,
+                        Fragment::RhoDf,
+                        SliderConfig::default().with_buffer_capacity(cap),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn timeout_sweep(c: &mut Criterion) {
+    let text = generate_ntriples(PaperOntology::Bsbm100k, 0.05);
+    let mut group = c.benchmark_group("buffer_params/timeout");
+    group.sample_size(10);
+    let timeouts: [(&str, Option<Duration>); 4] = [
+        ("1ms", Some(Duration::from_millis(1))),
+        ("10ms", Some(Duration::from_millis(10))),
+        ("100ms", Some(Duration::from_millis(100))),
+        ("none", None),
+    ];
+    for (label, timeout) in timeouts {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &timeout,
+            |b, timeout| {
+                b.iter(|| {
+                    run_slider(
+                        &text,
+                        Fragment::RhoDf,
+                        SliderConfig::default().with_timeout(*timeout),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(buffer_params, buffer_size_sweep, timeout_sweep);
+criterion_main!(buffer_params);

@@ -1,0 +1,141 @@
+//! Microbenchmarks of the substrates: dictionary interning, store insert,
+//! indexed pattern lookups, and the N-Triples parser.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slider_model::{Dictionary, NodeId, Term, Triple};
+use slider_parser::NTriplesParser;
+use slider_store::VerticalStore;
+use std::hint::black_box;
+
+fn synthetic_triples(n: u64) -> Vec<Triple> {
+    // 16 predicates, subjects/objects spread over n/4 values.
+    (0..n)
+        .map(|i| {
+            Triple::new(
+                NodeId(1000 + i % (n / 4 + 1)),
+                NodeId(100 + i % 16),
+                NodeId(2000 + (i * 7) % (n / 4 + 1)),
+            )
+        })
+        .collect()
+}
+
+fn dictionary_intern(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_micro/dictionary");
+    group.sample_size(20);
+    group.bench_function("intern_10k_fresh", |b| {
+        b.iter(|| {
+            let dict = Dictionary::new();
+            for i in 0..10_000 {
+                black_box(dict.intern(&Term::iri(format!("http://example.org/resource/{i}"))));
+            }
+        })
+    });
+    group.bench_function("intern_10k_repeat", |b| {
+        let dict = Dictionary::new();
+        let terms: Vec<Term> = (0..100)
+            .map(|i| Term::iri(format!("http://example.org/resource/{i}")))
+            .collect();
+        b.iter(|| {
+            for _ in 0..100 {
+                for t in &terms {
+                    black_box(dict.intern(t));
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
+fn store_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_micro/insert");
+    group.sample_size(20);
+    for n in [10_000u64, 100_000] {
+        let triples = synthetic_triples(n);
+        group.bench_with_input(BenchmarkId::new("fresh", n), &triples, |b, triples| {
+            b.iter(|| {
+                let mut store = VerticalStore::new();
+                for &t in triples {
+                    black_box(store.insert(t));
+                }
+                store.len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("duplicate", n), &triples, |b, triples| {
+            let mut store = VerticalStore::new();
+            for &t in triples {
+                store.insert(t);
+            }
+            b.iter(|| {
+                let mut dupes = 0usize;
+                for &t in triples {
+                    if !store.contains(t) {
+                        dupes += 1;
+                    }
+                }
+                black_box(dupes)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn store_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_micro/lookup");
+    group.sample_size(20);
+    let triples = synthetic_triples(100_000);
+    let store: VerticalStore = triples.iter().copied().collect();
+    group.bench_function("objects_with", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for i in 0..1_000u64 {
+                total += store
+                    .objects_with(NodeId(100 + i % 16), NodeId(1000 + i))
+                    .count();
+            }
+            black_box(total)
+        })
+    });
+    group.bench_function("subjects_with", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for i in 0..1_000u64 {
+                total += store
+                    .subjects_with(NodeId(100 + i % 16), NodeId(2000 + i))
+                    .count();
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn parser_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_micro/parser");
+    group.sample_size(10);
+    let mut text = String::new();
+    for i in 0..50_000 {
+        text.push_str(&format!(
+            "<http://example.org/s{i}> <http://example.org/p{}> \"literal value {i}\" .\n",
+            i % 10
+        ));
+    }
+    group.bench_function("ntriples_50k_lines", |b| {
+        b.iter(|| {
+            let n = NTriplesParser::new(text.as_bytes())
+                .filter(Result::is_ok)
+                .count();
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    store_micro,
+    dictionary_intern,
+    store_insert,
+    store_lookup,
+    parser_throughput
+);
+criterion_main!(store_micro);

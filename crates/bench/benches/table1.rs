@@ -1,0 +1,40 @@
+//! Criterion version of the Table 1 comparison, on scaled-down ontologies
+//! (one representative per family) so `cargo bench` stays tractable. The
+//! `table1` *binary* produces the full 13-row table.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use slider_bench::{generate_ntriples, run_baseline, run_slider};
+use slider_core::SliderConfig;
+use slider_rules::Fragment;
+use slider_workloads::PaperOntology;
+
+const SCALE: f64 = 0.01; // BSBM_100k → ~1k triples etc.
+
+fn bench_family(c: &mut Criterion, ontology: PaperOntology, scale: f64) {
+    let text = generate_ntriples(ontology, scale);
+    let mut group = c.benchmark_group(format!("table1/{}", ontology.name()));
+    group.sample_size(10);
+    for fragment in [Fragment::RhoDf, Fragment::Rdfs] {
+        group.bench_with_input(
+            BenchmarkId::new("baseline", fragment.name()),
+            &fragment,
+            |b, &fragment| b.iter(|| run_baseline(&text, fragment)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("slider", fragment.name()),
+            &fragment,
+            |b, &fragment| b.iter(|| run_slider(&text, fragment, SliderConfig::default())),
+        );
+    }
+    group.finish();
+}
+
+fn benches(c: &mut Criterion) {
+    bench_family(c, PaperOntology::Bsbm100k, SCALE * 5.0); // ~5k triples
+    bench_family(c, PaperOntology::Wikipedia, SCALE);
+    bench_family(c, PaperOntology::Wordnet, SCALE);
+    bench_family(c, PaperOntology::SubClassOf100, 1.0);
+}
+
+criterion_group!(table1, benches);
+criterion_main!(table1);

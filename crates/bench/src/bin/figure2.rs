@@ -1,0 +1,44 @@
+//! Regenerates **Figure 2** of the paper: the rules dependency graph for
+//! ρdf (and, as an extension, RDFS), in Graphviz DOT and as an adjacency
+//! listing.
+//!
+//! ```text
+//! cargo run --release -p slider-bench --bin figure2 -- [--fragment rdfs]
+//! ```
+
+use slider_model::Dictionary;
+use slider_rules::{DependencyGraph, Fragment, Ruleset};
+use std::sync::Arc;
+
+fn main() {
+    let fragment = match std::env::args().nth(2).as_deref() {
+        Some("rdfs") | Some("RDFS") => Fragment::Rdfs,
+        _ => Fragment::RhoDf,
+    };
+    let dict = Arc::new(Dictionary::new());
+    let ruleset = Ruleset::fragment(fragment, &dict);
+    let graph = DependencyGraph::build(&ruleset);
+
+    println!(
+        "# Rules dependency graph for {} ({} rules, {} edges)",
+        fragment,
+        graph.len(),
+        graph.edge_count()
+    );
+    println!(
+        "# Universal input: {}",
+        graph
+            .universal_inputs()
+            .into_iter()
+            .map(|i| graph.name(i))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!();
+    for i in 0..graph.len() {
+        let succ: Vec<&str> = graph.successors(i).iter().map(|&j| graph.name(j)).collect();
+        println!("{:<10} -> {}", graph.name(i), succ.join(", "));
+    }
+    println!();
+    println!("{}", graph.to_dot());
+}

@@ -1,0 +1,116 @@
+//! Regenerates **Figure 3** of the paper: inference-time comparison between
+//! Slider and the batch baseline on ρdf and RDFS, for every ontology except
+//! BSBM_5M ("omitted … for the sake of clarity", §3).
+//!
+//! Prints an ASCII bar chart per fragment plus a CSV of the series.
+//!
+//! ```text
+//! cargo run --release -p slider-bench --bin figure3 -- [--scale F] [--csv PATH]
+//! ```
+
+use slider_bench::{env_scale, table1_row, TableRow};
+use slider_core::SliderConfig;
+use slider_workloads::{PaperOntology, ONTOLOGIES};
+use std::time::Duration;
+
+fn bar(d: Duration, unit: Duration) -> String {
+    let n = (d.as_secs_f64() / unit.as_secs_f64()).round() as usize;
+    "█".repeat(n.clamp(1, 70))
+}
+
+fn render_series(
+    rows: &[TableRow],
+    fragment_name: &str,
+    pick: impl Fn(&TableRow) -> (Duration, Duration),
+) {
+    println!("## {fragment_name} (lower is better)");
+    let max = rows
+        .iter()
+        .map(|r| {
+            let (b, s) = pick(r);
+            b.max(s)
+        })
+        .max()
+        .unwrap_or(Duration::from_secs(1));
+    let unit = max / 60;
+    for row in rows {
+        let (baseline, slider) = pick(row);
+        println!(
+            "{:<14} baseline {:>9} {}",
+            row.ontology,
+            format!("{:.3}s", baseline.as_secs_f64()),
+            bar(baseline, unit)
+        );
+        println!(
+            "{:<14} slider   {:>9} {}",
+            "",
+            format!("{:.3}s", slider.as_secs_f64()),
+            bar(slider, unit)
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = env_scale(0.1);
+    let mut csv_path: Option<String> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a number")
+            }
+            "--csv" => csv_path = Some(iter.next().expect("--csv needs a path").clone()),
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let config = SliderConfig::default();
+    // Figure 3 omits BSBM_5M.
+    let ontologies: Vec<PaperOntology> = ONTOLOGIES
+        .iter()
+        .copied()
+        .filter(|o| *o != PaperOntology::Bsbm5M)
+        .collect();
+
+    let mut rows = Vec::new();
+    for ontology in ontologies {
+        eprintln!("running {ontology} …");
+        rows.push(table1_row(ontology, scale, &config));
+    }
+
+    println!("# Figure 3 reproduction — inference time, scale {scale}\n");
+    render_series(&rows, "rho-df", |r| {
+        (r.rho_df.baseline.elapsed, r.rho_df.slider.elapsed)
+    });
+    render_series(&rows, "RDFS", |r| {
+        (r.rdfs.baseline.elapsed, r.rdfs.slider.elapsed)
+    });
+
+    if let Some(path) = csv_path {
+        let mut csv = String::from("ontology,fragment,baseline_seconds,slider_seconds\n");
+        for row in &rows {
+            csv.push_str(&format!(
+                "{},rho-df,{:.6},{:.6}\n",
+                row.ontology,
+                row.rho_df.baseline.elapsed.as_secs_f64(),
+                row.rho_df.slider.elapsed.as_secs_f64()
+            ));
+            csv.push_str(&format!(
+                "{},RDFS,{:.6},{:.6}\n",
+                row.ontology,
+                row.rdfs.baseline.elapsed.as_secs_f64(),
+                row.rdfs.slider.elapsed.as_secs_f64()
+            ));
+        }
+        std::fs::write(&path, csv).expect("write CSV");
+        eprintln!("wrote {path}");
+    }
+}

@@ -1,0 +1,386 @@
+//! Benchmark harness reproducing the paper's evaluation (§3).
+//!
+//! The measured pipeline follows the paper exactly: "for both systems …
+//! the running times include both parsing and inferencing times". One run =
+//! parse N-Triples text → dictionary-encode → materialise, timed end to
+//! end.
+//!
+//! * engine `Baseline` = [`slider_baseline::NaiveReasoner`] (the OWLIM-SE
+//!   stand-in — batch fixpoint over the whole store);
+//! * engine `Slider` = [`slider_core::Slider`] (buffered incremental).
+//!
+//! Binaries:
+//!
+//! * `table1` — regenerates Table 1 (all 13 ontologies × {ρdf, RDFS} ×
+//!   {Baseline, Slider}) plus the §3 headline averages;
+//! * `figure3` — the same data as inference-time series (Table 1 minus
+//!   BSBM_5M, as in the paper's figure), with an ASCII rendering and CSV;
+//! * `figure2` — the ρdf rules dependency graph as DOT.
+//!
+//! Criterion benches: `table1` (scaled-down row set), `buffer_params`
+//! (buffer size / timeout sweeps — the demo's §4 parameters), `ablation`
+//! (object index, pool size), `store_micro` (substrate microbenchmarks).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use slider_baseline::NaiveReasoner;
+use slider_core::{Slider, SliderConfig};
+use slider_model::Dictionary;
+use slider_parser::load_ntriples;
+use slider_rules::{Fragment, Ruleset};
+use slider_workloads::{to_ntriples, PaperOntology};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which engine a measurement used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Batch fixpoint materialiser (the OWLIM-SE stand-in).
+    Baseline,
+    /// The Slider incremental reasoner.
+    Slider,
+}
+
+impl EngineKind {
+    /// Column label.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Baseline => "baseline",
+            EngineKind::Slider => "slider",
+        }
+    }
+}
+
+/// One timed materialisation (parse + inference, as in the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct RunResult {
+    /// Input triples parsed (after in-file duplicate removal).
+    pub input: usize,
+    /// Triples inferred (closure size − input).
+    pub inferred: usize,
+    /// Wall-clock time, parsing included.
+    pub elapsed: Duration,
+}
+
+impl RunResult {
+    /// Throughput over input triples (the paper reports "up to 36,000
+    /// triples/sec").
+    pub fn throughput(&self) -> f64 {
+        self.input as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Parses `nt_text` and materialises it with the batch baseline.
+pub fn run_baseline(nt_text: &str, fragment: Fragment) -> RunResult {
+    let start = Instant::now();
+    let dict = Arc::new(Dictionary::new());
+    let triples = load_ntriples(nt_text.as_bytes(), &dict).expect("generated data parses");
+    let ruleset = Ruleset::fragment(fragment, &dict);
+    let mut reasoner = NaiveReasoner::new(ruleset);
+    // Count distinct inputs: generated data may repeat a triple.
+    reasoner.load(&triples);
+    let input = reasoner.store().len();
+    reasoner.materialize();
+    let elapsed = start.elapsed();
+    RunResult {
+        input,
+        inferred: reasoner.store().len() - input,
+        elapsed,
+    }
+}
+
+/// Parses `nt_text` and materialises it with Slider.
+///
+/// Unlike the batch baseline, Slider is fed *while parsing*: the input
+/// manager pushes parser chunks straight into the rule buffers, so parsing
+/// and inference overlap on the pool — the paper's "parallelisation of
+/// parsing and reasoning process" (§1, Data Stream Support). The batch
+/// baseline, like OWLIM, must finish parsing before it can start its
+/// fixpoint.
+pub fn run_slider(nt_text: &str, fragment: Fragment, config: SliderConfig) -> RunResult {
+    const CHUNK: usize = 4096;
+    let start = Instant::now();
+    let dict = Arc::new(Dictionary::new());
+    let ruleset = Ruleset::fragment(fragment, &dict);
+    let slider = Slider::new(Arc::clone(&dict), ruleset, config);
+    let mut chunk = Vec::with_capacity(CHUNK);
+    for t in slider_parser::NTriplesParser::new(nt_text.as_bytes()) {
+        chunk.push(dict.encode_triple_owned(t.expect("generated data parses")));
+        if chunk.len() == CHUNK {
+            slider.add_triples(&chunk);
+            chunk.clear();
+        }
+    }
+    slider.add_triples(&chunk);
+    slider.wait_idle();
+    let elapsed = start.elapsed();
+    let stats = slider.stats();
+    RunResult {
+        input: stats.input_fresh as usize,
+        inferred: stats.total_inferred() as usize,
+        elapsed,
+    }
+}
+
+/// One Table 1 cell pair: both engines on one (ontology, fragment) point.
+#[derive(Debug, Clone, Copy)]
+pub struct Comparison {
+    /// Input size (distinct triples).
+    pub input: usize,
+    /// Baseline measurement.
+    pub baseline: RunResult,
+    /// Slider measurement.
+    pub slider: RunResult,
+}
+
+impl Comparison {
+    /// The paper's "Gain" column: `(t_baseline / t_slider − 1) × 100 %`
+    /// (e.g. BSBM_100k ρdf: 9.907 s vs 4.636 s → 113.69 %).
+    pub fn gain_percent(&self) -> f64 {
+        (self.baseline.elapsed.as_secs_f64() / self.slider.elapsed.as_secs_f64().max(1e-9) - 1.0)
+            * 100.0
+    }
+}
+
+/// Runs both engines on one ontology/fragment point.
+pub fn compare(nt_text: &str, fragment: Fragment, config: &SliderConfig) -> Comparison {
+    let baseline = run_baseline(nt_text, fragment);
+    let slider = run_slider(nt_text, fragment, config.clone());
+    Comparison {
+        input: slider.input,
+        baseline,
+        slider,
+    }
+}
+
+/// A full Table 1 row: one ontology, both fragments, both engines.
+#[derive(Debug, Clone)]
+pub struct TableRow {
+    /// Ontology name (Table 1 spelling).
+    pub ontology: String,
+    /// Input size.
+    pub input: usize,
+    /// ρdf comparison.
+    pub rho_df: Comparison,
+    /// RDFS comparison.
+    pub rdfs: Comparison,
+}
+
+/// Generates the N-Triples text for an ontology at `scale`.
+pub fn generate_ntriples(ontology: PaperOntology, scale: f64) -> String {
+    to_ntriples(&ontology.generate(scale))
+}
+
+/// Runs the full Table 1 measurement for one ontology.
+pub fn table1_row(ontology: PaperOntology, scale: f64, config: &SliderConfig) -> TableRow {
+    let text = generate_ntriples(ontology, scale);
+    let rho_df = compare(&text, Fragment::RhoDf, config);
+    let rdfs = compare(&text, Fragment::Rdfs, config);
+    TableRow {
+        ontology: ontology.name().to_owned(),
+        input: rho_df.input,
+        rho_df,
+        rdfs,
+    }
+}
+
+/// Formats a duration like the paper ("9.907s").
+pub fn fmt_secs(d: Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+/// Renders rows in Table 1's layout.
+pub fn render_table(rows: &[TableRow]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "{:<14} {:>9} | {:>9} {:>10} {:>10} {:>9} | {:>9} {:>10} {:>10} {:>9}",
+        "Ontology",
+        "Input",
+        "Inferred",
+        "Baseline",
+        "Slider",
+        "Gain",
+        "Inferred",
+        "Baseline",
+        "Slider",
+        "Gain"
+    );
+    let _ = writeln!(
+        s,
+        "{:<14} {:>9} | {:>52} | {:>52}",
+        "", "", "rho-df reasoning", "RDFS reasoning"
+    );
+    let mut rho_gains = Vec::new();
+    let mut rdfs_gains = Vec::new();
+    for row in rows {
+        // Mirror the paper: the wordnet ρdf row is "-" (nothing inferred).
+        let rho_gain = if row.rho_df.slider.inferred == 0 && row.rho_df.baseline.inferred == 0 {
+            "-".to_owned()
+        } else {
+            rho_gains.push(row.rho_df.gain_percent());
+            format!("{:.2}%", row.rho_df.gain_percent())
+        };
+        rdfs_gains.push(row.rdfs.gain_percent());
+        let _ = writeln!(
+            s,
+            "{:<14} {:>9} | {:>9} {:>10} {:>10} {:>9} | {:>9} {:>10} {:>10} {:>9}",
+            row.ontology,
+            row.input,
+            row.rho_df.slider.inferred,
+            fmt_secs(row.rho_df.baseline.elapsed),
+            fmt_secs(row.rho_df.slider.elapsed),
+            rho_gain,
+            row.rdfs.slider.inferred,
+            fmt_secs(row.rdfs.baseline.elapsed),
+            fmt_secs(row.rdfs.slider.elapsed),
+            format!("{:.2}%", row.rdfs.gain_percent()),
+        );
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let rho_avg = avg(&rho_gains);
+    let rdfs_avg = avg(&rdfs_gains);
+    let _ = writeln!(
+        s,
+        "{:<24} rho-df average gain: {rho_avg:.2}%   (paper: 106.86%)",
+        ""
+    );
+    let _ = writeln!(
+        s,
+        "{:<24} RDFS   average gain: {rdfs_avg:.2}%   (paper: 36.08%)",
+        ""
+    );
+    let _ = writeln!(
+        s,
+        "{:<24} overall average gain: {:.2}%   (paper: 71.47%)",
+        "",
+        (rho_avg + rdfs_avg) / 2.0
+    );
+    let peak = rows
+        .iter()
+        .flat_map(|r| [r.rho_df.slider, r.rdfs.slider])
+        .map(|r| r.throughput())
+        .fold(0.0f64, f64::max);
+    let _ = writeln!(
+        s,
+        "{:<24} peak Slider throughput: {:.0} triples/sec (paper: up to 36,000)",
+        "", peak
+    );
+    s
+}
+
+/// Renders rows as CSV (one line per ontology × fragment × engine).
+pub fn render_csv(rows: &[TableRow]) -> String {
+    let mut s = String::from("ontology,fragment,engine,input,inferred,seconds,gain_percent\n");
+    for row in rows {
+        for (frag, cmp) in [("rho-df", &row.rho_df), ("RDFS", &row.rdfs)] {
+            for (engine, run) in [("baseline", &cmp.baseline), ("slider", &cmp.slider)] {
+                use std::fmt::Write as _;
+                let _ = writeln!(
+                    s,
+                    "{},{},{},{},{},{:.6},{:.2}",
+                    row.ontology,
+                    frag,
+                    engine,
+                    run.input,
+                    run.inferred,
+                    run.elapsed.as_secs_f64(),
+                    cmp.gain_percent()
+                );
+            }
+        }
+    }
+    s
+}
+
+/// Reads the benchmark scale factor from `SLIDER_SCALE` (default
+/// `default_scale`).
+pub fn env_scale(default_scale: f64) -> f64 {
+    std::env::var("SLIDER_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(default_scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chains_run_end_to_end() {
+        let text = generate_ntriples(PaperOntology::SubClassOf10, 1.0);
+        let cmp = compare(&text, Fragment::RhoDf, &SliderConfig::default());
+        assert_eq!(cmp.input, 19);
+        // Table 1: 36 inferred for subClassOf10 under ρdf.
+        assert_eq!(cmp.slider.inferred, 36);
+        assert_eq!(cmp.baseline.inferred, 36);
+    }
+
+    #[test]
+    fn engines_agree_on_closure_sizes() {
+        for ont in [
+            PaperOntology::Bsbm100k,
+            PaperOntology::Wikipedia,
+            PaperOntology::Wordnet,
+        ] {
+            let text = generate_ntriples(ont, 0.01);
+            for fragment in [Fragment::RhoDf, Fragment::Rdfs] {
+                let b = run_baseline(&text, fragment);
+                let s = run_slider(&text, fragment, SliderConfig::default());
+                assert_eq!(b.input, s.input, "{ont} {fragment} input");
+                assert_eq!(b.inferred, s.inferred, "{ont} {fragment} inferred");
+            }
+        }
+    }
+
+    #[test]
+    fn wordnet_infers_nothing_under_rho_df() {
+        let text = generate_ntriples(PaperOntology::Wordnet, 0.01);
+        let r = run_slider(&text, Fragment::RhoDf, SliderConfig::default());
+        assert_eq!(r.inferred, 0);
+    }
+
+    #[test]
+    fn gain_formula_matches_paper_example() {
+        // BSBM_100k ρdf row: 9.907s baseline, 4.636s slider → 113.69 %.
+        let cmp = Comparison {
+            input: 0,
+            baseline: RunResult {
+                input: 0,
+                inferred: 0,
+                elapsed: Duration::from_secs_f64(9.907),
+            },
+            slider: RunResult {
+                input: 0,
+                inferred: 0,
+                elapsed: Duration::from_secs_f64(4.636),
+            },
+        };
+        assert!(
+            (cmp.gain_percent() - 113.69).abs() < 0.05,
+            "{}",
+            cmp.gain_percent()
+        );
+    }
+
+    #[test]
+    fn table_and_csv_render() {
+        let row = table1_row(PaperOntology::SubClassOf10, 1.0, &SliderConfig::default());
+        let table = render_table(std::slice::from_ref(&row));
+        assert!(table.contains("subClassOf10"));
+        assert!(table.contains("average gain"));
+        let csv = render_csv(std::slice::from_ref(&row));
+        assert_eq!(csv.lines().count(), 1 + 4);
+        assert!(csv.contains("subClassOf10,rho-df,slider"));
+    }
+
+    #[test]
+    fn env_scale_parsing() {
+        // Not setting the variable in-process (tests run in parallel);
+        // exercise only the default path here.
+        assert_eq!(env_scale(0.25), 0.25);
+    }
+}

@@ -1,0 +1,202 @@
+//! Per-rule triple buffers (paper §2, "Buffers").
+//!
+//! > "Each rule module is assigned with a buffer that is in-charge of
+//! > collecting triples … Once the buffer is full or in-case of timeouts,
+//! > it triggers a new instance of rule module."
+
+use parking_lot::Mutex;
+use slider_model::Triple;
+use std::time::{Duration, Instant};
+
+struct Inner {
+    queue: Vec<Triple>,
+    /// Last time the buffer transitioned or received triples; the timeout
+    /// flusher fires when this goes stale.
+    last_activity: Instant,
+}
+
+/// A bounded triple buffer with full- and timeout-flush semantics.
+///
+/// `push_batch` appends and drains complete capacity-sized chunks — each
+/// chunk is one *rule instance* (a job for the pool), so a large input
+/// batch becomes several parallelisable instances, exactly the paper's
+/// "multiple instances of same rule … run in parallel".
+pub struct Buffer {
+    capacity: usize,
+    inner: Mutex<Inner>,
+}
+
+impl Buffer {
+    /// An empty buffer firing every `capacity` triples.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "buffer capacity must be at least 1");
+        Buffer {
+            capacity,
+            inner: Mutex::new(Inner {
+                queue: Vec::new(),
+                last_activity: Instant::now(),
+            }),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Appends `triples`; returns the full chunks to execute (empty vec if
+    /// the buffer has not filled).
+    pub fn push_batch(&self, triples: &[Triple]) -> Vec<Vec<Triple>> {
+        self.push_batch_with(triples, self.capacity)
+    }
+
+    /// Like [`Buffer::push_batch`] with an explicit fire threshold — used
+    /// by the adaptive scheduler, which retunes per-rule capacities at run
+    /// time (see `SliderConfig::adaptive_buffers`).
+    pub fn push_batch_with(&self, triples: &[Triple], capacity: usize) -> Vec<Vec<Triple>> {
+        let capacity = capacity.max(1);
+        if triples.is_empty() {
+            return Vec::new();
+        }
+        let mut inner = self.inner.lock();
+        inner.queue.extend_from_slice(triples);
+        inner.last_activity = Instant::now();
+        let mut chunks = Vec::new();
+        while inner.queue.len() >= capacity {
+            let rest = inner.queue.split_off(capacity);
+            let chunk = std::mem::replace(&mut inner.queue, rest);
+            chunks.push(chunk);
+        }
+        chunks
+    }
+
+    /// Drains everything buffered (force flush / timeout flush).
+    pub fn drain(&self) -> Vec<Triple> {
+        let mut inner = self.inner.lock();
+        inner.last_activity = Instant::now();
+        std::mem::take(&mut inner.queue)
+    }
+
+    /// Drains only if the buffer is non-empty *and* stale for `timeout`.
+    pub fn drain_if_stale(&self, timeout: Duration) -> Option<Vec<Triple>> {
+        let mut inner = self.inner.lock();
+        if inner.queue.is_empty() || inner.last_activity.elapsed() < timeout {
+            return None;
+        }
+        inner.last_activity = Instant::now();
+        Some(std::mem::take(&mut inner.queue))
+    }
+
+    /// Number of buffered triples.
+    pub fn len(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().queue.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Buffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Buffer")
+            .field("capacity", &self.capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slider_model::NodeId;
+
+    fn t(v: u64) -> Triple {
+        Triple::new(NodeId(v), NodeId(0), NodeId(v))
+    }
+
+    #[test]
+    fn fills_and_chunks() {
+        let b = Buffer::new(3);
+        assert!(b.push_batch(&[t(1), t(2)]).is_empty());
+        assert_eq!(b.len(), 2);
+        let chunks = b.push_batch(&[t(3), t(4)]);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0], vec![t(1), t(2), t(3)]);
+        assert_eq!(b.len(), 1); // t(4) remains
+    }
+
+    #[test]
+    fn large_batch_multiple_chunks() {
+        let b = Buffer::new(2);
+        let batch: Vec<Triple> = (0..7).map(t).collect();
+        let chunks = b.push_batch(&batch);
+        assert_eq!(chunks.len(), 3);
+        assert!(chunks.iter().all(|c| c.len() == 2));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn capacity_one_fires_immediately() {
+        let b = Buffer::new(1);
+        let chunks = b.push_batch(&[t(1), t(2)]);
+        assert_eq!(chunks.len(), 2);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn drain_takes_everything() {
+        let b = Buffer::new(10);
+        b.push_batch(&[t(1), t(2)]);
+        assert_eq!(b.drain(), vec![t(1), t(2)]);
+        assert!(b.is_empty());
+        assert!(b.drain().is_empty());
+    }
+
+    #[test]
+    fn stale_drain_respects_activity() {
+        let b = Buffer::new(10);
+        b.push_batch(&[t(1)]);
+        // Not stale yet.
+        assert!(b.drain_if_stale(Duration::from_secs(60)).is_none());
+        // Stale with zero timeout.
+        assert_eq!(b.drain_if_stale(Duration::ZERO), Some(vec![t(1)]));
+        // Empty buffer never drains.
+        assert!(b.drain_if_stale(Duration::ZERO).is_none());
+    }
+
+    #[test]
+    fn empty_push_is_noop() {
+        let b = Buffer::new(1);
+        assert!(b.push_batch(&[]).is_empty());
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = Buffer::new(0);
+    }
+
+    #[test]
+    fn explicit_capacity_overrides_default() {
+        let b = Buffer::new(100);
+        let chunks = b.push_batch_with(&[t(1), t(2), t(3)], 2);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].len(), 2);
+        assert_eq!(b.len(), 1);
+        // Zero is clamped to 1 rather than panicking (adaptive path).
+        let chunks = b.push_batch_with(&[t(4)], 0);
+        assert_eq!(chunks.len(), 2); // drains t(3) then t(4)
+    }
+
+    #[test]
+    fn preserves_fifo_order() {
+        let b = Buffer::new(4);
+        b.push_batch(&[t(1), t(2)]);
+        let chunks = b.push_batch(&[t(3), t(4), t(5)]);
+        assert_eq!(chunks[0], vec![t(1), t(2), t(3), t(4)]);
+        assert_eq!(b.drain(), vec![t(5)]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Reasoner configuration — the knobs of the paper's demo (§4).
+
+use std::time::Duration;
+
+/// Configuration of a [`Slider`](crate::Slider) instance.
+///
+/// These are exactly the parameters the paper's demonstration exposes:
+/// buffer size, buffer timeout and the fragment (the fragment is passed
+/// separately as a [`Ruleset`](slider_rules::Ruleset)); plus the pool size
+/// and instrumentation switches this reproduction adds.
+#[derive(Debug, Clone)]
+pub struct SliderConfig {
+    /// How many triples a buffer holds before it "fires a new rule
+    /// execution" (§4). Default: 1024.
+    pub buffer_capacity: usize,
+    /// "After how long an inactive buffer is forced to flush" (§4).
+    /// `None` disables timeout flushing (batch mode — callers must use
+    /// [`Slider::wait_idle`](crate::Slider::wait_idle), which force-flushes).
+    /// Default: 20 ms.
+    pub timeout: Option<Duration>,
+    /// Worker threads in the pool. Default: available parallelism.
+    pub workers: usize,
+    /// Record an [`EventLog`](crate::EventLog) of module activity (the demo
+    /// player's data source). Off by default: tracing serialises events.
+    pub trace: bool,
+    /// Maintain the per-predicate object index (paper §2.2 "multiple
+    /// indexing"). Disabled only by the ablation benchmark.
+    pub object_index: bool,
+    /// Run-time dynamic scheduling (the paper's §5 future work: "migrating
+    /// from 'static' plans … to run-time dynamic plans"): each rule's fire
+    /// threshold is retuned after every instance based on its observed
+    /// duplicate ratio — duplicate-heavy rules get larger batches (fewer,
+    /// cheaper instances), productive rules smaller ones (lower latency).
+    /// Off by default.
+    pub adaptive_buffers: bool,
+}
+
+impl Default for SliderConfig {
+    fn default() -> Self {
+        SliderConfig {
+            buffer_capacity: 1024,
+            timeout: Some(Duration::from_millis(20)),
+            workers: std::thread::available_parallelism().map_or(4, usize::from),
+            trace: false,
+            object_index: true,
+            adaptive_buffers: false,
+        }
+    }
+}
+
+impl SliderConfig {
+    /// Batch-friendly configuration: no timeouts, default buffers.
+    pub fn batch() -> Self {
+        SliderConfig {
+            timeout: None,
+            ..SliderConfig::default()
+        }
+    }
+
+    /// Builder-style buffer capacity.
+    pub fn with_buffer_capacity(mut self, capacity: usize) -> Self {
+        self.buffer_capacity = capacity.max(1);
+        self
+    }
+
+    /// Builder-style timeout.
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Builder-style worker count (min 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Builder-style tracing switch.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Builder-style object-index switch (ablation only).
+    pub fn with_object_index(mut self, object_index: bool) -> Self {
+        self.object_index = object_index;
+        self
+    }
+
+    /// Builder-style adaptive-scheduling switch.
+    pub fn with_adaptive_buffers(mut self, adaptive: bool) -> Self {
+        self.adaptive_buffers = adaptive;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = SliderConfig::default();
+        assert!(c.buffer_capacity >= 1);
+        assert!(c.workers >= 1);
+        assert!(c.timeout.is_some());
+        assert!(!c.trace);
+        assert!(c.object_index);
+        assert!(!c.adaptive_buffers);
+    }
+
+    #[test]
+    fn adaptive_builder() {
+        assert!(SliderConfig::default().with_adaptive_buffers(true).adaptive_buffers);
+    }
+
+    #[test]
+    fn builders_clamp() {
+        let c = SliderConfig::default()
+            .with_buffer_capacity(0)
+            .with_workers(0);
+        assert_eq!(c.buffer_capacity, 1);
+        assert_eq!(c.workers, 1);
+    }
+
+    #[test]
+    fn batch_mode_has_no_timeout() {
+        assert!(SliderConfig::batch().timeout.is_none());
+    }
+}

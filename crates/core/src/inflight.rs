@@ -1,0 +1,112 @@
+//! In-flight work accounting — the quiescence detector.
+
+use parking_lot::{Condvar, Mutex};
+
+/// Counts units of "moving" work (queued jobs, running jobs, and transfers
+/// between buffers and the queue).
+///
+/// The invariant the reasoner maintains is: **any triple that is neither
+/// settled in the store-only state nor waiting in a buffer is covered by a
+/// token**. Tokens are acquired *before* work becomes invisible (e.g.
+/// before draining a buffer into a job) and released only after all
+/// consequences (inserts + dispatches) are done. Quiescence is then simply
+/// `count == 0 ∧ all buffers empty`.
+#[derive(Debug, Default)]
+pub struct Inflight {
+    count: Mutex<usize>,
+    zero: Condvar,
+}
+
+impl Inflight {
+    /// A tracker with no outstanding work.
+    pub fn new() -> Self {
+        Inflight::default()
+    }
+
+    /// Acquires a token.
+    pub fn inc(&self) {
+        *self.count.lock() += 1;
+    }
+
+    /// Releases a token, waking waiters when the count reaches zero.
+    pub fn dec(&self) {
+        let mut count = self.count.lock();
+        debug_assert!(*count > 0, "inflight underflow");
+        *count -= 1;
+        if *count == 0 {
+            self.zero.notify_all();
+        }
+    }
+
+    /// Current token count.
+    pub fn current(&self) -> usize {
+        *self.count.lock()
+    }
+
+    /// Blocks until the count is zero.
+    pub fn wait_zero(&self) {
+        let mut count = self.count.lock();
+        while *count != 0 {
+            self.zero.wait(&mut count);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn starts_at_zero() {
+        let f = Inflight::new();
+        assert_eq!(f.current(), 0);
+        f.wait_zero(); // must not block
+    }
+
+    #[test]
+    fn inc_dec_roundtrip() {
+        let f = Inflight::new();
+        f.inc();
+        f.inc();
+        assert_eq!(f.current(), 2);
+        f.dec();
+        f.dec();
+        assert_eq!(f.current(), 0);
+    }
+
+    #[test]
+    fn wait_zero_blocks_until_released() {
+        let f = Arc::new(Inflight::new());
+        f.inc();
+        let f2 = Arc::clone(&f);
+        let waiter = std::thread::spawn(move || {
+            f2.wait_zero();
+        });
+        // Give the waiter a moment to block.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!waiter.is_finished(), "waiter must block while count > 0");
+        f.dec();
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn many_threads() {
+        let f = Arc::new(Inflight::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let f = Arc::clone(&f);
+            f.inc();
+            handles.push(std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(5));
+                f.dec();
+            }));
+        }
+        f.wait_zero();
+        assert_eq!(f.current(), 0);
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

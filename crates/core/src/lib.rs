@@ -1,0 +1,54 @@
+//! **Slider** — the incremental reasoner (the paper's primary contribution).
+//!
+//! The architecture is a faithful Rust realisation of the paper's Figure 1:
+//!
+//! ```text
+//!             ┌────────────────────────────────────────────────┐
+//!  evolving   │              TRIPLE STORE (RW-locked)          │
+//!  data ──►   └────▲──────────────▲──────────────▲─────────────┘
+//!   input          │ read         │ read         │ write (dedup)
+//!  manager ──► [Buffer R1] ─► (rule instance on thread pool) ─► [Distributor R1]
+//!          └─► [Buffer R2] ─► (rule instance on thread pool) ─► [Distributor R2]
+//!          └─► [Buffer R3] ─►            …                         │
+//!                  ▲───────────── fresh triples routed ◄───────────┘
+//!                        (rules dependency graph, Figure 2)
+//! ```
+//!
+//! * The **input manager** ([`Slider::add_triples`], [`Slider::add_terms`])
+//!   dictionary-encodes incoming triples, inserts them into the store
+//!   (duplicates are dropped here — first dedup layer) and routes the new
+//!   ones to the buffers of every rule whose [`InputFilter`] accepts them.
+//! * Each rule module owns a **buffer**; when it reaches
+//!   [`SliderConfig::buffer_capacity`] triples — or sits idle longer than
+//!   [`SliderConfig::timeout`] — its content becomes a *rule instance*: a
+//!   job on the **thread pool** that joins the batch against the
+//!   (read-locked) store, per paper Algorithm 1.
+//! * The rule instance's **distributor** inserts the conclusions into the
+//!   store under one write lock; only the triples that were *actually new*
+//!   are dispatched onward, to the buffers selected by the **rules
+//!   dependency graph** — the paper's duplicate-limitation mechanism.
+//! * [`Slider::wait_idle`] detects quiescence (all buffers empty, no
+//!   in-flight work): the closure is complete. Streaming callers instead
+//!   just keep feeding triples; timeouts keep buffers moving.
+//!
+//! Termination is guaranteed because every dispatched triple was new to the
+//! store and rules never invent new term ids, so the reachable closure is
+//! finite and monotone.
+//!
+//! [`InputFilter`]: slider_rules::InputFilter
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod buffer;
+mod config;
+mod inflight;
+mod reasoner;
+mod stats;
+pub mod trace;
+
+pub use buffer::Buffer;
+pub use config::SliderConfig;
+pub use reasoner::Slider;
+pub use stats::{RuleStats, StatsSnapshot};
+pub use trace::{events_to_json, Event, EventKind, EventLog};

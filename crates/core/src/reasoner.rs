@@ -1,0 +1,782 @@
+//! The reasoner: input manager, rule modules, thread pool, distributors.
+
+use crate::buffer::Buffer;
+use crate::config::SliderConfig;
+use crate::inflight::Inflight;
+use crate::stats::{bump, GlobalCounters, RuleCounters, RuleStats, StatsSnapshot};
+use crate::trace::{Event, EventKind, EventLog};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use slider_model::{Dictionary, TermTriple, Triple};
+use slider_rules::{DependencyGraph, Fragment, InputFilter, Rule, Ruleset};
+use slider_store::{ConcurrentStore, VerticalStore};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A unit of pool work: one rule instance over one buffered batch.
+enum Job {
+    Run { rule: usize, delta: Vec<Triple> },
+    Stop,
+}
+
+/// One rule module: the rule, its buffer, its distributor's routing table
+/// and its counters (paper Figure 1, one column).
+struct Module {
+    rule: Arc<dyn Rule>,
+    filter: InputFilter,
+    buffer: Buffer,
+    /// Rules whose buffers receive this module's fresh conclusions —
+    /// `successors` in the dependency graph.
+    successors: Vec<usize>,
+    counters: RuleCounters,
+    /// Current fire threshold; fixed to the configured capacity unless the
+    /// adaptive scheduler is on (then retuned after every instance).
+    capacity: std::sync::atomic::AtomicUsize,
+}
+
+/// Shared state between the public handle, the workers and the flusher.
+struct Engine {
+    dict: Arc<Dictionary>,
+    store: ConcurrentStore,
+    modules: Vec<Module>,
+    graph: DependencyGraph,
+    job_tx: Sender<Job>,
+    inflight: Inflight,
+    globals: GlobalCounters,
+    log: Option<EventLog>,
+    ruleset_name: String,
+    /// Adaptive-scheduling bounds: `Some((base, max))` when enabled.
+    adaptive: Option<(usize, usize)>,
+}
+
+impl Engine {
+    /// Queues a rule instance; the caller must already hold an inflight
+    /// token for it (token ownership transfers to the job).
+    fn submit_with_token(&self, rule: usize, delta: Vec<Triple>) {
+        // Send only fails when all receivers are gone, i.e. during
+        // teardown; the token is released by the Drop path then.
+        if self.job_tx.send(Job::Run { rule, delta }).is_err() {
+            self.inflight.dec();
+        }
+    }
+
+    /// Acquires a token and queues a rule instance.
+    fn submit(&self, rule: usize, delta: Vec<Triple>) {
+        self.inflight.inc();
+        self.submit_with_token(rule, delta);
+    }
+
+    /// Routes `triples` to the buffers of `targets` (each module filters by
+    /// predicate), firing full buffers as new rule instances.
+    fn dispatch(&self, targets: &[usize], triples: &[Triple]) {
+        let mut accepted: Vec<Triple> = Vec::new();
+        for &i in targets {
+            let module = &self.modules[i];
+            accepted.clear();
+            accepted.extend(
+                triples
+                    .iter()
+                    .copied()
+                    .filter(|&t| module.filter.accepts(t)),
+            );
+            if accepted.is_empty() {
+                continue;
+            }
+            bump(&module.counters.buffered, accepted.len() as u64);
+            let capacity = module.capacity.load(Ordering::Relaxed);
+            for chunk in module.buffer.push_batch_with(&accepted, capacity) {
+                bump(&module.counters.full_flushes, 1);
+                if let Some(log) = &self.log {
+                    log.record(EventKind::BufferFull { rule: i });
+                }
+                self.submit(i, chunk);
+            }
+        }
+    }
+
+    /// Executes one rule instance: join, distribute, route (Figure 1's
+    /// rule-module → distributor path).
+    fn run_job(&self, rule: usize, delta: Vec<Triple>) {
+        let module = &self.modules[rule];
+        let mut out = Vec::new();
+        {
+            // One read lock per instance, as in the paper's design: the
+            // store may grow concurrently, which is sound (monotone) —
+            // extra visible triples only produce conclusions earlier.
+            let guard = self.store.read();
+            module.rule.apply(&guard, &delta, &mut out);
+        }
+        bump(&module.counters.fired, 1);
+        bump(&module.counters.derived, out.len() as u64);
+
+        let mut fresh = Vec::new();
+        if !out.is_empty() {
+            // Distributor step 1+2: add to store, keep only the new ones.
+            self.store.insert_batch(&out, &mut fresh);
+            bump(&module.counters.fresh, fresh.len() as u64);
+        }
+        if let Some((base, max)) = self.adaptive {
+            if !out.is_empty() {
+                // The run-time dynamic plan (§5 future work): a rule whose
+                // conclusions are mostly duplicates gains nothing from
+                // low-latency firing — grow its batch so the join cost is
+                // amortised; a productive rule shrinks back towards the
+                // configured capacity for low inference latency.
+                let ratio = fresh.len() as f64 / out.len() as f64;
+                let cap = module.capacity.load(Ordering::Relaxed);
+                let retuned = if ratio < 0.1 {
+                    (cap.saturating_mul(2)).min(max)
+                } else if ratio > 0.5 {
+                    (cap / 2).max(base)
+                } else {
+                    cap
+                };
+                if retuned != cap {
+                    module.capacity.store(retuned, Ordering::Relaxed);
+                }
+            }
+        }
+        if let Some(log) = &self.log {
+            log.record(EventKind::RuleFired {
+                rule,
+                delta: delta.len(),
+                derived: out.len(),
+                fresh: fresh.len(),
+                store_size: self.store.len(),
+            });
+        }
+        if !fresh.is_empty() {
+            // Distributor step 3: dispatch to dependent buffers only.
+            self.dispatch(&module.successors, &fresh);
+        }
+    }
+
+    fn buffers_empty(&self) -> bool {
+        self.modules.iter().all(|m| m.buffer.is_empty())
+    }
+
+    /// Force-flushes every buffer into rule instances.
+    fn flush_all(&self) {
+        for (i, module) in self.modules.iter().enumerate() {
+            // Token first: the drained batch must never be invisible to
+            // the quiescence check.
+            self.inflight.inc();
+            let drained = module.buffer.drain();
+            if drained.is_empty() {
+                self.inflight.dec();
+            } else {
+                bump(&module.counters.timeout_flushes, 1);
+                if let Some(log) = &self.log {
+                    log.record(EventKind::TimeoutFlush { rule: i });
+                }
+                self.submit_with_token(i, drained);
+            }
+        }
+    }
+}
+
+fn worker_loop(engine: Arc<Engine>, rx: Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Run { rule, delta } => {
+                engine.run_job(rule, delta);
+                engine.inflight.dec();
+            }
+            Job::Stop => break,
+        }
+    }
+}
+
+fn flusher_loop(engine: Arc<Engine>, shutdown: Arc<AtomicBool>, timeout: Duration) {
+    // Scan at half the timeout, clamped to [1, 10] ms, so a stale buffer
+    // waits at most ~1.5 × timeout.
+    let tick = (timeout / 2).clamp(Duration::from_millis(1), Duration::from_millis(10));
+    while !shutdown.load(Ordering::Relaxed) {
+        std::thread::sleep(tick);
+        for (i, module) in engine.modules.iter().enumerate() {
+            engine.inflight.inc();
+            match module.buffer.drain_if_stale(timeout) {
+                Some(delta) => {
+                    bump(&module.counters.timeout_flushes, 1);
+                    if let Some(log) = &engine.log {
+                        log.record(EventKind::TimeoutFlush { rule: i });
+                    }
+                    engine.submit_with_token(i, delta);
+                }
+                None => engine.inflight.dec(),
+            }
+        }
+    }
+}
+
+/// The Slider incremental reasoner (see the crate docs for the
+/// architecture walkthrough).
+///
+/// All methods take `&self`: the reasoner is internally synchronised and
+/// can be fed from several threads at once (the paper's multi-source input
+/// manager). Typical batch use:
+///
+/// ```
+/// use slider_core::{Slider, SliderConfig};
+/// use slider_rules::{Fragment, Ruleset};
+/// use slider_model::{Dictionary, Term};
+/// use std::sync::Arc;
+///
+/// let slider = Slider::fragment(Fragment::RhoDf, SliderConfig::default());
+/// let triples: Vec<_> = vec![
+///     (Term::iri("http://e/Cat"),
+///      Term::iri("http://www.w3.org/2000/01/rdf-schema#subClassOf"),
+///      Term::iri("http://e/Animal")),
+///     (Term::iri("http://e/felix"),
+///      Term::iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+///      Term::iri("http://e/Cat")),
+/// ];
+/// slider.add_terms(&triples);
+/// slider.wait_idle();
+/// assert_eq!(slider.store().len(), 3); // felix is an Animal now
+/// ```
+pub struct Slider {
+    engine: Arc<Engine>,
+    workers: Vec<JoinHandle<()>>,
+    flusher: Option<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Slider {
+    /// Creates a reasoner over an existing dictionary and ruleset.
+    pub fn new(dict: Arc<Dictionary>, ruleset: Ruleset, config: SliderConfig) -> Self {
+        let graph = DependencyGraph::build(&ruleset);
+        let base_capacity = config.buffer_capacity.max(1);
+        let modules: Vec<Module> = ruleset
+            .rules()
+            .iter()
+            .enumerate()
+            .map(|(i, rule)| Module {
+                rule: Arc::clone(rule),
+                filter: rule.input_filter(),
+                buffer: Buffer::new(base_capacity),
+                successors: graph.successors(i).to_vec(),
+                counters: RuleCounters::default(),
+                capacity: std::sync::atomic::AtomicUsize::new(base_capacity),
+            })
+            .collect();
+        let store = if config.object_index {
+            ConcurrentStore::new()
+        } else {
+            ConcurrentStore::from_store(VerticalStore::without_object_index())
+        };
+        let (job_tx, job_rx) = unbounded();
+        let engine = Arc::new(Engine {
+            dict,
+            store,
+            modules,
+            graph,
+            job_tx,
+            inflight: Inflight::new(),
+            globals: GlobalCounters::default(),
+            log: config.trace.then(EventLog::new),
+            ruleset_name: ruleset.name().to_owned(),
+            adaptive: config
+                .adaptive_buffers
+                .then(|| (base_capacity, base_capacity.saturating_mul(64))),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let engine = Arc::clone(&engine);
+                let rx = job_rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("slider-worker-{i}"))
+                    .spawn(move || worker_loop(engine, rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let flusher = config.timeout.map(|timeout| {
+            let engine = Arc::clone(&engine);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("slider-flusher".to_owned())
+                .spawn(move || flusher_loop(engine, shutdown, timeout))
+                .expect("spawn flusher thread")
+        });
+
+        Slider {
+            engine,
+            workers,
+            flusher,
+            shutdown,
+        }
+    }
+
+    /// Creates a reasoner for a native fragment with a fresh dictionary.
+    pub fn fragment(fragment: Fragment, config: SliderConfig) -> Self {
+        let dict = Arc::new(Dictionary::new());
+        let ruleset = Ruleset::fragment(fragment, &dict);
+        Slider::new(dict, ruleset, config)
+    }
+
+    /// Feeds encoded triples to the input manager. Duplicates are dropped;
+    /// the new triples enter the store immediately and are routed to the
+    /// rule buffers. Returns how many were new.
+    pub fn add_triples(&self, triples: &[Triple]) -> usize {
+        let engine = &self.engine;
+        // Token covers the push-and-route window so `wait_idle` on another
+        // thread cannot observe a false quiescence mid-call.
+        engine.inflight.inc();
+        let mut fresh = Vec::with_capacity(triples.len());
+        engine.store.insert_batch(triples, &mut fresh);
+        bump(&engine.globals.input_received, triples.len() as u64);
+        bump(&engine.globals.input_fresh, fresh.len() as u64);
+        if let Some(log) = &engine.log {
+            log.record(EventKind::Input {
+                received: triples.len(),
+                fresh: fresh.len(),
+            });
+        }
+        if !fresh.is_empty() {
+            let all: Vec<usize> = (0..engine.modules.len()).collect();
+            engine.dispatch(&all, &fresh);
+        }
+        engine.inflight.dec();
+        fresh.len()
+    }
+
+    /// Feeds one encoded triple.
+    pub fn add_triple(&self, triple: Triple) -> bool {
+        self.add_triples(std::slice::from_ref(&triple)) == 1
+    }
+
+    /// Encodes and feeds decoded triples (the full input-manager path).
+    pub fn add_terms(&self, triples: &[TermTriple]) -> usize {
+        let encoded: Vec<Triple> = triples
+            .iter()
+            .map(|t| self.engine.dict.encode_triple(t))
+            .collect();
+        self.add_triples(&encoded)
+    }
+
+    /// Force-flushes all buffers without waiting.
+    pub fn flush(&self) {
+        self.engine.flush_all();
+    }
+
+    /// Blocks until the reasoner is quiescent: every buffer empty and no
+    /// rule instance queued or running. Buffers are force-flushed as needed
+    /// (so this works with `timeout: None` too).
+    ///
+    /// Quiescence is relative to inputs already fed; a concurrent
+    /// `add_triples` extends the work and the method keeps waiting for it.
+    pub fn wait_idle(&self) {
+        let engine = &self.engine;
+        loop {
+            engine.flush_all();
+            engine.inflight.wait_zero();
+            if engine.buffers_empty() && engine.inflight.current() == 0 {
+                break;
+            }
+        }
+        if let Some(log) = &engine.log {
+            log.record(EventKind::Idle {
+                store_size: engine.store.len(),
+            });
+        }
+    }
+
+    /// Convenience: feed a batch and wait for its closure. Returns the
+    /// store growth (input + inferred).
+    pub fn materialize(&self, triples: &[Triple]) -> usize {
+        let before = self.engine.store.len();
+        self.add_triples(triples);
+        self.wait_idle();
+        self.engine.store.len() - before
+    }
+
+    /// The shared term dictionary.
+    pub fn dict(&self) -> &Arc<Dictionary> {
+        &self.engine.dict
+    }
+
+    /// The triple store (explicit + inferred triples).
+    pub fn store(&self) -> &ConcurrentStore {
+        &self.engine.store
+    }
+
+    /// The rules dependency graph the distributors route with.
+    pub fn dependency_graph(&self) -> &DependencyGraph {
+        &self.engine.graph
+    }
+
+    /// Name of the loaded ruleset ("rho-df", "RDFS", custom).
+    pub fn ruleset_name(&self) -> &str {
+        &self.engine.ruleset_name
+    }
+
+    /// Total triples inferred so far (fresh rule conclusions).
+    pub fn inferred_count(&self) -> u64 {
+        self.stats().total_inferred()
+    }
+
+    /// Snapshot of all module counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        let engine = &self.engine;
+        let rules = engine
+            .modules
+            .iter()
+            .map(|m| RuleStats {
+                name: m.rule.name(),
+                fired: m.counters.fired.load(Ordering::Relaxed),
+                full_flushes: m.counters.full_flushes.load(Ordering::Relaxed),
+                timeout_flushes: m.counters.timeout_flushes.load(Ordering::Relaxed),
+                buffered: m.counters.buffered.load(Ordering::Relaxed),
+                derived: m.counters.derived.load(Ordering::Relaxed),
+                fresh: m.counters.fresh.load(Ordering::Relaxed),
+                buffer_capacity: m.capacity.load(Ordering::Relaxed),
+            })
+            .collect();
+        StatsSnapshot {
+            rules,
+            input_received: engine.globals.input_received.load(Ordering::Relaxed),
+            input_fresh: engine.globals.input_fresh.load(Ordering::Relaxed),
+            store_size: engine.store.len(),
+        }
+    }
+
+    /// The recorded event log, if tracing was enabled.
+    pub fn events(&self) -> Option<Vec<Event>> {
+        self.engine.log.as_ref().map(EventLog::events)
+    }
+}
+
+impl Drop for Slider {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        for _ in &self.workers {
+            // Queued Run jobs drain first; workers then stop.
+            let _ = self.engine.job_tx.send(Job::Stop);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.flusher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Slider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slider")
+            .field("ruleset", &self.engine.ruleset_name)
+            .field("rules", &self.engine.modules.len())
+            .field("store_size", &self.engine.store.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slider_baseline::closure;
+    use slider_model::vocab::{RDFS_DOMAIN, RDFS_SUB_CLASS_OF, RDFS_SUB_PROPERTY_OF, RDF_TYPE};
+    use slider_model::NodeId;
+
+    fn n(v: u64) -> NodeId {
+        NodeId(1000 + v)
+    }
+    fn sco(a: u64, b: u64) -> Triple {
+        Triple::new(n(a), RDFS_SUB_CLASS_OF, n(b))
+    }
+    fn ty(a: u64, b: u64) -> Triple {
+        Triple::new(n(a), RDF_TYPE, n(b))
+    }
+
+    fn chain(k: u64) -> Vec<Triple> {
+        (1..k).map(|i| sco(i, i + 1)).collect()
+    }
+
+    fn rho_slider(config: SliderConfig) -> Slider {
+        let dict = Arc::new(Dictionary::new());
+        Slider::new(dict, Ruleset::rho_df(), config)
+    }
+
+    #[test]
+    fn closure_matches_oracle_on_chain() {
+        let input = chain(30);
+        let slider = rho_slider(SliderConfig::default());
+        slider.materialize(&input);
+        let oracle = closure(Ruleset::rho_df(), &input);
+        assert_eq!(slider.store().to_sorted_vec(), oracle.to_sorted_vec());
+    }
+
+    #[test]
+    fn closure_matches_oracle_mixed_schema() {
+        let input = vec![
+            sco(1, 2),
+            sco(2, 3),
+            ty(9, 1),
+            Triple::new(n(5), RDFS_SUB_PROPERTY_OF, n(6)),
+            Triple::new(n(6), RDFS_DOMAIN, n(2)),
+            Triple::new(n(7), n(5), n(8)),
+        ];
+        let slider = rho_slider(SliderConfig::default());
+        slider.materialize(&input);
+        let oracle = closure(Ruleset::rho_df(), &input);
+        assert_eq!(slider.store().to_sorted_vec(), oracle.to_sorted_vec());
+        assert!(slider.store().contains(ty(7, 3)));
+    }
+
+    #[test]
+    fn rdfs_fragment_closure_matches_oracle() {
+        let dict = Arc::new(Dictionary::new());
+        let input = vec![sco(1, 2), ty(9, 1), Triple::new(n(1), RDF_TYPE, NodeId(7))];
+        let slider = Slider::new(
+            Arc::clone(&dict),
+            Ruleset::rdfs(&dict),
+            SliderConfig::default(),
+        );
+        slider.materialize(&input);
+        let oracle = closure(Ruleset::rdfs(&dict), &input);
+        assert_eq!(slider.store().to_sorted_vec(), oracle.to_sorted_vec());
+    }
+
+    #[test]
+    fn incremental_equals_batch() {
+        let input = chain(40);
+        let batch = rho_slider(SliderConfig::default());
+        batch.materialize(&input);
+
+        let inc = rho_slider(SliderConfig::default());
+        for chunk in input.chunks(3) {
+            inc.add_triples(chunk);
+        }
+        inc.wait_idle();
+        assert_eq!(batch.store().to_sorted_vec(), inc.store().to_sorted_vec());
+    }
+
+    #[test]
+    fn tiny_buffers_and_single_worker() {
+        let input = chain(25);
+        let config = SliderConfig::default()
+            .with_buffer_capacity(1)
+            .with_workers(1);
+        let slider = rho_slider(config);
+        slider.materialize(&input);
+        let oracle = closure(Ruleset::rho_df(), &input);
+        assert_eq!(slider.store().to_sorted_vec(), oracle.to_sorted_vec());
+    }
+
+    #[test]
+    fn huge_buffers_rely_on_wait_idle_flush() {
+        let input = chain(25);
+        let config = SliderConfig::batch().with_buffer_capacity(1_000_000); // never fills
+        let slider = rho_slider(config);
+        slider.materialize(&input);
+        let oracle = closure(Ruleset::rho_df(), &input);
+        assert_eq!(slider.store().to_sorted_vec(), oracle.to_sorted_vec());
+    }
+
+    #[test]
+    fn timeout_drives_progress_without_explicit_flush() {
+        let config = SliderConfig::default()
+            .with_buffer_capacity(1_000_000) // full-flush can never trigger
+            .with_timeout(Some(Duration::from_millis(2)));
+        let slider = rho_slider(config);
+        slider.add_triples(&[sco(1, 2), sco(2, 3)]);
+        // Poll: the timeout flusher must eventually produce (1 sco 3).
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !slider.store().contains(sco(1, 3)) {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "timeout flush never fired"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let stats = slider.stats();
+        assert!(stats.rules.iter().any(|r| r.timeout_flushes > 0));
+    }
+
+    #[test]
+    fn duplicate_input_is_dropped() {
+        let slider = rho_slider(SliderConfig::default());
+        assert_eq!(slider.add_triples(&[sco(1, 2), sco(1, 2)]), 1);
+        assert_eq!(slider.add_triples(&[sco(1, 2)]), 0);
+        slider.wait_idle();
+        let stats = slider.stats();
+        assert_eq!(stats.input_received, 3);
+        assert_eq!(stats.input_fresh, 1);
+    }
+
+    #[test]
+    fn stats_are_consistent_with_store() {
+        let input = chain(20);
+        let slider = rho_slider(SliderConfig::default());
+        slider.materialize(&input);
+        let stats = slider.stats();
+        assert_eq!(
+            stats.store_size as u64,
+            stats.input_fresh + stats.total_inferred(),
+            "store = input + inferred\n{stats}"
+        );
+        // Chain closure: 19 explicit + 171 inferred = C(20,2).
+        assert_eq!(stats.total_inferred(), 171);
+        assert!(stats.total_fired() > 0);
+    }
+
+    #[test]
+    fn trace_records_lifecycle() {
+        let input = chain(10);
+        let slider = rho_slider(SliderConfig::default().with_trace(true));
+        slider.materialize(&input);
+        let events = slider.events().expect("tracing enabled");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Input { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RuleFired { .. })));
+        assert!(matches!(
+            events.last().unwrap().kind,
+            EventKind::Idle { .. }
+        ));
+        // Times are monotone.
+        for pair in events.windows(2) {
+            assert!(pair[0].at <= pair[1].at);
+        }
+    }
+
+    #[test]
+    fn no_trace_by_default() {
+        let slider = rho_slider(SliderConfig::default());
+        assert!(slider.events().is_none());
+    }
+
+    #[test]
+    fn concurrent_ingestion() {
+        let input = chain(60);
+        let slider = Arc::new(rho_slider(SliderConfig::default()));
+        let mut handles = Vec::new();
+        for chunk in input.chunks(10) {
+            let slider = Arc::clone(&slider);
+            let chunk = chunk.to_vec();
+            handles.push(std::thread::spawn(move || {
+                slider.add_triples(&chunk);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        slider.wait_idle();
+        let oracle = closure(Ruleset::rho_df(), &input);
+        assert_eq!(slider.store().to_sorted_vec(), oracle.to_sorted_vec());
+    }
+
+    #[test]
+    fn add_terms_encodes_through_dictionary() {
+        use slider_model::Term;
+        let slider = Slider::fragment(Fragment::RhoDf, SliderConfig::default());
+        let sub = Term::iri("http://e/Cat");
+        let sup = Term::iri("http://e/Animal");
+        let sco_term = Term::iri("http://www.w3.org/2000/01/rdf-schema#subClassOf");
+        let type_term = Term::iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+        let inst = Term::iri("http://e/felix");
+        slider.add_terms(&[
+            (sub.clone(), sco_term, sup.clone()),
+            (inst.clone(), type_term.clone(), sub),
+        ]);
+        slider.wait_idle();
+        let felix = slider.dict().id_of(&inst).unwrap();
+        let animal = slider.dict().id_of(&sup).unwrap();
+        assert!(slider
+            .store()
+            .contains(Triple::new(felix, RDF_TYPE, animal)));
+    }
+
+    #[test]
+    fn repeated_wait_idle_is_stable() {
+        let slider = rho_slider(SliderConfig::default());
+        slider.materialize(&chain(10));
+        let len = slider.store().len();
+        slider.wait_idle();
+        slider.wait_idle();
+        assert_eq!(slider.store().len(), len);
+    }
+
+    #[test]
+    fn drop_mid_work_does_not_hang() {
+        let slider = rho_slider(SliderConfig::default().with_buffer_capacity(2));
+        slider.add_triples(&chain(200));
+        drop(slider); // must join cleanly with jobs still queued
+    }
+
+    #[test]
+    fn empty_ruleset_is_a_plain_store() {
+        let dict = Arc::new(Dictionary::new());
+        let slider = Slider::new(dict, Ruleset::custom("none"), SliderConfig::default());
+        slider.materialize(&chain(5));
+        assert_eq!(slider.store().len(), 4);
+        assert_eq!(slider.inferred_count(), 0);
+    }
+
+    #[test]
+    fn object_index_ablation_same_closure() {
+        let input = chain(20);
+        let slider = rho_slider(SliderConfig::default().with_object_index(false));
+        slider.materialize(&input);
+        let oracle = closure(Ruleset::rho_df(), &input);
+        assert_eq!(slider.store().to_sorted_vec(), oracle.to_sorted_vec());
+    }
+
+    #[test]
+    fn dependency_graph_accessible() {
+        let slider = rho_slider(SliderConfig::default());
+        assert_eq!(slider.dependency_graph().len(), 8);
+        assert_eq!(slider.ruleset_name(), "rho-df");
+    }
+
+    #[test]
+    fn adaptive_scheduling_same_closure() {
+        let input = chain(60);
+        let oracle = closure(Ruleset::rho_df(), &input);
+        let slider = rho_slider(
+            SliderConfig::default().with_buffer_capacity(16).with_adaptive_buffers(true),
+        );
+        slider.materialize(&input);
+        assert_eq!(slider.store().to_sorted_vec(), oracle.to_sorted_vec());
+    }
+
+    #[test]
+    fn adaptive_scheduling_retunes_capacities() {
+        // CAX-SCO on a chain derives only duplicates (the type triples all
+        // target rdfs:Class, which has no superclasses), so its instances
+        // have fresh/derived = 0 — the adaptive plan must grow its batch.
+        let input = chain(120);
+        let base = 8;
+        let slider = rho_slider(
+            SliderConfig::default().with_buffer_capacity(base).with_adaptive_buffers(true),
+        );
+        slider.materialize(&input);
+        let stats = slider.stats();
+        let grown = stats
+            .rules
+            .iter()
+            .filter(|r| r.fired > 0 && r.buffer_capacity > base)
+            .count();
+        assert!(grown > 0, "no rule's plan was retuned\n{stats}");
+        // Bounds are respected.
+        for r in &stats.rules {
+            assert!(r.buffer_capacity >= base && r.buffer_capacity <= base * 64, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn static_plans_keep_configured_capacity() {
+        let slider = rho_slider(SliderConfig::default().with_buffer_capacity(77));
+        slider.materialize(&chain(40));
+        for r in &slider.stats().rules {
+            assert_eq!(r.buffer_capacity, 77, "{}", r.name);
+        }
+    }
+}

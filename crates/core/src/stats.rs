@@ -1,0 +1,184 @@
+//! Per-module counters — the numbers the paper's demo GUI displays (§4):
+//! buffer-full fires, timeout fires, and triples inferred per rule.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free counters for one rule module.
+#[derive(Debug, Default)]
+pub(crate) struct RuleCounters {
+    /// Rule instances executed.
+    pub fired: AtomicU64,
+    /// Instances triggered by a full buffer.
+    pub full_flushes: AtomicU64,
+    /// Instances triggered by a buffer timeout.
+    pub timeout_flushes: AtomicU64,
+    /// Triples routed into this rule's buffer.
+    pub buffered: AtomicU64,
+    /// Conclusions derived (including duplicates).
+    pub derived: AtomicU64,
+    /// Conclusions that were new to the store (dispatched onward).
+    pub fresh: AtomicU64,
+}
+
+/// Global counters.
+#[derive(Debug, Default)]
+pub(crate) struct GlobalCounters {
+    /// Triples offered to the input manager.
+    pub input_received: AtomicU64,
+    /// Input triples that were new to the store.
+    pub input_fresh: AtomicU64,
+}
+
+#[inline]
+pub(crate) fn bump(counter: &AtomicU64, by: u64) {
+    counter.fetch_add(by, Ordering::Relaxed);
+}
+
+/// A point-in-time copy of one rule module's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleStats {
+    /// Rule name (paper naming, e.g. `"CAX-SCO"`).
+    pub name: &'static str,
+    /// Rule instances executed.
+    pub fired: u64,
+    /// Instances triggered by a full buffer.
+    pub full_flushes: u64,
+    /// Instances triggered by a buffer timeout.
+    pub timeout_flushes: u64,
+    /// Triples routed into this rule's buffer.
+    pub buffered: u64,
+    /// Conclusions derived (including duplicates).
+    pub derived: u64,
+    /// Conclusions new to the store.
+    pub fresh: u64,
+    /// The module's current fire threshold (differs from the configured
+    /// capacity only under adaptive scheduling).
+    pub buffer_capacity: usize,
+}
+
+impl RuleStats {
+    /// Duplicates dropped by this rule's distributor.
+    pub fn duplicates(&self) -> u64 {
+        self.derived - self.fresh
+    }
+}
+
+/// A point-in-time copy of all reasoner counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Per-rule counters, in ruleset order.
+    pub rules: Vec<RuleStats>,
+    /// Triples offered to the input manager.
+    pub input_received: u64,
+    /// Input triples that were new to the store.
+    pub input_fresh: u64,
+    /// Store size at snapshot time.
+    pub store_size: usize,
+}
+
+impl StatsSnapshot {
+    /// Total triples inferred (fresh conclusions across all rules).
+    pub fn total_inferred(&self) -> u64 {
+        self.rules.iter().map(|r| r.fresh).sum()
+    }
+
+    /// Total conclusions derived, including duplicates.
+    pub fn total_derived(&self) -> u64 {
+        self.rules.iter().map(|r| r.derived).sum()
+    }
+
+    /// Total rule instances executed.
+    pub fn total_fired(&self) -> u64 {
+        self.rules.iter().map(|r| r.fired).sum()
+    }
+
+    /// Fraction of derivations that were duplicates.
+    pub fn duplicate_ratio(&self) -> f64 {
+        let derived = self.total_derived();
+        if derived == 0 {
+            0.0
+        } else {
+            1.0 - self.total_inferred() as f64 / derived as f64
+        }
+    }
+}
+
+impl std::fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "input: {} received, {} fresh; store: {} triples",
+            self.input_received, self.input_fresh, self.store_size
+        )?;
+        writeln!(
+            f,
+            "{:<10} {:>8} {:>8} {:>8} {:>10} {:>10} {:>10}",
+            "rule", "fired", "full", "timeout", "buffered", "derived", "fresh"
+        )?;
+        for r in &self.rules {
+            writeln!(
+                f,
+                "{:<10} {:>8} {:>8} {:>8} {:>10} {:>10} {:>10}",
+                r.name, r.fired, r.full_flushes, r.timeout_flushes, r.buffered, r.derived, r.fresh
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(name: &'static str, derived: u64, fresh: u64) -> RuleStats {
+        RuleStats {
+            name,
+            fired: 1,
+            full_flushes: 1,
+            timeout_flushes: 0,
+            buffered: 10,
+            derived,
+            fresh,
+            buffer_capacity: 1024,
+        }
+    }
+
+    #[test]
+    fn aggregation() {
+        let snap = StatsSnapshot {
+            rules: vec![rs("A", 10, 4), rs("B", 6, 6)],
+            input_received: 100,
+            input_fresh: 90,
+            store_size: 100,
+        };
+        assert_eq!(snap.total_inferred(), 10);
+        assert_eq!(snap.total_derived(), 16);
+        assert_eq!(snap.total_fired(), 2);
+        assert!((snap.duplicate_ratio() - 0.375).abs() < 1e-9);
+        assert_eq!(snap.rules[0].duplicates(), 6);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let snap = StatsSnapshot {
+            rules: vec![rs("CAX-SCO", 5, 5)],
+            input_received: 1,
+            input_fresh: 1,
+            store_size: 6,
+        };
+        let text = snap.to_string();
+        assert!(text.contains("CAX-SCO"));
+        assert!(text.contains("fresh"));
+    }
+
+    #[test]
+    fn zero_derivations_ratio() {
+        let snap = StatsSnapshot {
+            rules: vec![],
+            input_received: 0,
+            input_fresh: 0,
+            store_size: 0,
+        };
+        assert_eq!(snap.duplicate_ratio(), 0.0);
+    }
+}

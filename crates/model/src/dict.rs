@@ -1,0 +1,332 @@
+//! The term dictionary: bidirectional, concurrent interning of RDF terms.
+//!
+//! This is the paper's Input Manager dictionary ("maps the expensive URIs …
+//! to Longs"). It is shared by every input source and by the reasoner:
+//! multiple parser threads may intern concurrently while rule modules decode
+//! ids for tracing.
+
+use crate::hash::FxHashMap;
+use crate::term::{Term, TermKind};
+use crate::triple::{TermTriple, Triple};
+use crate::vocab::{self, NodeId};
+use parking_lot::{MappedRwLockReadGuard, RwLock, RwLockReadGuard};
+
+#[derive(Default)]
+struct Inner {
+    /// id → term. Dense: `terms[i]` is the term of `NodeId(i)`.
+    terms: Vec<Term>,
+    /// term → id.
+    index: FxHashMap<Term, NodeId>,
+}
+
+/// A concurrent, bidirectional term ↔ id dictionary.
+///
+/// * ids are dense (`0, 1, 2, …` in interning order);
+/// * ids `0..VOCAB_LEN` are the RDF/RDFS vocabulary ([`crate::vocab`]);
+/// * interning the same term twice returns the same id;
+/// * term *kinds* (IRI / literal / blank) are kept in a dedicated lock so
+///   hot rules (rdfs1, rdfs4b) can hold a cheap read guard over just the
+///   kind table while joining.
+pub struct Dictionary {
+    inner: RwLock<Inner>,
+    kinds: RwLock<Vec<TermKind>>,
+}
+
+impl Dictionary {
+    /// Creates a dictionary with the vocabulary pre-interned at fixed ids.
+    pub fn new() -> Self {
+        let dict = Dictionary {
+            inner: RwLock::new(Inner::default()),
+            kinds: RwLock::new(Vec::new()),
+        };
+        for iri in vocab::ALL {
+            dict.intern(&Term::iri(*iri));
+        }
+        debug_assert_eq!(dict.len(), vocab::VOCAB_LEN);
+        dict
+    }
+
+    /// Interns `term`, returning its id (existing or fresh).
+    pub fn intern(&self, term: &Term) -> NodeId {
+        // Fast path: already interned.
+        if let Some(&id) = self.inner.read().index.get(term) {
+            return id;
+        }
+        self.intern_slow(term.clone())
+    }
+
+    /// Interns an owned term, avoiding a clone when the term is fresh.
+    pub fn intern_owned(&self, term: Term) -> NodeId {
+        if let Some(&id) = self.inner.read().index.get(&term) {
+            return id;
+        }
+        self.intern_slow(term)
+    }
+
+    #[cold]
+    fn intern_slow(&self, term: Term) -> NodeId {
+        let mut inner = self.inner.write();
+        // Double-check: another thread may have interned it meanwhile.
+        if let Some(&id) = inner.index.get(&term) {
+            return id;
+        }
+        let id = NodeId(inner.terms.len() as u64);
+        let kind = term.kind();
+        inner.terms.push(term.clone());
+        inner.index.insert(term, id);
+        // Keep the kind table in lock-step. Taking the second lock while
+        // holding the first serialises growth, which is what we want: a
+        // reader of `kinds` never observes an id it cannot classify *if* it
+        // obtained the id from the dictionary before locking.
+        self.kinds.write().push(kind);
+        id
+    }
+
+    /// Returns the id of `term` if it has been interned.
+    pub fn id_of(&self, term: &Term) -> Option<NodeId> {
+        self.inner.read().index.get(term).copied()
+    }
+
+    /// Returns a clone of the term with id `id`.
+    pub fn lookup(&self, id: NodeId) -> Option<Term> {
+        self.inner.read().terms.get(id.index()).cloned()
+    }
+
+    /// Runs `f` on the term with id `id` without cloning it.
+    pub fn with_term<R>(&self, id: NodeId, f: impl FnOnce(&Term) -> R) -> Option<R> {
+        self.inner.read().terms.get(id.index()).map(f)
+    }
+
+    /// The kind (IRI / literal / blank) of `id`.
+    pub fn kind(&self, id: NodeId) -> Option<TermKind> {
+        self.kinds.read().get(id.index()).copied()
+    }
+
+    /// True if `id` is an interned literal.
+    pub fn is_literal(&self, id: NodeId) -> bool {
+        self.kind(id) == Some(TermKind::Literal)
+    }
+
+    /// A read guard over the kind table, for batch classification in hot
+    /// rule loops. The guard indexes by [`NodeId`].
+    pub fn kinds(&self) -> KindTable<'_> {
+        KindTable {
+            guard: RwLockReadGuard::map(self.kinds.read(), |v| v.as_slice()),
+        }
+    }
+
+    /// Number of interned terms (including the vocabulary).
+    pub fn len(&self) -> usize {
+        self.inner.read().terms.len()
+    }
+
+    /// True if only… never: the vocabulary is always present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Encodes a decoded triple.
+    pub fn encode_triple(&self, t: &TermTriple) -> Triple {
+        Triple {
+            s: self.intern(&t.0),
+            p: self.intern(&t.1),
+            o: self.intern(&t.2),
+        }
+    }
+
+    /// Encodes an owned decoded triple.
+    pub fn encode_triple_owned(&self, t: TermTriple) -> Triple {
+        Triple {
+            s: self.intern_owned(t.0),
+            p: self.intern_owned(t.1),
+            o: self.intern_owned(t.2),
+        }
+    }
+
+    /// Decodes a triple back to terms; `None` if any id is unknown.
+    pub fn decode_triple(&self, t: Triple) -> Option<TermTriple> {
+        Some((self.lookup(t.s)?, self.lookup(t.p)?, self.lookup(t.o)?))
+    }
+
+    /// Formats a triple in N-Triples-like syntax for diagnostics.
+    pub fn format_triple(&self, t: Triple) -> String {
+        let part = |id: NodeId| {
+            self.lookup(id)
+                .map(|term| term.to_string())
+                .unwrap_or_else(|| format!("{id}"))
+        };
+        format!("{} {} {} .", part(t.s), part(t.p), part(t.o))
+    }
+}
+
+impl Default for Dictionary {
+    fn default() -> Self {
+        Dictionary::new()
+    }
+}
+
+impl std::fmt::Debug for Dictionary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Dictionary")
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// Read guard over the term-kind table (see [`Dictionary::kinds`]).
+pub struct KindTable<'a> {
+    guard: MappedRwLockReadGuard<'a, [TermKind]>,
+}
+
+impl KindTable<'_> {
+    /// The kind of `id`, if known.
+    #[inline]
+    pub fn kind(&self, id: NodeId) -> Option<TermKind> {
+        self.guard.get(id.index()).copied()
+    }
+
+    /// True if `id` is a literal.
+    #[inline]
+    pub fn is_literal(&self, id: NodeId) -> bool {
+        self.kind(id) == Some(TermKind::Literal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Literal;
+    use std::sync::Arc;
+
+    #[test]
+    fn vocabulary_ids_are_fixed() {
+        let d = Dictionary::new();
+        assert_eq!(
+            d.id_of(&Term::iri(
+                "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+            )),
+            Some(vocab::RDF_TYPE)
+        );
+        assert_eq!(
+            d.id_of(&Term::iri(
+                "http://www.w3.org/2000/01/rdf-schema#subClassOf"
+            )),
+            Some(vocab::RDFS_SUB_CLASS_OF)
+        );
+        assert_eq!(
+            d.lookup(vocab::RDFS_RESOURCE),
+            Some(Term::iri("http://www.w3.org/2000/01/rdf-schema#Resource"))
+        );
+        assert_eq!(d.len(), vocab::VOCAB_LEN);
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let d = Dictionary::new();
+        let a = d.intern(&Term::iri("http://example.org/a"));
+        let b = d.intern(&Term::iri("http://example.org/a"));
+        assert_eq!(a, b);
+        assert_eq!(d.len(), vocab::VOCAB_LEN + 1);
+    }
+
+    #[test]
+    fn distinct_terms_get_distinct_ids() {
+        let d = Dictionary::new();
+        let a = d.intern(&Term::iri("http://example.org/a"));
+        let lit = d.intern(&Term::literal("http://example.org/a"));
+        let blank = d.intern(&Term::blank("a"));
+        assert_ne!(a, lit);
+        assert_ne!(a, blank);
+        assert_ne!(lit, blank);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let d = Dictionary::new();
+        let terms = vec![
+            Term::iri("http://example.org/x"),
+            Term::Literal(Literal::lang("bonjour", "fr")),
+            Term::Literal(Literal::typed(
+                "3",
+                "http://www.w3.org/2001/XMLSchema#integer",
+            )),
+            Term::blank("b42"),
+        ];
+        for t in &terms {
+            let id = d.intern(t);
+            assert_eq!(d.lookup(id).as_ref(), Some(t));
+            assert_eq!(d.id_of(t), Some(id));
+        }
+    }
+
+    #[test]
+    fn kinds_and_literal_flags() {
+        let d = Dictionary::new();
+        let iri = d.intern(&Term::iri("http://e/a"));
+        let lit = d.intern(&Term::literal("x"));
+        let blank = d.intern(&Term::blank("b"));
+        assert_eq!(d.kind(iri), Some(TermKind::Iri));
+        assert_eq!(d.kind(lit), Some(TermKind::Literal));
+        assert_eq!(d.kind(blank), Some(TermKind::Blank));
+        assert!(d.is_literal(lit));
+        assert!(!d.is_literal(iri));
+        let table = d.kinds();
+        assert!(table.is_literal(lit));
+        assert!(!table.is_literal(blank));
+        assert_eq!(table.kind(NodeId(9_999_999)), None);
+    }
+
+    #[test]
+    fn encode_decode_triple() {
+        let d = Dictionary::new();
+        let tt: TermTriple = (
+            Term::iri("http://e/s"),
+            Term::iri("http://e/p"),
+            Term::literal("o"),
+        );
+        let t = d.encode_triple(&tt);
+        assert_eq!(d.decode_triple(t), Some(tt));
+    }
+
+    #[test]
+    fn format_triple_diagnostics() {
+        let d = Dictionary::new();
+        let t = d.encode_triple(&(
+            Term::iri("http://e/s"),
+            Term::iri("http://e/p"),
+            Term::literal("o"),
+        ));
+        assert_eq!(d.format_triple(t), "<http://e/s> <http://e/p> \"o\" .");
+        // Unknown ids degrade gracefully.
+        let bogus = Triple::new(NodeId(u64::MAX - 1), t.p, t.o);
+        assert!(d.format_triple(bogus).starts_with('#'));
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let d = Arc::new(Dictionary::new());
+        let mut handles = Vec::new();
+        for thread in 0..8 {
+            let d = Arc::clone(&d);
+            handles.push(std::thread::spawn(move || {
+                let mut ids = Vec::new();
+                for i in 0..500 {
+                    // All threads intern the same 500 terms, racing.
+                    let _ = thread;
+                    ids.push(d.intern(&Term::iri(format!("http://example.org/{i}"))));
+                }
+                ids
+            }));
+        }
+        let all: Vec<Vec<NodeId>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for ids in &all {
+            assert_eq!(ids, &all[0], "same term must map to same id on all threads");
+        }
+        assert_eq!(d.len(), vocab::VOCAB_LEN + 500);
+        // Kind table is in lock-step.
+        assert_eq!(
+            d.kinds().kind(NodeId((d.len() - 1) as u64)),
+            Some(TermKind::Iri)
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! Decoded RDF terms: IRIs, literals and blank nodes.
+
+use std::fmt;
+
+/// The lexical payload of an RDF literal.
+///
+/// Datatype IRIs and language tags are stored as plain strings here; the
+/// [`Dictionary`](crate::Dictionary) interns the whole literal as one term,
+/// which is all the ρdf/RDFS rules need (they never inspect literal
+/// structure except for "is a literal", rule rdfs1).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    /// The lexical form, unescaped (what appears between the quotes).
+    pub lexical: String,
+    /// Plain / language-tagged / datatyped.
+    pub kind: LiteralKind,
+}
+
+/// Distinguishes the three N-Triples literal shapes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LiteralKind {
+    /// `"abc"` — a simple literal (implicitly `xsd:string` in RDF 1.1).
+    Plain,
+    /// `"abc"@en` — a language-tagged string.
+    Lang(String),
+    /// `"1"^^<http://www.w3.org/2001/XMLSchema#integer>` — a typed literal.
+    /// The datatype IRI is stored without angle brackets.
+    Typed(String),
+}
+
+impl Literal {
+    /// A simple (plain) literal.
+    pub fn plain(lexical: impl Into<String>) -> Self {
+        Literal {
+            lexical: lexical.into(),
+            kind: LiteralKind::Plain,
+        }
+    }
+
+    /// A language-tagged literal.
+    pub fn lang(lexical: impl Into<String>, tag: impl Into<String>) -> Self {
+        Literal {
+            lexical: lexical.into(),
+            kind: LiteralKind::Lang(tag.into()),
+        }
+    }
+
+    /// A datatyped literal. `datatype` is the IRI without angle brackets.
+    pub fn typed(lexical: impl Into<String>, datatype: impl Into<String>) -> Self {
+        Literal {
+            lexical: lexical.into(),
+            kind: LiteralKind::Typed(datatype.into()),
+        }
+    }
+}
+
+/// A decoded RDF term.
+///
+/// `Term` is the boundary representation: parsers produce it and the
+/// dictionary interns it to a [`NodeId`](crate::NodeId). Everything inside
+/// the reasoner operates on ids only.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// An IRI, stored without the surrounding `<` `>`.
+    Iri(String),
+    /// A literal.
+    Literal(Literal),
+    /// A blank node, stored without the `_:` prefix.
+    Blank(String),
+}
+
+impl Term {
+    /// Shorthand for an IRI term.
+    pub fn iri(value: impl Into<String>) -> Self {
+        Term::Iri(value.into())
+    }
+
+    /// Shorthand for a plain literal term.
+    pub fn literal(value: impl Into<String>) -> Self {
+        Term::Literal(Literal::plain(value))
+    }
+
+    /// Shorthand for a blank node term.
+    pub fn blank(label: impl Into<String>) -> Self {
+        Term::Blank(label.into())
+    }
+
+    /// The coarse kind of this term (used by rules such as rdfs1).
+    pub fn kind(&self) -> TermKind {
+        match self {
+            Term::Iri(_) => TermKind::Iri,
+            Term::Literal(_) => TermKind::Literal,
+            Term::Blank(_) => TermKind::Blank,
+        }
+    }
+
+    /// Returns the IRI string if this term is an IRI.
+    pub fn as_iri(&self) -> Option<&str> {
+        match self {
+            Term::Iri(iri) => Some(iri),
+            _ => None,
+        }
+    }
+
+    /// True if this term is a literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self, Term::Literal(_))
+    }
+}
+
+/// Coarse classification of a term, cheap to query per [`NodeId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum TermKind {
+    /// An IRI.
+    Iri = 0,
+    /// A literal.
+    Literal = 1,
+    /// A blank node.
+    Blank = 2,
+}
+
+impl fmt::Display for Term {
+    /// Formats the term in N-Triples syntax (escaping handled by the parser
+    /// crate's writer; this `Display` is for diagnostics and uses a minimal
+    /// escape of quotes/backslashes/newlines only).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn esc(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+            for c in s.chars() {
+                match c {
+                    '"' => write!(f, "\\\"")?,
+                    '\\' => write!(f, "\\\\")?,
+                    '\n' => write!(f, "\\n")?,
+                    '\r' => write!(f, "\\r")?,
+                    _ => write!(f, "{c}")?,
+                }
+            }
+            Ok(())
+        }
+        match self {
+            Term::Iri(iri) => write!(f, "<{iri}>"),
+            Term::Blank(label) => write!(f, "_:{label}"),
+            Term::Literal(lit) => {
+                write!(f, "\"")?;
+                esc(f, &lit.lexical)?;
+                write!(f, "\"")?;
+                match &lit.kind {
+                    LiteralKind::Plain => Ok(()),
+                    LiteralKind::Lang(tag) => write!(f, "@{tag}"),
+                    LiteralKind::Typed(dt) => write!(f, "^^<{dt}>"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_kinds() {
+        assert_eq!(Term::iri("http://a").kind(), TermKind::Iri);
+        assert_eq!(Term::literal("x").kind(), TermKind::Literal);
+        assert_eq!(Term::blank("b0").kind(), TermKind::Blank);
+        assert!(Term::literal("x").is_literal());
+        assert!(!Term::iri("x").is_literal());
+    }
+
+    #[test]
+    fn as_iri() {
+        assert_eq!(Term::iri("http://a").as_iri(), Some("http://a"));
+        assert_eq!(Term::literal("a").as_iri(), None);
+    }
+
+    #[test]
+    fn display_ntriples_shapes() {
+        assert_eq!(Term::iri("http://a#b").to_string(), "<http://a#b>");
+        assert_eq!(Term::blank("x1").to_string(), "_:x1");
+        assert_eq!(Term::literal("hi").to_string(), "\"hi\"");
+        assert_eq!(
+            Term::Literal(Literal::lang("hi", "en")).to_string(),
+            "\"hi\"@en"
+        );
+        assert_eq!(
+            Term::Literal(Literal::typed(
+                "1",
+                "http://www.w3.org/2001/XMLSchema#integer"
+            ))
+            .to_string(),
+            "\"1\"^^<http://www.w3.org/2001/XMLSchema#integer>"
+        );
+    }
+
+    #[test]
+    fn display_escapes_quotes_and_newlines() {
+        assert_eq!(
+            Term::literal("a\"b\\c\nd").to_string(),
+            "\"a\\\"b\\\\c\\nd\""
+        );
+    }
+
+    #[test]
+    fn literal_equality_distinguishes_kind() {
+        assert_ne!(
+            Term::Literal(Literal::plain("a")),
+            Term::Literal(Literal::lang("a", "en"))
+        );
+        assert_ne!(
+            Term::Literal(Literal::typed("a", "dt1")),
+            Term::Literal(Literal::typed("a", "dt2"))
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Dictionary-encoded triples.
+
+use crate::{NodeId, Term};
+use std::fmt;
+
+/// A dictionary-encoded RDF triple: three [`NodeId`]s.
+///
+/// This is the unit of work everywhere inside the reasoner: 24 bytes,
+/// `Copy`, compared and hashed as integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// Subject.
+    pub s: NodeId,
+    /// Predicate.
+    pub p: NodeId,
+    /// Object.
+    pub o: NodeId,
+}
+
+impl Triple {
+    /// Builds a triple from its three components.
+    #[inline]
+    pub const fn new(s: NodeId, p: NodeId, o: NodeId) -> Self {
+        Triple { s, p, o }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} {} {})", self.s, self.p, self.o)
+    }
+}
+
+impl From<(NodeId, NodeId, NodeId)> for Triple {
+    fn from((s, p, o): (NodeId, NodeId, NodeId)) -> Self {
+        Triple { s, p, o }
+    }
+}
+
+/// A decoded triple of [`Term`]s — the boundary representation produced by
+/// parsers and generators before dictionary encoding.
+pub type TermTriple = (Term, Term, Term);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_equality() {
+        let t = Triple::new(NodeId(1), NodeId(2), NodeId(3));
+        assert_eq!(t, Triple::from((NodeId(1), NodeId(2), NodeId(3))));
+        assert_ne!(t, Triple::new(NodeId(1), NodeId(2), NodeId(4)));
+    }
+
+    #[test]
+    fn display() {
+        let t = Triple::new(NodeId(1), NodeId(2), NodeId(3));
+        assert_eq!(t.to_string(), "(#1 #2 #3)");
+    }
+
+    #[test]
+    fn is_small_and_copy() {
+        assert_eq!(std::mem::size_of::<Triple>(), 24);
+        let t = Triple::new(NodeId(0), NodeId(0), NodeId(0));
+        let u = t; // Copy
+        assert_eq!(t, u);
+    }
+
+    #[test]
+    fn ordering_is_spo_lexicographic() {
+        let a = Triple::new(NodeId(1), NodeId(5), NodeId(5));
+        let b = Triple::new(NodeId(2), NodeId(0), NodeId(0));
+        assert!(a < b);
+    }
+}

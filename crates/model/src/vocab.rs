@@ -1,0 +1,141 @@
+//! The RDF/RDFS vocabulary, pre-interned at fixed [`NodeId`]s.
+//!
+//! Rule implementations (crate `slider-rules`) match triples against these
+//! constants millions of times; fixing their ids at dictionary construction
+//! time turns every vocabulary test into an integer comparison.
+//!
+//! The id assignment is an invariant of [`Dictionary::new`]
+//! (crate::Dictionary): the terms in [`ALL`] are interned in order, so
+//! `ALL[i]` has id `i`. A unit test in `dict.rs` pins this.
+
+use std::fmt;
+
+/// A dictionary-encoded term identifier.
+///
+/// Ids are dense: the dictionary assigns `0, 1, 2, …` in interning order,
+/// with ids `0..ALL.len()` reserved for the vocabulary below.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u64);
+
+impl NodeId {
+    /// The raw id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// RDF namespace.
+pub const RDF_NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+/// RDFS namespace.
+pub const RDFS_NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+/// XSD namespace.
+pub const XSD_NS: &str = "http://www.w3.org/2001/XMLSchema#";
+
+macro_rules! vocab {
+    ($(($const_name:ident, $idx:expr, $iri:expr, $doc:expr);)*) => {
+        $(
+            #[doc = $doc]
+            pub const $const_name: NodeId = NodeId($idx);
+        )*
+
+        /// Every vocabulary IRI, in id order: `ALL[i]` is the IRI of `NodeId(i)`.
+        pub const ALL: &[&str] = &[$($iri),*];
+    };
+}
+
+vocab! {
+    (RDF_TYPE, 0, "http://www.w3.org/1999/02/22-rdf-syntax-ns#type", "`rdf:type`");
+    (RDFS_SUB_CLASS_OF, 1, "http://www.w3.org/2000/01/rdf-schema#subClassOf", "`rdfs:subClassOf`");
+    (RDFS_SUB_PROPERTY_OF, 2, "http://www.w3.org/2000/01/rdf-schema#subPropertyOf", "`rdfs:subPropertyOf`");
+    (RDFS_DOMAIN, 3, "http://www.w3.org/2000/01/rdf-schema#domain", "`rdfs:domain`");
+    (RDFS_RANGE, 4, "http://www.w3.org/2000/01/rdf-schema#range", "`rdfs:range`");
+    (RDFS_RESOURCE, 5, "http://www.w3.org/2000/01/rdf-schema#Resource", "`rdfs:Resource`");
+    (RDFS_LITERAL, 6, "http://www.w3.org/2000/01/rdf-schema#Literal", "`rdfs:Literal`");
+    (RDFS_CLASS, 7, "http://www.w3.org/2000/01/rdf-schema#Class", "`rdfs:Class`");
+    (RDF_PROPERTY, 8, "http://www.w3.org/1999/02/22-rdf-syntax-ns#Property", "`rdf:Property`");
+    (RDFS_DATATYPE, 9, "http://www.w3.org/2000/01/rdf-schema#Datatype", "`rdfs:Datatype`");
+    (RDFS_CONTAINER_MEMBERSHIP_PROPERTY, 10, "http://www.w3.org/2000/01/rdf-schema#ContainerMembershipProperty", "`rdfs:ContainerMembershipProperty`");
+    (RDFS_MEMBER, 11, "http://www.w3.org/2000/01/rdf-schema#member", "`rdfs:member`");
+    (RDFS_CONTAINER, 12, "http://www.w3.org/2000/01/rdf-schema#Container", "`rdfs:Container`");
+    (RDFS_SEE_ALSO, 13, "http://www.w3.org/2000/01/rdf-schema#seeAlso", "`rdfs:seeAlso`");
+    (RDFS_IS_DEFINED_BY, 14, "http://www.w3.org/2000/01/rdf-schema#isDefinedBy", "`rdfs:isDefinedBy`");
+    (RDFS_COMMENT, 15, "http://www.w3.org/2000/01/rdf-schema#comment", "`rdfs:comment`");
+    (RDFS_LABEL, 16, "http://www.w3.org/2000/01/rdf-schema#label", "`rdfs:label`");
+    (RDF_SUBJECT, 17, "http://www.w3.org/1999/02/22-rdf-syntax-ns#subject", "`rdf:subject`");
+    (RDF_PREDICATE, 18, "http://www.w3.org/1999/02/22-rdf-syntax-ns#predicate", "`rdf:predicate`");
+    (RDF_OBJECT, 19, "http://www.w3.org/1999/02/22-rdf-syntax-ns#object", "`rdf:object`");
+    (RDF_STATEMENT, 20, "http://www.w3.org/1999/02/22-rdf-syntax-ns#Statement", "`rdf:Statement`");
+    (RDF_FIRST, 21, "http://www.w3.org/1999/02/22-rdf-syntax-ns#first", "`rdf:first`");
+    (RDF_REST, 22, "http://www.w3.org/1999/02/22-rdf-syntax-ns#rest", "`rdf:rest`");
+    (RDF_NIL, 23, "http://www.w3.org/1999/02/22-rdf-syntax-ns#nil", "`rdf:nil`");
+    (RDF_LIST, 24, "http://www.w3.org/1999/02/22-rdf-syntax-ns#List", "`rdf:List`");
+    (RDF_BAG, 25, "http://www.w3.org/1999/02/22-rdf-syntax-ns#Bag", "`rdf:Bag`");
+    (RDF_SEQ, 26, "http://www.w3.org/1999/02/22-rdf-syntax-ns#Seq", "`rdf:Seq`");
+    (RDF_ALT, 27, "http://www.w3.org/1999/02/22-rdf-syntax-ns#Alt", "`rdf:Alt`");
+    (RDF_VALUE, 28, "http://www.w3.org/1999/02/22-rdf-syntax-ns#value", "`rdf:value`");
+    (RDF_XML_LITERAL, 29, "http://www.w3.org/1999/02/22-rdf-syntax-ns#XMLLiteral", "`rdf:XMLLiteral`");
+    (XSD_STRING, 30, "http://www.w3.org/2001/XMLSchema#string", "`xsd:string`");
+    (XSD_INTEGER, 31, "http://www.w3.org/2001/XMLSchema#integer", "`xsd:integer`");
+    (XSD_DECIMAL, 32, "http://www.w3.org/2001/XMLSchema#decimal", "`xsd:decimal`");
+    (XSD_BOOLEAN, 33, "http://www.w3.org/2001/XMLSchema#boolean", "`xsd:boolean`");
+    (XSD_DOUBLE, 34, "http://www.w3.org/2001/XMLSchema#double", "`xsd:double`");
+    (XSD_DATE_TIME, 35, "http://www.w3.org/2001/XMLSchema#dateTime", "`xsd:dateTime`");
+    (OWL_SAME_AS, 36, "http://www.w3.org/2002/07/owl#sameAs", "`owl:sameAs`");
+    (OWL_INVERSE_OF, 37, "http://www.w3.org/2002/07/owl#inverseOf", "`owl:inverseOf`");
+    (OWL_TRANSITIVE_PROPERTY, 38, "http://www.w3.org/2002/07/owl#TransitiveProperty", "`owl:TransitiveProperty`");
+    (OWL_SYMMETRIC_PROPERTY, 39, "http://www.w3.org/2002/07/owl#SymmetricProperty", "`owl:SymmetricProperty`");
+    (OWL_FUNCTIONAL_PROPERTY, 40, "http://www.w3.org/2002/07/owl#FunctionalProperty", "`owl:FunctionalProperty`");
+    (OWL_INVERSE_FUNCTIONAL_PROPERTY, 41, "http://www.w3.org/2002/07/owl#InverseFunctionalProperty", "`owl:InverseFunctionalProperty`");
+    (OWL_EQUIVALENT_CLASS, 42, "http://www.w3.org/2002/07/owl#equivalentClass", "`owl:equivalentClass`");
+    (OWL_EQUIVALENT_PROPERTY, 43, "http://www.w3.org/2002/07/owl#equivalentProperty", "`owl:equivalentProperty`");
+    (OWL_CLASS, 44, "http://www.w3.org/2002/07/owl#Class", "`owl:Class`");
+    (OWL_THING, 45, "http://www.w3.org/2002/07/owl#Thing", "`owl:Thing`");
+}
+
+/// OWL namespace.
+pub const OWL_NS: &str = "http://www.w3.org/2002/07/owl#";
+
+/// Number of pre-interned vocabulary terms.
+pub const VOCAB_LEN: usize = ALL.len();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_match_positions() {
+        assert_eq!(ALL[RDF_TYPE.index()], RDF_NS.to_owned() + "type");
+        assert_eq!(
+            ALL[RDFS_SUB_CLASS_OF.index()],
+            RDFS_NS.to_owned() + "subClassOf"
+        );
+        assert_eq!(ALL[RDFS_MEMBER.index()], RDFS_NS.to_owned() + "member");
+        assert_eq!(ALL[XSD_DATE_TIME.index()], XSD_NS.to_owned() + "dateTime");
+    }
+
+    #[test]
+    fn all_distinct() {
+        let mut sorted: Vec<&str> = ALL.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ALL.len(), "vocabulary IRIs must be unique");
+    }
+
+    #[test]
+    fn vocab_len() {
+        assert_eq!(VOCAB_LEN, 46);
+    }
+
+    #[test]
+    fn owl_terms_present() {
+        assert_eq!(ALL[OWL_SAME_AS.index()], OWL_NS.to_owned() + "sameAs");
+        assert_eq!(ALL[OWL_THING.index()], OWL_NS.to_owned() + "Thing");
+    }
+}

@@ -1,0 +1,68 @@
+//! Parse errors with source positions.
+
+use std::fmt;
+
+/// An error encountered while parsing an RDF document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending input.
+    pub line: usize,
+    /// 1-based column (character offset) within the line, when known.
+    pub column: usize,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Builds an error at `line`/`column`.
+    pub fn new(line: usize, column: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    /// Builds an I/O-originated error (column 0).
+    pub fn io(line: usize, err: &std::io::Error) -> Self {
+        ParseError {
+            line,
+            column: 0,
+            message: format!("I/O error: {err}"),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at line {}, column {}: {}",
+            self.line, self.column, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new(3, 14, "unexpected character 'x'");
+        let s = e.to_string();
+        assert!(s.contains("line 3"), "{s}");
+        assert!(s.contains("column 14"), "{s}");
+        assert!(s.contains("unexpected character"), "{s}");
+    }
+
+    #[test]
+    fn io_constructor() {
+        let ioe = std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "eof");
+        let e = ParseError::io(7, &ioe);
+        assert_eq!(e.line, 7);
+        assert!(e.message.contains("I/O error"));
+    }
+}

@@ -1,0 +1,466 @@
+//! A streaming N-Triples parser (W3C RDF 1.1 N-Triples).
+//!
+//! N-Triples is line-oriented: each non-blank, non-comment line holds
+//! exactly one `subject predicate object .` statement. The parser reads the
+//! input line by line and yields decoded [`TermTriple`]s, so arbitrarily
+//! large documents parse in constant memory.
+
+use crate::error::ParseError;
+use slider_model::{Literal, Term, TermTriple};
+use std::io::BufRead;
+
+/// Streaming N-Triples parser over any `BufRead`.
+pub struct NTriplesParser<R> {
+    reader: R,
+    line_no: usize,
+    buf: String,
+    done: bool,
+}
+
+impl<R: BufRead> NTriplesParser<R> {
+    /// Creates a parser reading from `reader`.
+    pub fn new(reader: R) -> Self {
+        NTriplesParser {
+            reader,
+            line_no: 0,
+            buf: String::new(),
+            done: false,
+        }
+    }
+}
+
+impl<R: BufRead> Iterator for NTriplesParser<R> {
+    type Item = Result<TermTriple, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.buf.clear();
+            self.line_no += 1;
+            match self.reader.read_line(&mut self.buf) {
+                Ok(0) => {
+                    self.done = true;
+                    return None;
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(ParseError::io(self.line_no, &e)));
+                }
+            }
+            let line = self.buf.trim_end_matches(['\n', '\r']);
+            let mut scan = Scanner::new(line, self.line_no);
+            scan.skip_ws();
+            if scan.at_end() || scan.peek() == Some('#') {
+                continue; // blank line or comment
+            }
+            let result = parse_statement(&mut scan);
+            if result.is_err() {
+                // One malformed line does not poison the iterator; the
+                // caller decides whether to stop. But record it.
+                return Some(result);
+            }
+            return Some(result);
+        }
+    }
+}
+
+fn parse_statement(scan: &mut Scanner<'_>) -> Result<TermTriple, ParseError> {
+    let s = parse_subject(scan)?;
+    scan.require_ws()?;
+    scan.skip_ws();
+    let p = parse_predicate(scan)?;
+    scan.require_ws()?;
+    scan.skip_ws();
+    let o = parse_object(scan)?;
+    scan.skip_ws();
+    scan.expect('.')?;
+    scan.skip_ws();
+    if let Some(c) = scan.peek() {
+        if c == '#' {
+            // trailing comment is fine
+        } else {
+            return Err(scan.error(format!("unexpected trailing character {c:?} after '.'")));
+        }
+    }
+    Ok((s, p, o))
+}
+
+fn parse_subject(scan: &mut Scanner<'_>) -> Result<Term, ParseError> {
+    match scan.peek() {
+        Some('<') => Ok(Term::Iri(scan.parse_iriref()?)),
+        Some('_') => Ok(Term::Blank(scan.parse_blank_label()?)),
+        Some(c) => Err(scan.error(format!(
+            "expected IRI or blank node as subject, found {c:?}"
+        ))),
+        None => Err(scan.error("unexpected end of line while reading subject")),
+    }
+}
+
+fn parse_predicate(scan: &mut Scanner<'_>) -> Result<Term, ParseError> {
+    match scan.peek() {
+        Some('<') => Ok(Term::Iri(scan.parse_iriref()?)),
+        Some(c) => Err(scan.error(format!("expected IRI as predicate, found {c:?}"))),
+        None => Err(scan.error("unexpected end of line while reading predicate")),
+    }
+}
+
+fn parse_object(scan: &mut Scanner<'_>) -> Result<Term, ParseError> {
+    match scan.peek() {
+        Some('<') => Ok(Term::Iri(scan.parse_iriref()?)),
+        Some('_') => Ok(Term::Blank(scan.parse_blank_label()?)),
+        Some('"') => Ok(Term::Literal(scan.parse_literal()?)),
+        Some(c) => Err(scan.error(format!(
+            "expected IRI, blank node or literal as object, found {c:?}"
+        ))),
+        None => Err(scan.error("unexpected end of line while reading object")),
+    }
+}
+
+/// Character-level scanner over a single line, with column tracking.
+pub(crate) struct Scanner<'a> {
+    rest: &'a str,
+    line: usize,
+    column: usize,
+}
+
+impl<'a> Scanner<'a> {
+    pub(crate) fn new(line_text: &'a str, line: usize) -> Self {
+        Scanner {
+            rest: line_text,
+            line,
+            column: 1,
+        }
+    }
+
+    pub(crate) fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, self.column, message)
+    }
+
+    pub(crate) fn peek(&self) -> Option<char> {
+        self.rest.chars().next()
+    }
+
+    pub(crate) fn at_end(&self) -> bool {
+        self.rest.is_empty()
+    }
+
+    pub(crate) fn bump(&mut self) -> Option<char> {
+        let c = self.rest.chars().next()?;
+        self.rest = &self.rest[c.len_utf8()..];
+        self.column += 1;
+        Some(c)
+    }
+
+    pub(crate) fn expect(&mut self, want: char) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(self.error(format!("expected {want:?}, found {c:?}"))),
+            None => Err(self.error(format!("expected {want:?}, found end of line"))),
+        }
+    }
+
+    pub(crate) fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ') | Some('\t')) {
+            self.bump();
+        }
+    }
+
+    /// At least one whitespace character must separate triple components.
+    pub(crate) fn require_ws(&mut self) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(' ') | Some('\t') => Ok(()),
+            _ => Err(self.error("expected whitespace between triple components")),
+        }
+    }
+
+    /// Parses `<iri>` with `\uXXXX`/`\UXXXXXXXX` escapes; returns the IRI
+    /// without the angle brackets.
+    pub(crate) fn parse_iriref(&mut self) -> Result<String, ParseError> {
+        self.expect('<')?;
+        let mut iri = String::new();
+        loop {
+            match self.bump() {
+                Some('>') => return Ok(iri),
+                Some('\\') => match self.bump() {
+                    Some('u') => iri.push(self.parse_hex_escape(4)?),
+                    Some('U') => iri.push(self.parse_hex_escape(8)?),
+                    Some(c) => return Err(self.error(format!("invalid IRI escape '\\{c}'"))),
+                    None => return Err(self.error("unterminated IRI escape")),
+                },
+                Some(c)
+                    if c == ' '
+                        || c == '<'
+                        || c == '"'
+                        || c == '{'
+                        || c == '}'
+                        || c == '|'
+                        || c == '^'
+                        || c == '`'
+                        || (c as u32) <= 0x20 =>
+                {
+                    return Err(
+                        self.error(format!("character {c:?} must be escaped inside an IRI"))
+                    );
+                }
+                Some(c) => iri.push(c),
+                None => return Err(self.error("unterminated IRI (missing '>')")),
+            }
+        }
+    }
+
+    /// Parses `_:label`; returns the label.
+    pub(crate) fn parse_blank_label(&mut self) -> Result<String, ParseError> {
+        self.expect('_')?;
+        self.expect(':')?;
+        let mut label = String::new();
+        // PN_CHARS with a permissive first-char rule (digits allowed, as in
+        // N-Triples).
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                // '.' may not terminate a label; handle by lookahead below.
+                if c == '.' {
+                    // Only keep the dot if another label char follows.
+                    let mut iter = self.rest.chars();
+                    iter.next();
+                    match iter.next() {
+                        Some(n) if n.is_alphanumeric() || n == '_' || n == '-' => {}
+                        _ => break,
+                    }
+                }
+                label.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if label.is_empty() {
+            return Err(self.error("empty blank node label"));
+        }
+        Ok(label)
+    }
+
+    /// Parses a quoted literal with optional `@lang` or `^^<datatype>`.
+    pub(crate) fn parse_literal(&mut self) -> Result<Literal, ParseError> {
+        let lexical = self.parse_quoted_string()?;
+        match self.peek() {
+            Some('@') => {
+                self.bump();
+                let mut tag = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == '-' {
+                        tag.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                if tag.is_empty() {
+                    return Err(self.error("empty language tag"));
+                }
+                Ok(Literal::lang(lexical, tag))
+            }
+            Some('^') => {
+                self.bump();
+                self.expect('^')?;
+                let dt = self.parse_iriref()?;
+                Ok(Literal::typed(lexical, dt))
+            }
+            _ => Ok(Literal::plain(lexical)),
+        }
+    }
+
+    /// Parses `"…"` decoding ECHAR and UCHAR escapes.
+    pub(crate) fn parse_quoted_string(&mut self) -> Result<String, ParseError> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(out),
+                Some('\\') => out.push(self.parse_escape_char()?),
+                Some(c) => out.push(c),
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+    }
+
+    pub(crate) fn parse_escape_char(&mut self) -> Result<char, ParseError> {
+        match self.bump() {
+            Some('t') => Ok('\t'),
+            Some('b') => Ok('\u{8}'),
+            Some('n') => Ok('\n'),
+            Some('r') => Ok('\r'),
+            Some('f') => Ok('\u{c}'),
+            Some('"') => Ok('"'),
+            Some('\'') => Ok('\''),
+            Some('\\') => Ok('\\'),
+            Some('u') => self.parse_hex_escape(4),
+            Some('U') => self.parse_hex_escape(8),
+            Some(c) => Err(self.error(format!("invalid escape '\\{c}'"))),
+            None => Err(self.error("unterminated escape sequence")),
+        }
+    }
+
+    fn parse_hex_escape(&mut self, digits: u32) -> Result<char, ParseError> {
+        let mut value: u32 = 0;
+        for _ in 0..digits {
+            let c = self
+                .bump()
+                .ok_or_else(|| self.error("unterminated \\u escape"))?;
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| self.error(format!("invalid hex digit {c:?} in \\u escape")))?;
+            value = value * 16 + d;
+        }
+        char::from_u32(value)
+            .ok_or_else(|| self.error(format!("\\u escape U+{value:04X} is not a valid character")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(doc: &str) -> Vec<TermTriple> {
+        NTriplesParser::new(doc.as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap()
+    }
+
+    fn parse_err(doc: &str) -> ParseError {
+        NTriplesParser::new(doc.as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err()
+    }
+
+    #[test]
+    fn simple_triple() {
+        let ts = parse_all("<http://e/s> <http://e/p> <http://e/o> .\n");
+        assert_eq!(
+            ts,
+            vec![(
+                Term::iri("http://e/s"),
+                Term::iri("http://e/p"),
+                Term::iri("http://e/o")
+            )]
+        );
+    }
+
+    #[test]
+    fn blank_lines_and_comments_skipped() {
+        let ts = parse_all(
+            "# a comment\n\n   \n<http://e/s> <http://e/p> <http://e/o> . # trailing\n# end\n",
+        );
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn blank_nodes_both_positions() {
+        let ts = parse_all("_:a <http://e/p> _:b1.c .\n");
+        assert_eq!(ts[0].0, Term::blank("a"));
+        assert_eq!(ts[0].2, Term::blank("b1.c"));
+    }
+
+    #[test]
+    fn blank_node_label_does_not_eat_final_dot() {
+        let ts = parse_all("_:a <http://e/p> _:b .\n");
+        assert_eq!(ts[0].2, Term::blank("b"));
+        // No space before the dot: label must stop before '.'.
+        let ts = parse_all("_:a <http://e/p> _:b.\n");
+        assert_eq!(ts[0].2, Term::blank("b"));
+    }
+
+    #[test]
+    fn plain_lang_and_typed_literals() {
+        let ts = parse_all(concat!(
+            "<http://e/s> <http://e/p> \"hello\" .\n",
+            "<http://e/s> <http://e/p> \"bonjour\"@fr-BE .\n",
+            "<http://e/s> <http://e/p> \"5\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n",
+        ));
+        assert_eq!(ts[0].2, Term::Literal(Literal::plain("hello")));
+        assert_eq!(ts[1].2, Term::Literal(Literal::lang("bonjour", "fr-BE")));
+        assert_eq!(
+            ts[2].2,
+            Term::Literal(Literal::typed(
+                "5",
+                "http://www.w3.org/2001/XMLSchema#integer"
+            ))
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        let ts = parse_all(r#"<http://e/s> <http://e/p> "a\tb\nc\"d\\eé\U0001F600" ."#);
+        assert_eq!(ts[0].2, Term::literal("a\tb\nc\"d\\eé😀"));
+    }
+
+    #[test]
+    fn iri_escapes() {
+        let ts = parse_all(r"<http://e/café> <http://e/p> <http://e/o> .");
+        assert_eq!(ts[0].0, Term::iri("http://e/café"));
+    }
+
+    #[test]
+    fn error_missing_dot() {
+        let e = parse_err("<http://e/s> <http://e/p> <http://e/o>\n");
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("'.'"), "{}", e.message);
+    }
+
+    #[test]
+    fn error_literal_subject_rejected() {
+        let e = parse_err("\"lit\" <http://e/p> <http://e/o> .\n");
+        assert!(e.message.contains("subject"), "{}", e.message);
+    }
+
+    #[test]
+    fn error_literal_predicate_rejected() {
+        let e = parse_err("<http://e/s> _:b <http://e/o> .\n");
+        assert!(e.message.contains("predicate"), "{}", e.message);
+    }
+
+    #[test]
+    fn error_reports_correct_line() {
+        let e = parse_err("<http://e/s> <http://e/p> <http://e/o> .\nmalformed\n");
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn error_unterminated_iri() {
+        let e = parse_err("<http://e/s <http://e/p> <http://e/o> .\n");
+        assert!(
+            e.message.contains("escaped") || e.message.contains("unterminated"),
+            "{}",
+            e.message
+        );
+    }
+
+    #[test]
+    fn error_bad_escape() {
+        let e = parse_err(r#"<http://e/s> <http://e/p> "a\qb" ."#);
+        assert!(e.message.contains("invalid escape"), "{}", e.message);
+    }
+
+    #[test]
+    fn error_bad_unicode_escape() {
+        let e = parse_err(r#"<http://e/s> <http://e/p> "\uD800" ."#);
+        assert!(e.message.contains("not a valid character"), "{}", e.message);
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let ts = parse_all("<http://e/s> <http://e/p> <http://e/o> .\r\n");
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn large_document_streams() {
+        let mut doc = String::new();
+        for i in 0..5_000 {
+            doc.push_str(&format!("<http://e/s{i}> <http://e/p> <http://e/o{i}> .\n"));
+        }
+        assert_eq!(parse_all(&doc).len(), 5_000);
+    }
+}

@@ -1,0 +1,1026 @@
+//! A streaming parser for a practical subset of Turtle.
+//!
+//! Supported syntax:
+//!
+//! * `@prefix` / `@base` directives and their SPARQL forms `PREFIX` / `BASE`;
+//! * IRIs (`<…>`), prefixed names (`ex:thing`), blank node labels (`_:b`);
+//! * the `a` keyword for `rdf:type`;
+//! * predicate-object lists (`;`) and object lists (`,`);
+//! * anonymous blank nodes `[ p o ; … ]` (also as subjects);
+//! * collections `( a b c )`, expanded to `rdf:first`/`rdf:rest`/`rdf:nil`;
+//! * literals: `"…"`, `'…'`, `"""…"""`, `'''…'''`, with `@lang` or
+//!   `^^datatype`; numeric shorthand (`5`, `-2.5`, `1e3`) and booleans.
+//!
+//! Not supported (rejected with a clear error): quads, `GRAPH`, reification
+//! syntax (`<< >>`), and `@forAll`-style N3 extensions.
+//!
+//! Relative IRI resolution is simple concatenation against the current base
+//! (sufficient for the ontologies used in the reproduction; documented
+//! simplification).
+
+use crate::error::ParseError;
+use slider_model::vocab::{RDF_NS, XSD_NS};
+use slider_model::{FxHashMap, Literal, Term, TermTriple};
+use std::collections::VecDeque;
+use std::io::BufRead;
+
+/// Streaming Turtle-subset parser over any `BufRead`.
+pub struct TurtleParser<R> {
+    chars: CharStream<R>,
+    prefixes: FxHashMap<String, String>,
+    base: Option<String>,
+    pending: VecDeque<TermTriple>,
+    blank_counter: u64,
+    failed: bool,
+}
+
+impl<R: BufRead> TurtleParser<R> {
+    /// Creates a parser reading from `reader`.
+    pub fn new(reader: R) -> Self {
+        TurtleParser {
+            chars: CharStream::new(reader),
+            prefixes: FxHashMap::default(),
+            base: None,
+            pending: VecDeque::new(),
+            blank_counter: 0,
+            failed: false,
+        }
+    }
+
+    fn fresh_blank(&mut self) -> Term {
+        let t = Term::Blank(format!("genid{}", self.blank_counter));
+        self.blank_counter += 1;
+        t
+    }
+
+    fn resolve_iri(&self, iri: String) -> String {
+        // Absolute if it has a scheme ("xyz:" before any '/', '?', '#').
+        let absolute = iri
+            .find(':')
+            .is_some_and(|i| !iri[..i].contains(['/', '?', '#']) && i > 0);
+        match (&self.base, absolute) {
+            (Some(base), false) => format!("{base}{iri}"),
+            _ => iri,
+        }
+    }
+
+    fn expand_pname(&self, prefix: &str, local: &str) -> Result<String, ParseError> {
+        match self.prefixes.get(prefix) {
+            Some(ns) => Ok(format!("{ns}{local}")),
+            None => Err(self.chars.error(format!("undefined prefix '{prefix}:'"))),
+        }
+    }
+
+    /// Parses one directive or statement, queueing its triples.
+    fn parse_statement(&mut self) -> Result<bool, ParseError> {
+        self.chars.skip_ws_and_comments()?;
+        let Some(c) = self.chars.peek()? else {
+            return Ok(false); // EOF
+        };
+        if c == '@' {
+            self.parse_at_directive()?;
+            return Ok(true);
+        }
+        // SPARQL-style PREFIX/BASE (case-insensitive, no trailing dot).
+        if let Some(word) = self.chars.peek_word()? {
+            if word.eq_ignore_ascii_case("prefix") {
+                self.chars.consume_word(&word)?;
+                self.parse_prefix_body(false)?;
+                return Ok(true);
+            }
+            if word.eq_ignore_ascii_case("base") {
+                self.chars.consume_word(&word)?;
+                self.parse_base_body(false)?;
+                return Ok(true);
+            }
+        }
+        let subject = self.parse_subject()?;
+        self.parse_predicate_object_list(&subject)?;
+        self.chars.skip_ws_and_comments()?;
+        self.chars.expect('.')?;
+        Ok(true)
+    }
+
+    fn parse_at_directive(&mut self) -> Result<(), ParseError> {
+        self.chars.expect('@')?;
+        let word = self.chars.take_word()?;
+        match word.as_str() {
+            "prefix" => self.parse_prefix_body(true),
+            "base" => self.parse_base_body(true),
+            other => Err(self
+                .chars
+                .error(format!("unsupported directive '@{other}'"))),
+        }
+    }
+
+    fn parse_prefix_body(&mut self, dotted: bool) -> Result<(), ParseError> {
+        self.chars.skip_ws_and_comments()?;
+        let prefix = self.chars.take_pname_prefix()?;
+        self.chars.expect(':')?;
+        self.chars.skip_ws_and_comments()?;
+        let iri = self.chars.parse_iriref()?;
+        let iri = self.resolve_iri(iri);
+        self.prefixes.insert(prefix, iri);
+        if dotted {
+            self.chars.skip_ws_and_comments()?;
+            self.chars.expect('.')?;
+        }
+        Ok(())
+    }
+
+    fn parse_base_body(&mut self, dotted: bool) -> Result<(), ParseError> {
+        self.chars.skip_ws_and_comments()?;
+        let iri = self.chars.parse_iriref()?;
+        self.base = Some(self.resolve_iri(iri));
+        if dotted {
+            self.chars.skip_ws_and_comments()?;
+            self.chars.expect('.')?;
+        }
+        Ok(())
+    }
+
+    fn parse_subject(&mut self) -> Result<Term, ParseError> {
+        self.chars.skip_ws_and_comments()?;
+        match self.chars.peek()? {
+            Some('<') => {
+                let iri = self.chars.parse_iriref()?;
+                Ok(Term::Iri(self.resolve_iri(iri)))
+            }
+            Some('_') => {
+                let label = self.chars.parse_blank_label()?;
+                Ok(Term::Blank(label))
+            }
+            Some('[') => self.parse_blank_node_property_list(),
+            Some('(') => self.parse_collection(),
+            Some(_) => {
+                let (prefix, local) = self.chars.take_pname()?;
+                Ok(Term::Iri(self.expand_pname(&prefix, &local)?))
+            }
+            None => Err(self
+                .chars
+                .error("unexpected end of input while reading subject")),
+        }
+    }
+
+    fn parse_predicate(&mut self) -> Result<Term, ParseError> {
+        self.chars.skip_ws_and_comments()?;
+        match self.chars.peek()? {
+            Some('<') => {
+                let iri = self.chars.parse_iriref()?;
+                Ok(Term::Iri(self.resolve_iri(iri)))
+            }
+            Some('a') if self.chars.next_is_standalone_a()? => {
+                self.chars.bump()?;
+                Ok(Term::iri(format!("{RDF_NS}type")))
+            }
+            Some(_) => {
+                let (prefix, local) = self.chars.take_pname()?;
+                Ok(Term::Iri(self.expand_pname(&prefix, &local)?))
+            }
+            None => Err(self
+                .chars
+                .error("unexpected end of input while reading predicate")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Term, ParseError> {
+        self.chars.skip_ws_and_comments()?;
+        match self.chars.peek()? {
+            Some('<') => {
+                let iri = self.chars.parse_iriref()?;
+                Ok(Term::Iri(self.resolve_iri(iri)))
+            }
+            Some('_') => Ok(Term::Blank(self.chars.parse_blank_label()?)),
+            Some('[') => self.parse_blank_node_property_list(),
+            Some('(') => self.parse_collection(),
+            Some('"') | Some('\'') => {
+                let lit = self.parse_turtle_literal()?;
+                Ok(Term::Literal(lit))
+            }
+            Some(c) if c.is_ascii_digit() || c == '+' || c == '-' => {
+                Ok(Term::Literal(self.chars.parse_numeric_literal()?))
+            }
+            Some(_) => {
+                // `true` / `false` or a prefixed name.
+                if let Some(word) = self.chars.peek_word()? {
+                    if word == "true" || word == "false" {
+                        self.chars.consume_word(&word)?;
+                        return Ok(Term::Literal(Literal::typed(
+                            word,
+                            format!("{XSD_NS}boolean"),
+                        )));
+                    }
+                }
+                let (prefix, local) = self.chars.take_pname()?;
+                Ok(Term::Iri(self.expand_pname(&prefix, &local)?))
+            }
+            None => Err(self
+                .chars
+                .error("unexpected end of input while reading object")),
+        }
+    }
+
+    fn parse_turtle_literal(&mut self) -> Result<Literal, ParseError> {
+        let lexical = self.chars.parse_turtle_string()?;
+        match self.chars.peek()? {
+            Some('@') => {
+                self.chars.bump()?;
+                let tag = self.chars.take_lang_tag()?;
+                Ok(Literal::lang(lexical, tag))
+            }
+            Some('^') => {
+                self.chars.bump()?;
+                self.chars.expect('^')?;
+                self.chars.skip_ws_and_comments()?;
+                let dt = match self.chars.peek()? {
+                    Some('<') => {
+                        let iri = self.chars.parse_iriref()?;
+                        self.resolve_iri(iri)
+                    }
+                    _ => {
+                        let (prefix, local) = self.chars.take_pname()?;
+                        self.expand_pname(&prefix, &local)?
+                    }
+                };
+                Ok(Literal::typed(lexical, dt))
+            }
+            _ => Ok(Literal::plain(lexical)),
+        }
+    }
+
+    /// `[ p1 o1 ; p2 o2 ]` — returns the fresh blank node.
+    fn parse_blank_node_property_list(&mut self) -> Result<Term, ParseError> {
+        self.chars.expect('[')?;
+        let node = self.fresh_blank();
+        self.chars.skip_ws_and_comments()?;
+        if self.chars.peek()? == Some(']') {
+            self.chars.bump()?;
+            return Ok(node); // anonymous node with no properties
+        }
+        self.parse_predicate_object_list(&node)?;
+        self.chars.skip_ws_and_comments()?;
+        self.chars.expect(']')?;
+        Ok(node)
+    }
+
+    /// `( o1 o2 … )` — expands to an rdf:List, returns the head.
+    fn parse_collection(&mut self) -> Result<Term, ParseError> {
+        self.chars.expect('(')?;
+        let mut items = Vec::new();
+        loop {
+            self.chars.skip_ws_and_comments()?;
+            if self.chars.peek()? == Some(')') {
+                self.chars.bump()?;
+                break;
+            }
+            items.push(self.parse_object()?);
+        }
+        let nil = Term::iri(format!("{RDF_NS}nil"));
+        let first = Term::iri(format!("{RDF_NS}first"));
+        let rest = Term::iri(format!("{RDF_NS}rest"));
+        let mut tail = nil;
+        for item in items.into_iter().rev() {
+            let node = self.fresh_blank();
+            self.pending.push_back((node.clone(), first.clone(), item));
+            self.pending.push_back((node.clone(), rest.clone(), tail));
+            tail = node;
+        }
+        Ok(tail)
+    }
+
+    fn parse_predicate_object_list(&mut self, subject: &Term) -> Result<(), ParseError> {
+        loop {
+            let predicate = self.parse_predicate()?;
+            loop {
+                let object = self.parse_object()?;
+                self.pending
+                    .push_back((subject.clone(), predicate.clone(), object));
+                self.chars.skip_ws_and_comments()?;
+                if self.chars.peek()? == Some(',') {
+                    self.chars.bump()?;
+                } else {
+                    break;
+                }
+            }
+            self.chars.skip_ws_and_comments()?;
+            if self.chars.peek()? == Some(';') {
+                self.chars.bump()?;
+                self.chars.skip_ws_and_comments()?;
+                // A ';' may be trailing before '.', ']' — then the list ends.
+                match self.chars.peek()? {
+                    Some('.') | Some(']') | None => break,
+                    Some(';') => continue, // tolerate repeated ';'
+                    _ => continue,
+                }
+            } else {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<R: BufRead> Iterator for TurtleParser<R> {
+    type Item = Result<TermTriple, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            if let Some(t) = self.pending.pop_front() {
+                return Some(Ok(t));
+            }
+            match self.parse_statement() {
+                Ok(true) => continue,
+                Ok(false) => return None,
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+/// A character stream over a `BufRead` with line/column tracking; supplies
+/// the low-level token helpers the Turtle grammar needs.
+struct CharStream<R> {
+    reader: R,
+    /// Decoded characters of the current chunk, with a cursor.
+    buf: Vec<char>,
+    pos: usize,
+    line: usize,
+    column: usize,
+    eof: bool,
+}
+
+impl<R: BufRead> CharStream<R> {
+    fn new(reader: R) -> Self {
+        CharStream {
+            reader,
+            buf: Vec::new(),
+            pos: 0,
+            line: 0,
+            column: 1,
+            eof: false,
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError::new(self.line.max(1), self.column, message)
+    }
+
+    fn fill(&mut self) -> Result<bool, ParseError> {
+        if self.pos < self.buf.len() {
+            return Ok(true);
+        }
+        if self.eof {
+            return Ok(false);
+        }
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => {
+                self.eof = true;
+                Ok(false)
+            }
+            Ok(_) => {
+                self.buf = line.chars().collect();
+                self.pos = 0;
+                self.line += 1;
+                self.column = 1;
+                Ok(true)
+            }
+            Err(e) => {
+                self.eof = true;
+                Err(ParseError::io(self.line + 1, &e))
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Result<Option<char>, ParseError> {
+        if !self.fill()? {
+            return Ok(None);
+        }
+        Ok(Some(self.buf[self.pos]))
+    }
+
+    fn peek_at(&mut self, offset: usize) -> Result<Option<char>, ParseError> {
+        // Only valid within the current line chunk, which is fine for the
+        // lookahead we need (single characters).
+        if !self.fill()? {
+            return Ok(None);
+        }
+        Ok(self.buf.get(self.pos + offset).copied())
+    }
+
+    fn bump(&mut self) -> Result<Option<char>, ParseError> {
+        if !self.fill()? {
+            return Ok(None);
+        }
+        let c = self.buf[self.pos];
+        self.pos += 1;
+        self.column += 1;
+        Ok(Some(c))
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), ParseError> {
+        match self.bump()? {
+            Some(c) if c == want => Ok(()),
+            Some(c) => Err(self.error(format!("expected {want:?}, found {c:?}"))),
+            None => Err(self.error(format!("expected {want:?}, found end of input"))),
+        }
+    }
+
+    fn skip_ws_and_comments(&mut self) -> Result<(), ParseError> {
+        loop {
+            match self.peek()? {
+                Some(c) if c.is_whitespace() => {
+                    self.bump()?;
+                }
+                Some('#') => {
+                    // Comment runs to end of line chunk.
+                    self.pos = self.buf.len();
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Peeks the next bareword (letters only), without consuming.
+    fn peek_word(&mut self) -> Result<Option<String>, ParseError> {
+        if !self.fill()? {
+            return Ok(None);
+        }
+        let mut word = String::new();
+        let mut i = self.pos;
+        while i < self.buf.len() && self.buf[i].is_ascii_alphabetic() {
+            word.push(self.buf[i]);
+            i += 1;
+        }
+        // A word followed by ':' is a prefixed name, not a keyword.
+        if i < self.buf.len() && self.buf[i] == ':' {
+            return Ok(None);
+        }
+        if word.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(word))
+        }
+    }
+
+    fn consume_word(&mut self, word: &str) -> Result<(), ParseError> {
+        for expected in word.chars() {
+            match self.bump()? {
+                Some(c) if c == expected => {}
+                _ => return Err(self.error(format!("expected keyword '{word}'"))),
+            }
+        }
+        Ok(())
+    }
+
+    fn take_word(&mut self) -> Result<String, ParseError> {
+        let mut word = String::new();
+        while let Some(c) = self.peek()? {
+            if c.is_ascii_alphabetic() {
+                word.push(c);
+                self.bump()?;
+            } else {
+                break;
+            }
+        }
+        if word.is_empty() {
+            Err(self.error("expected a keyword"))
+        } else {
+            Ok(word)
+        }
+    }
+
+    /// Is the next char a standalone `a` keyword (followed by delimiter)?
+    fn next_is_standalone_a(&mut self) -> Result<bool, ParseError> {
+        if self.peek()? != Some('a') {
+            return Ok(false);
+        }
+        match self.peek_at(1)? {
+            None => Ok(true),
+            Some(c) => {
+                Ok(c.is_whitespace() || c == '<' || c == '[' || c == '(' || c == '"' || c == '\'')
+            }
+        }
+    }
+
+    fn parse_iriref(&mut self) -> Result<String, ParseError> {
+        self.expect('<')?;
+        let mut iri = String::new();
+        loop {
+            match self.bump()? {
+                Some('>') => return Ok(iri),
+                Some('\\') => match self.bump()? {
+                    Some('u') => iri.push(self.parse_hex_escape(4)?),
+                    Some('U') => iri.push(self.parse_hex_escape(8)?),
+                    Some(c) => return Err(self.error(format!("invalid IRI escape '\\{c}'"))),
+                    None => return Err(self.error("unterminated IRI escape")),
+                },
+                Some(c) if c == ' ' || c == '\n' || c == '<' => {
+                    return Err(self.error(format!("character {c:?} not allowed inside an IRI")));
+                }
+                Some(c) => iri.push(c),
+                None => return Err(self.error("unterminated IRI (missing '>')")),
+            }
+        }
+    }
+
+    fn parse_blank_label(&mut self) -> Result<String, ParseError> {
+        self.expect('_')?;
+        self.expect(':')?;
+        let mut label = String::new();
+        while let Some(c) = self.peek()? {
+            if c.is_alphanumeric() || c == '_' || c == '-' {
+                label.push(c);
+                self.bump()?;
+            } else {
+                break;
+            }
+        }
+        if label.is_empty() {
+            return Err(self.error("empty blank node label"));
+        }
+        Ok(label)
+    }
+
+    /// The prefix part of a pname (may be empty for `:local`).
+    fn take_pname_prefix(&mut self) -> Result<String, ParseError> {
+        let mut prefix = String::new();
+        while let Some(c) = self.peek()? {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                prefix.push(c);
+                self.bump()?;
+            } else {
+                break;
+            }
+        }
+        Ok(prefix)
+    }
+
+    /// A full `prefix:local` pname. Returns `(prefix, local)`.
+    fn take_pname(&mut self) -> Result<(String, String), ParseError> {
+        let prefix = self.take_pname_prefix()?;
+        match self.peek()? {
+            Some(':') => {
+                self.bump()?;
+            }
+            Some(c) => {
+                return Err(self.error(format!("expected ':' in prefixed name, found {c:?}")))
+            }
+            None => return Err(self.error("expected ':' in prefixed name, found end of input")),
+        }
+        let mut local = String::new();
+        while let Some(c) = self.peek()? {
+            if c.is_alphanumeric() || c == '_' || c == '-' || c == '%' {
+                local.push(c);
+                self.bump()?;
+            } else if c == '.' {
+                // '.' is allowed inside a local name but a trailing '.' ends
+                // the statement; only take it if another name char follows.
+                match self.peek_at(1)? {
+                    Some(n) if n.is_alphanumeric() || n == '_' || n == '-' => {
+                        local.push(c);
+                        self.bump()?;
+                    }
+                    _ => break,
+                }
+            } else if c == '\\' {
+                // PN_LOCAL_ESC: \~ \. \- \! etc. — take the escaped char.
+                self.bump()?;
+                match self.bump()? {
+                    Some(esc) => local.push(esc),
+                    None => return Err(self.error("unterminated local-name escape")),
+                }
+            } else {
+                break;
+            }
+        }
+        Ok((prefix, local))
+    }
+
+    fn take_lang_tag(&mut self) -> Result<String, ParseError> {
+        let mut tag = String::new();
+        while let Some(c) = self.peek()? {
+            if c.is_ascii_alphanumeric() || c == '-' {
+                tag.push(c);
+                self.bump()?;
+            } else {
+                break;
+            }
+        }
+        if tag.is_empty() {
+            Err(self.error("empty language tag"))
+        } else {
+            Ok(tag)
+        }
+    }
+
+    /// Parses any of the four Turtle string forms, returning the unescaped
+    /// content.
+    fn parse_turtle_string(&mut self) -> Result<String, ParseError> {
+        let quote = match self.peek()? {
+            Some(c @ ('"' | '\'')) => c,
+            _ => return Err(self.error("expected a string literal")),
+        };
+        self.bump()?;
+        // Check for long string form: two more quotes.
+        if self.peek()? == Some(quote) && self.peek_at(1)? == Some(quote) {
+            self.bump()?;
+            self.bump()?;
+            return self.parse_long_string(quote);
+        }
+        // Empty short string: `""` — peek was not quote-quote, handle "" case:
+        if self.peek()? == Some(quote) {
+            self.bump()?;
+            return Ok(String::new());
+        }
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                Some(c) if c == quote => return Ok(out),
+                Some('\\') => out.push(self.parse_escape_char()?),
+                Some('\n') => return Err(self.error("newline in short string literal")),
+                Some(c) => out.push(c),
+                None => return Err(self.error("unterminated string literal")),
+            }
+        }
+    }
+
+    fn parse_long_string(&mut self, quote: char) -> Result<String, ParseError> {
+        let mut out = String::new();
+        let mut quotes = 0usize;
+        loop {
+            match self.bump()? {
+                Some(c) if c == quote => {
+                    quotes += 1;
+                    if quotes == 3 {
+                        return Ok(out);
+                    }
+                }
+                Some('\\') => {
+                    for _ in 0..quotes {
+                        out.push(quote);
+                    }
+                    quotes = 0;
+                    out.push(self.parse_escape_char()?);
+                }
+                Some(c) => {
+                    for _ in 0..quotes {
+                        out.push(quote);
+                    }
+                    quotes = 0;
+                    out.push(c);
+                }
+                None => return Err(self.error("unterminated long string literal")),
+            }
+        }
+    }
+
+    fn parse_escape_char(&mut self) -> Result<char, ParseError> {
+        match self.bump()? {
+            Some('t') => Ok('\t'),
+            Some('b') => Ok('\u{8}'),
+            Some('n') => Ok('\n'),
+            Some('r') => Ok('\r'),
+            Some('f') => Ok('\u{c}'),
+            Some('"') => Ok('"'),
+            Some('\'') => Ok('\''),
+            Some('\\') => Ok('\\'),
+            Some('u') => self.parse_hex_escape(4),
+            Some('U') => self.parse_hex_escape(8),
+            Some(c) => Err(self.error(format!("invalid escape '\\{c}'"))),
+            None => Err(self.error("unterminated escape sequence")),
+        }
+    }
+
+    fn parse_hex_escape(&mut self, digits: u32) -> Result<char, ParseError> {
+        let mut value: u32 = 0;
+        for _ in 0..digits {
+            let c = self
+                .bump()?
+                .ok_or_else(|| self.error("unterminated \\u escape"))?;
+            let d = c
+                .to_digit(16)
+                .ok_or_else(|| self.error(format!("invalid hex digit {c:?} in \\u escape")))?;
+            value = value * 16 + d;
+        }
+        char::from_u32(value)
+            .ok_or_else(|| self.error(format!("\\u escape U+{value:04X} is not a valid character")))
+    }
+
+    /// `5`, `-2`, `+3.14`, `1e-3` → typed xsd literal.
+    fn parse_numeric_literal(&mut self) -> Result<Literal, ParseError> {
+        let mut text = String::new();
+        if matches!(self.peek()?, Some('+') | Some('-')) {
+            text.push(self.bump()?.unwrap());
+        }
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while let Some(c) = self.peek()? {
+            if c.is_ascii_digit() {
+                text.push(c);
+                self.bump()?;
+            } else if c == '.' && !saw_dot && !saw_exp {
+                // A '.' followed by a non-digit terminates the statement.
+                match self.peek_at(1)? {
+                    Some(n) if n.is_ascii_digit() => {
+                        saw_dot = true;
+                        text.push(c);
+                        self.bump()?;
+                    }
+                    _ => break,
+                }
+            } else if (c == 'e' || c == 'E') && !saw_exp {
+                saw_exp = true;
+                text.push(c);
+                self.bump()?;
+                if matches!(self.peek()?, Some('+') | Some('-')) {
+                    text.push(self.bump()?.unwrap());
+                }
+            } else {
+                break;
+            }
+        }
+        if text.is_empty() || text == "+" || text == "-" {
+            return Err(self.error("malformed numeric literal"));
+        }
+        let dt = if saw_exp {
+            format!("{XSD_NS}double")
+        } else if saw_dot {
+            format!("{XSD_NS}decimal")
+        } else {
+            format!("{XSD_NS}integer")
+        };
+        Ok(Literal::typed(text, dt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(doc: &str) -> Vec<TermTriple> {
+        TurtleParser::new(doc.as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap()
+    }
+
+    fn parse_err(doc: &str) -> ParseError {
+        TurtleParser::new(doc.as_bytes())
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err()
+    }
+
+    #[test]
+    fn prefixed_names() {
+        let ts = parse_all("@prefix ex: <http://e/> .\nex:s ex:p ex:o .\n");
+        assert_eq!(
+            ts,
+            vec![(
+                Term::iri("http://e/s"),
+                Term::iri("http://e/p"),
+                Term::iri("http://e/o")
+            )]
+        );
+    }
+
+    #[test]
+    fn sparql_style_prefix() {
+        let ts = parse_all("PREFIX ex: <http://e/>\nex:s ex:p ex:o .\n");
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].0, Term::iri("http://e/s"));
+    }
+
+    #[test]
+    fn empty_prefix() {
+        let ts = parse_all("@prefix : <http://e/> .\n:s :p :o .\n");
+        assert_eq!(ts[0].0, Term::iri("http://e/s"));
+    }
+
+    #[test]
+    fn base_resolution() {
+        let ts = parse_all("@base <http://e/> .\n<s> <p> <o> .\n");
+        assert_eq!(ts[0].0, Term::iri("http://e/s"));
+        assert_eq!(ts[0].1, Term::iri("http://e/p"));
+    }
+
+    #[test]
+    fn a_keyword() {
+        let ts = parse_all("@prefix ex: <http://e/> .\nex:s a ex:C .\n");
+        assert_eq!(
+            ts[0].1,
+            Term::iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type")
+        );
+    }
+
+    #[test]
+    fn predicate_object_and_object_lists() {
+        let ts = parse_all("@prefix ex: <http://e/> .\nex:s ex:p ex:o1 , ex:o2 ; ex:q ex:o3 .\n");
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts[0].2, Term::iri("http://e/o1"));
+        assert_eq!(ts[1].2, Term::iri("http://e/o2"));
+        assert_eq!(ts[2].1, Term::iri("http://e/q"));
+    }
+
+    #[test]
+    fn trailing_semicolon_tolerated() {
+        let ts = parse_all("@prefix ex: <http://e/> .\nex:s ex:p ex:o ; .\n");
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn anonymous_blank_node() {
+        let ts = parse_all("@prefix ex: <http://e/> .\nex:s ex:p [ ex:q ex:o ] .\n");
+        assert_eq!(ts.len(), 2);
+        // [ ... ] triples come first (queued during object parse).
+        assert!(matches!(ts[0].0, Term::Blank(_)));
+        assert_eq!(ts[0].1, Term::iri("http://e/q"));
+        assert_eq!(ts[1].2, ts[0].0);
+    }
+
+    #[test]
+    fn empty_anonymous_node() {
+        let ts = parse_all("@prefix ex: <http://e/> .\nex:s ex:p [] .\n");
+        assert_eq!(ts.len(), 1);
+        assert!(matches!(ts[0].2, Term::Blank(_)));
+    }
+
+    #[test]
+    fn collections_expand_to_rdf_lists() {
+        let ts = parse_all("@prefix ex: <http://e/> .\nex:s ex:p ( ex:a ex:b ) .\n");
+        // 2 items × (first+rest) + main triple = 5
+        assert_eq!(ts.len(), 5);
+        let first = Term::iri(format!("{RDF_NS}first"));
+        let nil = Term::iri(format!("{RDF_NS}nil"));
+        assert_eq!(ts.iter().filter(|t| t.1 == first).count(), 2);
+        assert_eq!(ts.iter().filter(|t| t.2 == nil).count(), 1);
+    }
+
+    #[test]
+    fn empty_collection_is_nil() {
+        let ts = parse_all("@prefix ex: <http://e/> .\nex:s ex:p () .\n");
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts[0].2, Term::iri(format!("{RDF_NS}nil")));
+    }
+
+    #[test]
+    fn literals_all_forms() {
+        let ts = parse_all(concat!(
+            "@prefix ex: <http://e/> .\n",
+            "ex:s ex:p \"short\" .\n",
+            "ex:s ex:p 'single' .\n",
+            "ex:s ex:p \"\"\"long\nmulti\"\"\" .\n",
+            "ex:s ex:p \"fr\"@fr .\n",
+            "ex:s ex:p \"5\"^^ex:dt .\n",
+            "ex:s ex:p 42 .\n",
+            "ex:s ex:p -2.5 .\n",
+            "ex:s ex:p 1e3 .\n",
+            "ex:s ex:p true .\n",
+        ));
+        assert_eq!(ts[0].2, Term::literal("short"));
+        assert_eq!(ts[1].2, Term::literal("single"));
+        assert_eq!(ts[2].2, Term::literal("long\nmulti"));
+        assert_eq!(ts[3].2, Term::Literal(Literal::lang("fr", "fr")));
+        assert_eq!(ts[4].2, Term::Literal(Literal::typed("5", "http://e/dt")));
+        assert_eq!(
+            ts[5].2,
+            Term::Literal(Literal::typed("42", format!("{XSD_NS}integer")))
+        );
+        assert_eq!(
+            ts[6].2,
+            Term::Literal(Literal::typed("-2.5", format!("{XSD_NS}decimal")))
+        );
+        assert_eq!(
+            ts[7].2,
+            Term::Literal(Literal::typed("1e3", format!("{XSD_NS}double")))
+        );
+        assert_eq!(
+            ts[8].2,
+            Term::Literal(Literal::typed("true", format!("{XSD_NS}boolean")))
+        );
+    }
+
+    #[test]
+    fn empty_string_literal() {
+        let ts = parse_all("@prefix ex: <http://e/> .\nex:s ex:p \"\" .\n");
+        assert_eq!(ts[0].2, Term::literal(""));
+    }
+
+    #[test]
+    fn multiline_statement() {
+        let ts = parse_all("@prefix ex: <http://e/> .\nex:s\n  ex:p\n  ex:o .\n");
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn comments_anywhere() {
+        let ts =
+            parse_all("# header\n@prefix ex: <http://e/> . # trailing\nex:s ex:p # mid\n ex:o .\n");
+        assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn undefined_prefix_errors() {
+        let e = parse_err("ex:s ex:p ex:o .\n");
+        assert!(e.message.contains("undefined prefix"), "{}", e.message);
+    }
+
+    #[test]
+    fn unsupported_directive_errors() {
+        let e = parse_err("@keywords a .\n");
+        assert!(e.message.contains("unsupported directive"), "{}", e.message);
+    }
+
+    #[test]
+    fn local_name_with_dots_and_escape() {
+        let ts = parse_all("@prefix ex: <http://e/> .\nex:a.b ex:p ex:o\\-x .\n");
+        assert_eq!(ts[0].0, Term::iri("http://e/a.b"));
+        assert_eq!(ts[0].2, Term::iri("http://e/o-x"));
+    }
+
+    #[test]
+    fn numeric_dot_boundary() {
+        // `5.` must parse as integer 5 followed by statement-terminating dot.
+        let ts = parse_all("@prefix ex: <http://e/> .\nex:s ex:p 5.\n");
+        assert_eq!(
+            ts[0].2,
+            Term::Literal(Literal::typed("5", format!("{XSD_NS}integer")))
+        );
+    }
+
+    #[test]
+    fn nested_blank_node_property_lists() {
+        let ts = parse_all("@prefix ex: <http://e/> .\nex:s ex:p [ ex:q [ ex:r ex:o ] ] .\n");
+        // inner: (b1 r o); outer: (b0 q b1); main: (s p b0)
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts[0].1, Term::iri("http://e/r"));
+        assert_eq!(ts[1].1, Term::iri("http://e/q"));
+        assert_eq!(ts[1].2, ts[0].0, "outer object is the inner node");
+        assert_eq!(ts[2].2, ts[1].0, "main object is the outer node");
+        assert_ne!(ts[0].0, ts[1].0, "fresh blank nodes are distinct");
+    }
+
+    #[test]
+    fn collection_of_numbers() {
+        let ts = parse_all("@prefix ex: <http://e/> .\nex:s ex:p ( 1 2 ) .\n");
+        let first = Term::iri(format!("{RDF_NS}first"));
+        let mut firsts: Vec<&Term> = ts.iter().filter(|t| t.1 == first).map(|t| &t.2).collect();
+        firsts.sort();
+        assert_eq!(
+            firsts,
+            vec![
+                &Term::Literal(Literal::typed("1", format!("{XSD_NS}integer"))),
+                &Term::Literal(Literal::typed("2", format!("{XSD_NS}integer"))),
+            ]
+        );
+        // The list is linked: exactly one rest→nil and one rest→node.
+        let rest = Term::iri(format!("{RDF_NS}rest"));
+        let nil = Term::iri(format!("{RDF_NS}nil"));
+        assert_eq!(ts.iter().filter(|t| t.1 == rest && t.2 == nil).count(), 1);
+        assert_eq!(ts.iter().filter(|t| t.1 == rest && t.2 != nil).count(), 1);
+    }
+
+    #[test]
+    fn later_prefix_redefinition_wins() {
+        let ts = parse_all(
+            "@prefix ex: <http://a/> .\nex:s ex:p ex:o .\n@prefix ex: <http://b/> .\nex:s ex:p ex:o .\n",
+        );
+        assert_eq!(ts[0].0, Term::iri("http://a/s"));
+        assert_eq!(ts[1].0, Term::iri("http://b/s"));
+    }
+
+    #[test]
+    fn base_applies_to_prefix_definitions() {
+        // A relative prefix IRI resolves against the current base.
+        let ts = parse_all("@base <http://e/> .\n@prefix v: <vocab#> .\nv:s v:p v:o .\n");
+        assert_eq!(ts[0].0, Term::iri("http://e/vocab#s"));
+    }
+
+    #[test]
+    fn error_position_is_reported() {
+        let e = parse_err("@prefix ex: <http://e/> .\nex:s ex:p @bogus .\n");
+        assert_eq!(e.line, 2);
+        assert!(e.column > 1);
+    }
+
+    #[test]
+    fn parser_stops_after_first_error() {
+        let mut p = TurtleParser::new("no_colon_here .\n".as_bytes());
+        assert!(p.next().unwrap().is_err());
+        assert!(p.next().is_none(), "failed parser must fuse");
+    }
+
+    #[test]
+    fn subject_property_list() {
+        let ts = parse_all("@prefix ex: <http://e/> .\n[ ex:p ex:o ] ex:q ex:r .\n");
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].1, Term::iri("http://e/p"));
+        assert_eq!(ts[1].1, Term::iri("http://e/q"));
+        assert_eq!(ts[0].0, ts[1].0);
+    }
+}

@@ -1,0 +1,255 @@
+//! N-Triples serialization.
+//!
+//! The workload generators (`slider-workloads`) emit benchmark ontologies
+//! through this writer, so the parse-side and write-side escaping rules
+//! round-trip exactly (property-tested in `tests/`).
+
+use crate::error::ParseError;
+use slider_model::{Dictionary, LiteralKind, Term, TermTriple, Triple};
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+/// Appends the N-Triples form of `term` to `out`.
+pub fn write_term(out: &mut String, term: &Term) {
+    match term {
+        Term::Iri(iri) => {
+            out.push('<');
+            escape_iri(out, iri);
+            out.push('>');
+        }
+        Term::Blank(label) => {
+            out.push_str("_:");
+            out.push_str(label);
+        }
+        Term::Literal(lit) => {
+            out.push('"');
+            escape_string(out, &lit.lexical);
+            out.push('"');
+            match &lit.kind {
+                LiteralKind::Plain => {}
+                LiteralKind::Lang(tag) => {
+                    out.push('@');
+                    out.push_str(tag);
+                }
+                LiteralKind::Typed(dt) => {
+                    out.push_str("^^<");
+                    escape_iri(out, dt);
+                    out.push('>');
+                }
+            }
+        }
+    }
+}
+
+/// Appends one N-Triples statement (including the trailing ` .\n`).
+pub fn write_triple(out: &mut String, triple: &TermTriple) {
+    write_term(out, &triple.0);
+    out.push(' ');
+    write_term(out, &triple.1);
+    out.push(' ');
+    write_term(out, &triple.2);
+    out.push_str(" .\n");
+}
+
+fn escape_string(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04X}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn escape_iri(out: &mut String, iri: &str) {
+    for c in iri.chars() {
+        match c {
+            // Characters N-Triples forbids raw inside IRIREF.
+            '<' | '>' | '"' | '{' | '}' | '|' | '^' | '`' | '\\' => {
+                let _ = write!(out, "\\u{:04X}", c as u32);
+            }
+            c if (c as u32) <= 0x20 => {
+                let _ = write!(out, "\\u{:04X}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// A buffered N-Triples writer over any `io::Write`.
+pub struct NTriplesWriter<W: Write> {
+    sink: W,
+    buf: String,
+    written: usize,
+}
+
+impl<W: Write> NTriplesWriter<W> {
+    /// Creates a writer. Wrap `sink` in a `BufWriter` for file output.
+    pub fn new(sink: W) -> Self {
+        NTriplesWriter {
+            sink,
+            buf: String::with_capacity(256),
+            written: 0,
+        }
+    }
+
+    /// Writes one decoded triple.
+    pub fn write(&mut self, triple: &TermTriple) -> io::Result<()> {
+        self.buf.clear();
+        write_triple(&mut self.buf, triple);
+        self.sink.write_all(self.buf.as_bytes())?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Writes one encoded triple, decoding through `dict`.
+    pub fn write_encoded(&mut self, triple: Triple, dict: &Dictionary) -> io::Result<()> {
+        let decoded = dict.decode_triple(triple).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "triple references unknown NodeId",
+            )
+        })?;
+        self.write(&decoded)
+    }
+
+    /// Number of triples written so far.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// Flushes and returns the underlying sink.
+    pub fn into_inner(mut self) -> io::Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Serializes a batch of decoded triples to an N-Triples string.
+pub fn to_ntriples_string<'a>(triples: impl IntoIterator<Item = &'a TermTriple>) -> String {
+    let mut out = String::new();
+    for t in triples {
+        write_triple(&mut out, t);
+    }
+    out
+}
+
+/// Serializes encoded triples through a dictionary; unknown ids error.
+pub fn encoded_to_ntriples_string(
+    triples: &[Triple],
+    dict: &Dictionary,
+) -> Result<String, ParseError> {
+    let mut out = String::new();
+    for &t in triples {
+        let decoded = dict
+            .decode_triple(t)
+            .ok_or_else(|| ParseError::new(0, 0, "triple references unknown NodeId"))?;
+        write_triple(&mut out, &decoded);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ntriples::NTriplesParser;
+    use slider_model::Literal;
+
+    fn roundtrip(t: TermTriple) {
+        let mut doc = String::new();
+        write_triple(&mut doc, &t);
+        let parsed: Vec<TermTriple> = NTriplesParser::new(doc.as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap_or_else(|e| panic!("failed to reparse {doc:?}: {e}"));
+        assert_eq!(parsed, vec![t], "document was {doc:?}");
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        roundtrip((
+            Term::iri("http://e/s"),
+            Term::iri("http://e/p"),
+            Term::iri("http://e/o"),
+        ));
+    }
+
+    #[test]
+    fn roundtrip_literals() {
+        roundtrip((
+            Term::iri("http://e/s"),
+            Term::iri("http://e/p"),
+            Term::Literal(Literal::lang("héllo\nworld\t\"x\"", "en")),
+        ));
+        roundtrip((
+            Term::blank("b1"),
+            Term::iri("http://e/p"),
+            Term::Literal(Literal::typed("\\back\\", "http://e/dt")),
+        ));
+    }
+
+    #[test]
+    fn roundtrip_control_characters() {
+        roundtrip((
+            Term::iri("http://e/s"),
+            Term::iri("http://e/p"),
+            Term::literal("a\u{1}b\u{c}c\u{8}"),
+        ));
+    }
+
+    #[test]
+    fn iri_with_forbidden_chars_is_escaped() {
+        let mut out = String::new();
+        write_term(&mut out, &Term::iri("http://e/a<b>c"));
+        assert!(!out[1..out.len() - 1].contains('<'));
+        assert!(out.contains("\\u003C"));
+    }
+
+    #[test]
+    fn writer_counts_and_emits() {
+        let mut w = NTriplesWriter::new(Vec::new());
+        let t = (
+            Term::iri("http://e/s"),
+            Term::iri("http://e/p"),
+            Term::literal("x"),
+        );
+        w.write(&t).unwrap();
+        w.write(&t).unwrap();
+        assert_eq!(w.written(), 2);
+        let bytes = w.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(text.lines().count(), 2);
+    }
+
+    #[test]
+    fn write_encoded_through_dictionary() {
+        let dict = Dictionary::new();
+        let t = dict.encode_triple(&(
+            Term::iri("http://e/s"),
+            Term::iri("http://e/p"),
+            Term::iri("http://e/o"),
+        ));
+        let mut w = NTriplesWriter::new(Vec::new());
+        w.write_encoded(t, &dict).unwrap();
+        let text = String::from_utf8(w.into_inner().unwrap()).unwrap();
+        assert_eq!(text, "<http://e/s> <http://e/p> <http://e/o> .\n");
+    }
+
+    #[test]
+    fn encoded_to_string_rejects_unknown_ids() {
+        let dict = Dictionary::new();
+        let bogus = Triple::new(
+            slider_model::NodeId(9_999_999),
+            slider_model::NodeId(0),
+            slider_model::NodeId(0),
+        );
+        assert!(encoded_to_ntriples_string(&[bogus], &dict).is_err());
+    }
+}

@@ -1,0 +1,104 @@
+//! The RDFS axiomatic triples (optional).
+//!
+//! Full W3C RDFS entailment includes a fixed set of axiomatic triples
+//! (`rdf:type rdfs:domain rdfs:Resource .` etc.). Production reasoners —
+//! including the OWLIM configuration the paper benchmarks against — usually
+//! run *without* them, because they blow up every closure with vocabulary
+//! self-description of no application value. We follow suit: they are **off
+//! by default** and available through this function for users who want the
+//! strict W3C closure.
+
+use slider_model::vocab::*;
+use slider_model::Triple;
+
+/// The core RDFS axiomatic triples (domains, ranges and typing of the
+/// RDF/RDFS vocabulary).
+pub fn axiomatic_triples() -> Vec<Triple> {
+    let t = Triple::new;
+    vec![
+        // domains
+        t(RDF_TYPE, RDFS_DOMAIN, RDFS_RESOURCE),
+        t(RDFS_DOMAIN, RDFS_DOMAIN, RDF_PROPERTY),
+        t(RDFS_RANGE, RDFS_DOMAIN, RDF_PROPERTY),
+        t(RDFS_SUB_PROPERTY_OF, RDFS_DOMAIN, RDF_PROPERTY),
+        t(RDFS_SUB_CLASS_OF, RDFS_DOMAIN, RDFS_CLASS),
+        t(RDF_SUBJECT, RDFS_DOMAIN, RDF_STATEMENT),
+        t(RDF_PREDICATE, RDFS_DOMAIN, RDF_STATEMENT),
+        t(RDF_OBJECT, RDFS_DOMAIN, RDF_STATEMENT),
+        t(RDFS_MEMBER, RDFS_DOMAIN, RDFS_RESOURCE),
+        t(RDF_FIRST, RDFS_DOMAIN, RDF_LIST),
+        t(RDF_REST, RDFS_DOMAIN, RDF_LIST),
+        t(RDFS_SEE_ALSO, RDFS_DOMAIN, RDFS_RESOURCE),
+        t(RDFS_IS_DEFINED_BY, RDFS_DOMAIN, RDFS_RESOURCE),
+        t(RDFS_COMMENT, RDFS_DOMAIN, RDFS_RESOURCE),
+        t(RDFS_LABEL, RDFS_DOMAIN, RDFS_RESOURCE),
+        t(RDF_VALUE, RDFS_DOMAIN, RDFS_RESOURCE),
+        // ranges
+        t(RDF_TYPE, RDFS_RANGE, RDFS_CLASS),
+        t(RDFS_DOMAIN, RDFS_RANGE, RDFS_CLASS),
+        t(RDFS_RANGE, RDFS_RANGE, RDFS_CLASS),
+        t(RDFS_SUB_PROPERTY_OF, RDFS_RANGE, RDF_PROPERTY),
+        t(RDFS_SUB_CLASS_OF, RDFS_RANGE, RDFS_CLASS),
+        t(RDF_SUBJECT, RDFS_RANGE, RDFS_RESOURCE),
+        t(RDF_PREDICATE, RDFS_RANGE, RDFS_RESOURCE),
+        t(RDF_OBJECT, RDFS_RANGE, RDFS_RESOURCE),
+        t(RDFS_MEMBER, RDFS_RANGE, RDFS_RESOURCE),
+        t(RDF_FIRST, RDFS_RANGE, RDFS_RESOURCE),
+        t(RDF_REST, RDFS_RANGE, RDF_LIST),
+        t(RDFS_SEE_ALSO, RDFS_RANGE, RDFS_RESOURCE),
+        t(RDFS_IS_DEFINED_BY, RDFS_RANGE, RDFS_RESOURCE),
+        t(RDFS_COMMENT, RDFS_RANGE, RDFS_LITERAL),
+        t(RDFS_LABEL, RDFS_RANGE, RDFS_LITERAL),
+        t(RDF_VALUE, RDFS_RANGE, RDFS_RESOURCE),
+        // subproperty / subclass structure
+        t(RDFS_IS_DEFINED_BY, RDFS_SUB_PROPERTY_OF, RDFS_SEE_ALSO),
+        t(RDF_ALT, RDFS_SUB_CLASS_OF, RDFS_CONTAINER),
+        t(RDF_BAG, RDFS_SUB_CLASS_OF, RDFS_CONTAINER),
+        t(RDF_SEQ, RDFS_SUB_CLASS_OF, RDFS_CONTAINER),
+        t(
+            RDFS_CONTAINER_MEMBERSHIP_PROPERTY,
+            RDFS_SUB_CLASS_OF,
+            RDF_PROPERTY,
+        ),
+        t(RDF_XML_LITERAL, RDF_TYPE, RDFS_DATATYPE),
+        t(RDF_XML_LITERAL, RDFS_SUB_CLASS_OF, RDFS_LITERAL),
+        t(RDFS_DATATYPE, RDFS_SUB_CLASS_OF, RDFS_CLASS),
+        t(RDF_NIL, RDF_TYPE, RDF_LIST),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slider_model::{Dictionary, NodeId};
+
+    #[test]
+    fn all_axioms_use_vocabulary_ids() {
+        let max = NodeId(VOCAB_LEN as u64);
+        for t in axiomatic_triples() {
+            assert!(t.s < max && t.p < max && t.o < max, "{t}");
+        }
+    }
+
+    #[test]
+    fn axioms_decode_through_fresh_dictionary() {
+        let dict = Dictionary::new();
+        for t in axiomatic_triples() {
+            assert!(dict.decode_triple(t).is_some(), "{t} must decode");
+        }
+    }
+
+    #[test]
+    fn no_duplicates() {
+        let mut ax = axiomatic_triples();
+        let n = ax.len();
+        ax.sort_unstable();
+        ax.dedup();
+        assert_eq!(ax.len(), n);
+    }
+
+    #[test]
+    fn expected_count() {
+        assert_eq!(axiomatic_triples().len(), 41);
+    }
+}

@@ -1,0 +1,291 @@
+//! The rules dependency graph (paper §2.3, Figure 2).
+//!
+//! > "During the initialization process, Slider creates a list of dependent
+//! > buffers for each rule … To implement such functionality, Slider builds
+//! > a rules dependency graph. It is a directed graph, where edges
+//! > represent the links (dependency) between the rules (vertices)."
+//!
+//! Edge `A → B` means "the output of rule A can be used by rule B", i.e.
+//! `A`'s [`OutputSignature`] intersects `B`'s [`InputFilter`]. The
+//! distributor of rule `A` dispatches `A`'s (deduplicated) conclusions to
+//! exactly the buffers of `successors(A)`.
+
+use crate::rule::{InputFilter, OutputSignature};
+use crate::ruleset::Ruleset;
+use std::fmt::Write as _;
+
+/// The dependency graph over a [`Ruleset`], plus the entry routing used for
+/// raw input triples.
+#[derive(Debug, Clone)]
+pub struct DependencyGraph {
+    names: Vec<&'static str>,
+    /// `succ[i]` = rules that must receive rule `i`'s fresh conclusions.
+    succ: Vec<Vec<usize>>,
+    /// Input filters, cached for routing raw input.
+    filters: Vec<InputFilter>,
+}
+
+impl DependencyGraph {
+    /// Builds the graph for `ruleset` by intersecting output signatures
+    /// with input filters.
+    pub fn build(ruleset: &Ruleset) -> Self {
+        let rules = ruleset.rules();
+        let filters: Vec<InputFilter> = rules.iter().map(|r| r.input_filter()).collect();
+        let outputs: Vec<OutputSignature> = rules.iter().map(|r| r.output_signature()).collect();
+        let succ = outputs
+            .iter()
+            .map(|out| {
+                filters
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, filter)| out.may_feed(filter))
+                    .map(|(j, _)| j)
+                    .collect()
+            })
+            .collect();
+        DependencyGraph {
+            names: rules.iter().map(|r| r.name()).collect(),
+            succ,
+            filters,
+        }
+    }
+
+    /// Number of rules (vertices).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The rules that consume rule `i`'s output.
+    pub fn successors(&self, i: usize) -> &[usize] {
+        &self.succ[i]
+    }
+
+    /// True if rule `from` feeds rule `to`.
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        self.succ[from].contains(&to)
+    }
+
+    /// Edge lookup by rule names (convenience for tests/tools).
+    pub fn has_edge_named(&self, from: &str, to: &str) -> bool {
+        match (self.index_of(from), self.index_of(to)) {
+            (Some(a), Some(b)) => self.has_edge(a, b),
+            _ => false,
+        }
+    }
+
+    /// Total number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.succ.iter().map(Vec::len).sum()
+    }
+
+    /// Index of the rule named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|&n| n == name)
+    }
+
+    /// Rule name of vertex `i`.
+    pub fn name(&self, i: usize) -> &'static str {
+        self.names[i]
+    }
+
+    /// The rules with universal input (Figure 2's "Universal Input" box).
+    pub fn universal_inputs(&self) -> Vec<usize> {
+        self.filters
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| matches!(f, InputFilter::Universal))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The cached input filter of rule `i` (used for entry routing).
+    pub fn filter(&self, i: usize) -> &InputFilter {
+        &self.filters[i]
+    }
+
+    /// Rules whose buffer should receive a raw input triple with
+    /// predicate `p`.
+    pub fn entry_routes(&self, p: slider_model::NodeId) -> impl Iterator<Item = usize> + '_ {
+        self.filters
+            .iter()
+            .enumerate()
+            .filter(move |(_, f)| f.accepts_predicate(p))
+            .map(|(i, _)| i)
+    }
+
+    /// Renders the graph in Graphviz DOT, reproducing Figure 2's layout
+    /// conventions (a "Universal Input" source node feeding the universal
+    /// rules).
+    pub fn to_dot(&self) -> String {
+        let mut dot = String::from("digraph rules_dependency {\n  rankdir=LR;\n");
+        dot.push_str("  universal_input [label=\"Universal Input\", shape=box];\n");
+        for (i, name) in self.names.iter().enumerate() {
+            let _ = writeln!(dot, "  r{i} [label=\"{name}\"];");
+        }
+        for i in self.universal_inputs() {
+            let _ = writeln!(dot, "  universal_input -> r{i};");
+        }
+        for (i, succs) in self.succ.iter().enumerate() {
+            for &j in succs {
+                let _ = writeln!(dot, "  r{i} -> r{j};");
+            }
+        }
+        dot.push_str("}\n");
+        dot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slider_model::vocab::{RDFS_SUB_CLASS_OF, RDF_TYPE};
+    use slider_model::Dictionary;
+    use std::sync::Arc;
+
+    #[test]
+    fn rho_df_graph_matches_figure2() {
+        let g = DependencyGraph::build(&Ruleset::rho_df());
+        assert_eq!(g.len(), 8);
+
+        // Figure 2: PRP-DOM, PRP-RNG, PRP-SPO1 take universal input.
+        let universal: Vec<&str> = g
+            .universal_inputs()
+            .into_iter()
+            .map(|i| g.name(i))
+            .collect();
+        assert_eq!(universal, vec!["PRP-DOM", "PRP-RNG", "PRP-SPO1"]);
+
+        // The worked example from §2.3: "the directed edge from rule
+        // SCM-SCO to CAX-SCO depicts that output of first rule, a
+        // subclassOf relation can be used as an input for second rule".
+        assert!(g.has_edge_named("SCM-SCO", "CAX-SCO"));
+
+        // Transitive rules feed themselves.
+        assert!(g.has_edge_named("SCM-SCO", "SCM-SCO"));
+        assert!(g.has_edge_named("SCM-SPO", "SCM-SPO"));
+
+        // subPropertyOf flows into the dom/rng schema rules.
+        assert!(g.has_edge_named("SCM-SPO", "SCM-DOM2"));
+        assert!(g.has_edge_named("SCM-SPO", "SCM-RNG2"));
+
+        // type-producers feed CAX-SCO.
+        for producer in ["PRP-DOM", "PRP-RNG", "CAX-SCO"] {
+            assert!(
+                g.has_edge_named(producer, "CAX-SCO"),
+                "{producer} → CAX-SCO"
+            );
+        }
+
+        // Everything feeds the universal-input rules.
+        for from in 0..g.len() {
+            for to_name in ["PRP-DOM", "PRP-RNG", "PRP-SPO1"] {
+                assert!(
+                    g.has_edge(from, g.index_of(to_name).unwrap()),
+                    "{} → {to_name}",
+                    g.name(from)
+                );
+            }
+        }
+
+        // PRP-SPO1 (universal output) feeds everything.
+        let spo1 = g.index_of("PRP-SPO1").unwrap();
+        for to in 0..g.len() {
+            assert!(g.has_edge(spo1, to));
+        }
+
+        // Negative cases: type-producers do not feed the schema-only rules.
+        assert!(!g.has_edge_named("CAX-SCO", "SCM-SCO"));
+        assert!(!g.has_edge_named("PRP-DOM", "SCM-DOM2"));
+        assert!(!g.has_edge_named("SCM-DOM2", "SCM-SCO"));
+        assert!(!g.has_edge_named("SCM-RNG2", "SCM-DOM2"));
+    }
+
+    /// Pin the exact ρdf edge set: 8 rules; every rule feeds the 3
+    /// universal ones; plus the predicate-mediated edges.
+    #[test]
+    fn rho_df_exact_edge_count() {
+        let g = DependencyGraph::build(&Ruleset::rho_df());
+        let mut expected = 0usize;
+        // every rule → 3 universal-input rules
+        expected += 8 * 3;
+        // PRP-SPO1 (universal out) → the 5 non-universal rules
+        expected += 5;
+        // sco producers (CAX? no — CAX-SCO emits type) :
+        // SCM-SCO (sco) → {CAX-SCO, SCM-SCO}
+        expected += 2;
+        // SCM-SPO (spo) → {SCM-SPO, SCM-DOM2, SCM-RNG2}
+        expected += 3;
+        // SCM-DOM2 (dom) → {SCM-DOM2}
+        expected += 1;
+        // SCM-RNG2 (rng) → {SCM-RNG2}
+        expected += 1;
+        // type producers CAX-SCO, PRP-DOM, PRP-RNG → {CAX-SCO}
+        expected += 3;
+        assert_eq!(g.edge_count(), expected, "\n{}", g.to_dot());
+    }
+
+    #[test]
+    fn rdfs_graph_wires_structural_rules() {
+        let dict = Arc::new(Dictionary::new());
+        let g = DependencyGraph::build(&Ruleset::rdfs(&dict));
+        // rdfs8 emits subClassOf → feeds SCM-SCO and CAX-SCO.
+        assert!(g.has_edge_named("RDFS8", "SCM-SCO"));
+        assert!(g.has_edge_named("RDFS8", "CAX-SCO"));
+        // rdfs6 emits subPropertyOf → feeds SCM-SPO and PRP-SPO1.
+        assert!(g.has_edge_named("RDFS6", "SCM-SPO"));
+        assert!(g.has_edge_named("RDFS6", "PRP-SPO1"));
+        // rdfs4a emits type → feeds the type-filtered structural rules.
+        assert!(g.has_edge_named("RDFS4A", "RDFS8"));
+        assert!(g.has_edge_named("RDFS4A", "RDFS10"));
+        // …but not the sco-only rule.
+        assert!(!g.has_edge_named("RDFS4A", "SCM-SCO"));
+    }
+
+    #[test]
+    fn entry_routes_by_predicate() {
+        let g = DependencyGraph::build(&Ruleset::rho_df());
+        let sco_routes: Vec<&str> = g
+            .entry_routes(RDFS_SUB_CLASS_OF)
+            .map(|i| g.name(i))
+            .collect();
+        assert_eq!(
+            sco_routes,
+            vec!["CAX-SCO", "SCM-SCO", "PRP-DOM", "PRP-RNG", "PRP-SPO1"]
+        );
+        let type_routes: Vec<&str> = g.entry_routes(RDF_TYPE).map(|i| g.name(i)).collect();
+        assert_eq!(
+            type_routes,
+            vec!["CAX-SCO", "PRP-DOM", "PRP-RNG", "PRP-SPO1"]
+        );
+        // A random predicate only reaches the universal rules.
+        let other: Vec<&str> = g
+            .entry_routes(slider_model::NodeId(99_999))
+            .map(|i| g.name(i))
+            .collect();
+        assert_eq!(other, vec!["PRP-DOM", "PRP-RNG", "PRP-SPO1"]);
+    }
+
+    #[test]
+    fn dot_export_contains_nodes_and_edges() {
+        let g = DependencyGraph::build(&Ruleset::rho_df());
+        let dot = g.to_dot();
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("Universal Input"));
+        assert!(dot.contains("CAX-SCO"));
+        // 3 universal-input edges drawn from the source box.
+        assert_eq!(dot.matches("universal_input -> ").count(), 3);
+    }
+
+    #[test]
+    fn empty_ruleset() {
+        let g = DependencyGraph::build(&Ruleset::custom("empty"));
+        assert!(g.is_empty());
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.universal_inputs().is_empty());
+    }
+}

@@ -1,0 +1,48 @@
+//! Inference rules for the Slider reasoner.
+//!
+//! Slider is *fragment agnostic* (paper §1): a fragment is just a set of
+//! rules implementing the [`Rule`] trait, and the reasoner wires them
+//! together at initialisation time through the [`DependencyGraph`]
+//! (paper §2.3, Figure 2).
+//!
+//! This crate ships the two fragments the paper supports natively:
+//!
+//! * **ρdf** ([`Ruleset::rho_df`]) — the minimal RDFS fragment of Muñoz,
+//!   Pérez & Gutierrez, as the eight rules of the paper's Figure 2:
+//!   `CAX-SCO`, `SCM-SCO`, `SCM-SPO`, `SCM-DOM2`, `SCM-RNG2`, `PRP-DOM`,
+//!   `PRP-RNG`, `PRP-SPO1` (OWL 2 RL rule names, after Motik et al.);
+//! * **RDFS** ([`Ruleset::rdfs`]) — ρdf plus the structural RDFS entailment
+//!   rules rdfs1, rdfs4a, rdfs4b, rdfs6, rdfs8, rdfs10, rdfs12, rdfs13.
+//!
+//! Custom rules plug in exactly like the built-ins (the paper exposes Java
+//! interfaces for this; here it is the [`Rule`] trait — see
+//! `examples/custom_rule.rs`).
+//!
+//! ## Rule application contract
+//!
+//! [`Rule::apply`] is *semi-naive*: it joins a `delta` of newly added
+//! triples against the full store, in both directions (paper Algorithm 1).
+//! The caller guarantees `delta ⊆ store` — incoming triples are inserted
+//! into the store *before* being dispatched (Figure 1) — which makes the
+//! two one-sided joins cover the `delta × delta` case as well.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod axioms;
+mod graph;
+mod rdfs;
+mod rdfs_plus;
+mod rho_df;
+mod rule;
+mod ruleset;
+
+pub use axioms::axiomatic_triples;
+pub use graph::DependencyGraph;
+pub use rdfs::{Rdfs1, Rdfs10, Rdfs12, Rdfs13, Rdfs4a, Rdfs4b, Rdfs6, Rdfs8};
+pub use rdfs_plus::{
+    EqRepO, EqRepP, EqRepS, EqSym, EqTrans, PrpFp, PrpIfp, PrpInv, PrpSymp, PrpTrp, ScmEqc, ScmEqp,
+};
+pub use rho_df::{CaxSco, PrpDom, PrpRng, PrpSpo1, ScmDom2, ScmRng2, ScmSco, ScmSpo};
+pub use rule::{InputFilter, OutputSignature, Rule};
+pub use ruleset::{Fragment, RdfsConfig, Ruleset};

@@ -1,0 +1,311 @@
+//! Rulesets: named collections of rules forming a fragment.
+
+use crate::rdfs::{Rdfs1, Rdfs10, Rdfs12, Rdfs13, Rdfs4a, Rdfs4b, Rdfs6, Rdfs8};
+use crate::rho_df::{CaxSco, PrpDom, PrpRng, PrpSpo1, ScmDom2, ScmRng2, ScmSco, ScmSpo};
+use crate::rule::Rule;
+use slider_model::Dictionary;
+use std::sync::Arc;
+
+/// The fragments the paper supports natively, plus the RDFS-Plus
+/// extension this reproduction adds (the paper's §5 future work).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fragment {
+    /// The minimal ρdf fragment (8 rules, Figure 2).
+    RhoDf,
+    /// Full RDFS (ρdf + 8 structural rules).
+    Rdfs,
+    /// RDFS-Plus: RDFS + sameAs equality, inverse/symmetric/transitive and
+    /// (inverse-)functional properties, class/property equivalence.
+    RdfsPlus,
+}
+
+impl Fragment {
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fragment::RhoDf => "rho-df",
+            Fragment::Rdfs => "RDFS",
+            Fragment::RdfsPlus => "RDFS-Plus",
+        }
+    }
+}
+
+impl std::fmt::Display for Fragment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Options for the RDFS fragment (see `rdfs` module docs for the
+/// generalised-RDF notes).
+#[derive(Debug, Clone, Copy)]
+pub struct RdfsConfig {
+    /// Enable rdfs1 (`(x p l) ⊢ (l type Literal)`, generalised). Default on.
+    pub literal_typing: bool,
+    /// Enable rdfs4a/rdfs4b (`type Resource` for subjects/objects).
+    /// Default on — this is what makes RDFS closures so much larger than
+    /// ρdf in Table 1.
+    pub resource_typing: bool,
+    /// rdfs4b also types literal objects (generalised RDF). Default off.
+    pub type_literal_objects: bool,
+    /// Enable the class/property structural rules rdfs6/8/10/12/13.
+    /// Default on.
+    pub structural_rules: bool,
+}
+
+impl Default for RdfsConfig {
+    fn default() -> Self {
+        RdfsConfig {
+            literal_typing: true,
+            resource_typing: true,
+            type_literal_objects: false,
+            structural_rules: true,
+        }
+    }
+}
+
+/// A named, ordered collection of rules — the unit the reasoner is
+/// initialised with.
+#[derive(Clone)]
+pub struct Ruleset {
+    name: String,
+    rules: Vec<Arc<dyn Rule>>,
+}
+
+impl Ruleset {
+    /// An empty custom ruleset.
+    pub fn custom(name: impl Into<String>) -> Self {
+        Ruleset {
+            name: name.into(),
+            rules: Vec::new(),
+        }
+    }
+
+    /// The ρdf fragment (paper Figure 2: 8 rules).
+    pub fn rho_df() -> Self {
+        let mut rs = Ruleset::custom("rho-df");
+        rs.push(CaxSco);
+        rs.push(ScmSco);
+        rs.push(ScmSpo);
+        rs.push(ScmDom2);
+        rs.push(ScmRng2);
+        rs.push(PrpDom);
+        rs.push(PrpRng);
+        rs.push(PrpSpo1);
+        rs
+    }
+
+    /// The RDFS fragment with default options.
+    pub fn rdfs(dict: &Arc<Dictionary>) -> Self {
+        Ruleset::rdfs_with(dict, RdfsConfig::default())
+    }
+
+    /// The RDFS fragment with explicit options.
+    pub fn rdfs_with(dict: &Arc<Dictionary>, config: RdfsConfig) -> Self {
+        let mut rs = Ruleset::rho_df();
+        rs.name = "RDFS".to_owned();
+        if config.literal_typing {
+            rs.push(Rdfs1::new(Arc::clone(dict)));
+        }
+        if config.resource_typing {
+            rs.push(Rdfs4a);
+            if config.type_literal_objects {
+                rs.push(Rdfs4b::with_literals(Arc::clone(dict)));
+            } else {
+                rs.push(Rdfs4b::new(Arc::clone(dict)));
+            }
+        }
+        if config.structural_rules {
+            rs.push(Rdfs6);
+            rs.push(Rdfs8);
+            rs.push(Rdfs10);
+            rs.push(Rdfs12);
+            rs.push(Rdfs13);
+        }
+        rs
+    }
+
+    /// The RDFS-Plus fragment: RDFS plus the rule-expressible OWL core.
+    pub fn rdfs_plus(dict: &Arc<Dictionary>) -> Self {
+        use crate::rdfs_plus::*;
+        let mut rs = Ruleset::rdfs(dict);
+        rs.name = "RDFS-Plus".to_owned();
+        rs.push(EqSym);
+        rs.push(EqTrans);
+        rs.push(EqRepS);
+        rs.push(EqRepP);
+        rs.push(EqRepO);
+        rs.push(PrpInv);
+        rs.push(PrpSymp);
+        rs.push(PrpTrp);
+        rs.push(PrpFp);
+        rs.push(PrpIfp);
+        rs.push(ScmEqc);
+        rs.push(ScmEqp);
+        rs
+    }
+
+    /// Builds a native fragment by name.
+    pub fn fragment(fragment: Fragment, dict: &Arc<Dictionary>) -> Self {
+        match fragment {
+            Fragment::RhoDf => Ruleset::rho_df(),
+            Fragment::Rdfs => Ruleset::rdfs(dict),
+            Fragment::RdfsPlus => Ruleset::rdfs_plus(dict),
+        }
+    }
+
+    /// Adds a rule (builder-style also available via [`Ruleset::with`]).
+    pub fn push<R: Rule + 'static>(&mut self, rule: R) {
+        self.rules.push(Arc::new(rule));
+    }
+
+    /// Adds an already-shared rule.
+    pub fn push_arc(&mut self, rule: Arc<dyn Rule>) {
+        self.rules.push(rule);
+    }
+
+    /// Builder-style [`Ruleset::push`].
+    pub fn with<R: Rule + 'static>(mut self, rule: R) -> Self {
+        self.push(rule);
+        self
+    }
+
+    /// The ruleset name ("rho-df", "RDFS", or custom).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The rules, in declaration order.
+    pub fn rules(&self) -> &[Arc<dyn Rule>] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if the ruleset holds no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Rule names, in order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.rules.iter().map(|r| r.name()).collect()
+    }
+
+    /// Index of the rule with `name`, if present.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.rules.iter().position(|r| r.name() == name)
+    }
+}
+
+impl std::fmt::Debug for Ruleset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ruleset")
+            .field("name", &self.name)
+            .field("rules", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rho_df_has_figure2_rules() {
+        let rs = Ruleset::rho_df();
+        assert_eq!(
+            rs.names(),
+            vec![
+                "CAX-SCO", "SCM-SCO", "SCM-SPO", "SCM-DOM2", "SCM-RNG2", "PRP-DOM", "PRP-RNG",
+                "PRP-SPO1"
+            ]
+        );
+        assert_eq!(rs.name(), "rho-df");
+    }
+
+    #[test]
+    fn rdfs_extends_rho_df() {
+        let dict = Arc::new(Dictionary::new());
+        let rs = Ruleset::rdfs(&dict);
+        assert_eq!(rs.len(), 16);
+        assert_eq!(rs.name(), "RDFS");
+        for rho in Ruleset::rho_df().names() {
+            assert!(rs.names().contains(&rho), "missing {rho}");
+        }
+        for extra in [
+            "RDFS1", "RDFS4A", "RDFS4B", "RDFS6", "RDFS8", "RDFS10", "RDFS12", "RDFS13",
+        ] {
+            assert!(rs.names().contains(&extra), "missing {extra}");
+        }
+    }
+
+    #[test]
+    fn rdfs_config_toggles() {
+        let dict = Arc::new(Dictionary::new());
+        let slim = Ruleset::rdfs_with(
+            &dict,
+            RdfsConfig {
+                literal_typing: false,
+                resource_typing: false,
+                type_literal_objects: false,
+                structural_rules: false,
+            },
+        );
+        assert_eq!(slim.len(), 8); // just ρdf
+        let no_structural = Ruleset::rdfs_with(
+            &dict,
+            RdfsConfig {
+                structural_rules: false,
+                ..RdfsConfig::default()
+            },
+        );
+        assert_eq!(no_structural.len(), 11);
+    }
+
+    #[test]
+    fn index_of() {
+        let rs = Ruleset::rho_df();
+        assert_eq!(rs.index_of("CAX-SCO"), Some(0));
+        assert_eq!(rs.index_of("PRP-SPO1"), Some(7));
+        assert_eq!(rs.index_of("NOPE"), None);
+    }
+
+    #[test]
+    fn fragment_constructor() {
+        let dict = Arc::new(Dictionary::new());
+        assert_eq!(Ruleset::fragment(Fragment::RhoDf, &dict).len(), 8);
+        assert_eq!(Ruleset::fragment(Fragment::Rdfs, &dict).len(), 16);
+        assert_eq!(Ruleset::fragment(Fragment::RdfsPlus, &dict).len(), 28);
+        assert_eq!(Fragment::RhoDf.name(), "rho-df");
+        assert_eq!(Fragment::Rdfs.to_string(), "RDFS");
+        assert_eq!(Fragment::RdfsPlus.name(), "RDFS-Plus");
+    }
+
+    #[test]
+    fn rdfs_plus_extends_rdfs() {
+        let dict = Arc::new(Dictionary::new());
+        let rs = Ruleset::rdfs_plus(&dict);
+        assert_eq!(rs.name(), "RDFS-Plus");
+        for base in Ruleset::rdfs(&dict).names() {
+            assert!(rs.names().contains(&base), "missing {base}");
+        }
+        for extra in [
+            "EQ-SYM", "EQ-TRANS", "EQ-REP-S", "EQ-REP-P", "EQ-REP-O", "PRP-INV", "PRP-SYMP",
+            "PRP-TRP", "PRP-FP", "PRP-IFP", "SCM-EQC", "SCM-EQP",
+        ] {
+            assert!(rs.names().contains(&extra), "missing {extra}");
+        }
+    }
+
+    #[test]
+    fn custom_builder() {
+        let rs = Ruleset::custom("mine").with(CaxSco).with(ScmSco);
+        assert_eq!(rs.len(), 2);
+        assert_eq!(rs.name(), "mine");
+        assert!(!rs.is_empty());
+    }
+}

@@ -1,0 +1,184 @@
+//! The shared, lock-protected store used by the concurrent reasoner.
+
+use crate::vertical::{StoreStats, VerticalStore};
+use parking_lot::{RwLock, RwLockReadGuard};
+use slider_model::Triple;
+
+/// A [`VerticalStore`] behind a readers-writer lock.
+///
+/// This mirrors the paper's concurrency story (§2.2): "The concurrency of
+/// the triple store is handled by using ReentrantReadWriteLock, which
+/// provides both read and write (during addition of new triples) locks."
+///
+/// Rule instances take the read lock for the duration of one join batch;
+/// distributors take the write lock per inferred batch. Writes return the
+/// subset of triples that were actually new, which is what gets dispatched
+/// onward — the duplicate-limitation mechanism.
+#[derive(Debug, Default)]
+pub struct ConcurrentStore {
+    inner: RwLock<VerticalStore>,
+}
+
+impl ConcurrentStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        ConcurrentStore::default()
+    }
+
+    /// Wraps an existing store.
+    pub fn from_store(store: VerticalStore) -> Self {
+        ConcurrentStore {
+            inner: RwLock::new(store),
+        }
+    }
+
+    /// Inserts a batch under one write lock; appends the *new* triples to
+    /// `fresh` and returns how many were new.
+    pub fn insert_batch(&self, triples: &[Triple], fresh: &mut Vec<Triple>) -> usize {
+        if triples.is_empty() {
+            return 0;
+        }
+        self.inner.write().insert_batch(triples, fresh)
+    }
+
+    /// Inserts one triple; returns `true` if new.
+    pub fn insert(&self, t: Triple) -> bool {
+        self.inner.write().insert(t)
+    }
+
+    /// True if `t` is present.
+    pub fn contains(&self, t: Triple) -> bool {
+        self.inner.read().contains(t)
+    }
+
+    /// Acquires the read lock for a batch of queries (one lock per rule
+    /// application, not per lookup).
+    pub fn read(&self) -> RwLockReadGuard<'_, VerticalStore> {
+        self.inner.read()
+    }
+
+    /// Total number of triples.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Store statistics snapshot.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.read().stats()
+    }
+
+    /// Sorted snapshot of all triples (deterministic; for tests/reports).
+    pub fn to_sorted_vec(&self) -> Vec<Triple> {
+        self.inner.read().to_sorted_vec()
+    }
+
+    /// Consumes the wrapper, returning the inner store.
+    pub fn into_inner(self) -> VerticalStore {
+        self.inner.into_inner()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slider_model::NodeId;
+    use std::sync::Arc;
+
+    fn t(s: u64, p: u64, o: u64) -> Triple {
+        Triple::new(NodeId(s), NodeId(p), NodeId(o))
+    }
+
+    #[test]
+    fn batch_insert_dedups() {
+        let st = ConcurrentStore::new();
+        let mut fresh = Vec::new();
+        assert_eq!(st.insert_batch(&[t(1, 2, 3), t(1, 2, 3)], &mut fresh), 1);
+        assert_eq!(fresh, vec![t(1, 2, 3)]);
+        fresh.clear();
+        assert_eq!(st.insert_batch(&[t(1, 2, 3)], &mut fresh), 0);
+        assert!(fresh.is_empty());
+        assert_eq!(st.len(), 1);
+    }
+
+    #[test]
+    fn empty_batch_short_circuits() {
+        let st = ConcurrentStore::new();
+        let mut fresh = Vec::new();
+        assert_eq!(st.insert_batch(&[], &mut fresh), 0);
+    }
+
+    #[test]
+    fn read_guard_queries() {
+        let st = ConcurrentStore::new();
+        st.insert(t(1, 10, 2));
+        st.insert(t(1, 10, 3));
+        let guard = st.read();
+        assert_eq!(guard.objects_with(NodeId(10), NodeId(1)).count(), 2);
+    }
+
+    #[test]
+    fn concurrent_writers_never_lose_or_duplicate() {
+        let st = Arc::new(ConcurrentStore::new());
+        let threads = 8;
+        let per_thread = 1_000;
+        let mut handles = Vec::new();
+        for tid in 0..threads {
+            let st = Arc::clone(&st);
+            handles.push(std::thread::spawn(move || {
+                let mut fresh = Vec::new();
+                let mut new_count = 0;
+                for i in 0..per_thread {
+                    // Half the keys collide across threads.
+                    let key = if i % 2 == 0 { i } else { i * 1_000 + tid };
+                    new_count += st.insert_batch(&[t(key as u64, 1, 1)], &mut fresh);
+                }
+                new_count
+            }));
+        }
+        let total_new: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // Every insert that reported "new" corresponds to exactly one stored
+        // triple, regardless of interleaving.
+        assert_eq!(total_new, st.len());
+        // Colliding keys stored once: evens are shared across all threads.
+        let evens = (0..per_thread).filter(|i| i % 2 == 0).count();
+        let odds = (per_thread / 2) * threads;
+        assert_eq!(st.len(), evens + odds);
+    }
+
+    #[test]
+    fn readers_run_during_reasoning_shape() {
+        // Simulates the rule-instance pattern: grab guard, many lookups.
+        let st = Arc::new(ConcurrentStore::new());
+        for i in 0..100 {
+            st.insert(t(i, 7, i + 1));
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let st = Arc::clone(&st);
+            handles.push(std::thread::spawn(move || {
+                let g = st.read();
+                (0..100)
+                    .map(|i| g.objects_with(NodeId(7), NodeId(i)).count())
+                    .sum::<usize>()
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 100);
+        }
+    }
+
+    #[test]
+    fn into_inner_roundtrip() {
+        let st = ConcurrentStore::new();
+        st.insert(t(1, 2, 3));
+        let inner = st.into_inner();
+        assert!(inner.contains(t(1, 2, 3)));
+        let st2 = ConcurrentStore::from_store(inner);
+        assert_eq!(st2.len(), 1);
+    }
+}

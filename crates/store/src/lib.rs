@@ -1,0 +1,36 @@
+//! The vertically partitioned triple store (paper §2.2).
+//!
+//! > "In order to achieve high performance Slider uses a vertical
+//! > partitioning approach … where triples are first indexed by predicates,
+//! > later by subjects and finally by objects."
+//!
+//! [`VerticalStore`] keeps one [`PropertyTable`] per predicate; each table
+//! indexes its (subject, object) pairs both ways. Every pattern the ρdf and
+//! RDFS rules need resolves to one hash lookup plus an iteration:
+//!
+//! * `(p, s, ?)` → `objects_with`
+//! * `(p, ?, o)` → `subjects_with`
+//! * `(p, ?, ?)` → `pairs`
+//! * `(?, ?, ?)` → `iter` (full walk, needed by the universal-input rules)
+//!
+//! The hash-set leaves make insertion idempotent, which is the paper's
+//! "duplicate management in triple store": `insert` reports whether the
+//! triple was new, and the distributor uses exactly that signal to stop
+//! duplicates from re-entering the rule pipeline.
+//!
+//! [`ConcurrentStore`] wraps the store in a readers-writer lock (the paper
+//! uses a `ReentrantReadWriteLock`): many rule instances read concurrently
+//! while distributors serialise their batched writes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod concurrent;
+mod pattern;
+mod table;
+mod vertical;
+
+pub use concurrent::ConcurrentStore;
+pub use pattern::TriplePattern;
+pub use table::PropertyTable;
+pub use vertical::{StoreStats, VerticalStore};

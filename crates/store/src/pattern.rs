@@ -1,0 +1,112 @@
+//! Triple patterns: triples with optional wildcard positions.
+
+use slider_model::{NodeId, Triple};
+
+/// A triple pattern; `None` positions are wildcards.
+///
+/// Used by [`VerticalStore::matches`](crate::VerticalStore::matches) and in
+/// tests as a declarative query form. The reasoner's hot paths use the
+/// specialised accessors instead (they avoid the per-position branch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TriplePattern {
+    /// Subject, or wildcard.
+    pub s: Option<NodeId>,
+    /// Predicate, or wildcard.
+    pub p: Option<NodeId>,
+    /// Object, or wildcard.
+    pub o: Option<NodeId>,
+}
+
+impl TriplePattern {
+    /// The all-wildcard pattern.
+    pub const ANY: TriplePattern = TriplePattern {
+        s: None,
+        p: None,
+        o: None,
+    };
+
+    /// Builds a pattern from optional positions.
+    pub fn new(s: Option<NodeId>, p: Option<NodeId>, o: Option<NodeId>) -> Self {
+        TriplePattern { s, p, o }
+    }
+
+    /// Pattern with only the predicate bound.
+    pub fn with_p(p: NodeId) -> Self {
+        TriplePattern {
+            s: None,
+            p: Some(p),
+            o: None,
+        }
+    }
+
+    /// Pattern with predicate and subject bound.
+    pub fn with_ps(p: NodeId, s: NodeId) -> Self {
+        TriplePattern {
+            s: Some(s),
+            p: Some(p),
+            o: None,
+        }
+    }
+
+    /// Pattern with predicate and object bound.
+    pub fn with_po(p: NodeId, o: NodeId) -> Self {
+        TriplePattern {
+            s: None,
+            p: Some(p),
+            o: Some(o),
+        }
+    }
+
+    /// True if `t` matches this pattern.
+    #[inline]
+    pub fn matches(&self, t: Triple) -> bool {
+        self.s.map_or(true, |s| s == t.s)
+            && self.p.map_or(true, |p| p == t.p)
+            && self.o.map_or(true, |o| o == t.o)
+    }
+
+    /// Number of bound positions (0–3); a selectivity proxy.
+    pub fn bound_positions(&self) -> usize {
+        usize::from(self.s.is_some())
+            + usize::from(self.p.is_some())
+            + usize::from(self.o.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64, p: u64, o: u64) -> Triple {
+        Triple::new(NodeId(s), NodeId(p), NodeId(o))
+    }
+
+    #[test]
+    fn any_matches_everything() {
+        assert!(TriplePattern::ANY.matches(t(1, 2, 3)));
+        assert_eq!(TriplePattern::ANY.bound_positions(), 0);
+    }
+
+    #[test]
+    fn bound_positions_filter() {
+        let pat = TriplePattern::with_p(NodeId(2));
+        assert!(pat.matches(t(1, 2, 3)));
+        assert!(!pat.matches(t(1, 9, 3)));
+
+        let pat = TriplePattern::with_ps(NodeId(2), NodeId(1));
+        assert!(pat.matches(t(1, 2, 3)));
+        assert!(!pat.matches(t(5, 2, 3)));
+
+        let pat = TriplePattern::with_po(NodeId(2), NodeId(3));
+        assert!(pat.matches(t(1, 2, 3)));
+        assert!(!pat.matches(t(1, 2, 4)));
+    }
+
+    #[test]
+    fn fully_bound() {
+        let pat = TriplePattern::new(Some(NodeId(1)), Some(NodeId(2)), Some(NodeId(3)));
+        assert!(pat.matches(t(1, 2, 3)));
+        assert!(!pat.matches(t(1, 2, 9)));
+        assert_eq!(pat.bound_positions(), 3);
+    }
+}

@@ -1,0 +1,227 @@
+//! The per-predicate table: (subject, object) pairs indexed both ways.
+
+use slider_model::{FxHashMap, FxHashSet, NodeId};
+
+/// All triples sharing one predicate, as a bidirectional adjacency index.
+///
+/// This is the unit of vertical partitioning: `by_s` answers `(p, s, ?)`,
+/// `by_o` answers `(p, ?, o)`. Both indexes are kept in lock-step by
+/// [`PropertyTable::add`].
+///
+/// The object index can be disabled
+/// ([`PropertyTable::without_object_index`]) to measure the value of the
+/// paper's "multiple indexing (on predicates, subjects and objects)"
+/// claim — `subjects` then degrades to a partition scan. Used by the
+/// ablation benchmark only.
+#[derive(Debug, Clone)]
+pub struct PropertyTable {
+    by_s: FxHashMap<NodeId, FxHashSet<NodeId>>,
+    /// `None` when the object index is disabled.
+    by_o: Option<FxHashMap<NodeId, FxHashSet<NodeId>>>,
+    len: usize,
+}
+
+impl Default for PropertyTable {
+    fn default() -> Self {
+        PropertyTable::new()
+    }
+}
+
+impl PropertyTable {
+    /// An empty table with both indexes.
+    pub fn new() -> Self {
+        PropertyTable {
+            by_s: FxHashMap::default(),
+            by_o: Some(FxHashMap::default()),
+            len: 0,
+        }
+    }
+
+    /// An empty table with the object index disabled (ablation mode).
+    pub fn without_object_index() -> Self {
+        PropertyTable {
+            by_s: FxHashMap::default(),
+            by_o: None,
+            len: 0,
+        }
+    }
+
+    /// Inserts the pair; returns `true` if it was not present.
+    pub fn add(&mut self, s: NodeId, o: NodeId) -> bool {
+        let inserted = self.by_s.entry(s).or_default().insert(o);
+        if inserted {
+            if let Some(by_o) = &mut self.by_o {
+                by_o.entry(o).or_default().insert(s);
+            }
+            self.len += 1;
+        }
+        inserted
+    }
+
+    /// True if the pair is present.
+    pub fn contains(&self, s: NodeId, o: NodeId) -> bool {
+        self.by_s.get(&s).is_some_and(|set| set.contains(&o))
+    }
+
+    /// Objects `o` with `(s, o)` in the table.
+    pub fn objects(&self, s: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.by_s.get(&s).into_iter().flatten().copied()
+    }
+
+    /// Subjects `s` with `(s, o)` in the table.
+    ///
+    /// Indexed lookup normally; a partition scan when the object index is
+    /// disabled.
+    pub fn subjects(&self, o: NodeId) -> Box<dyn Iterator<Item = NodeId> + '_> {
+        match &self.by_o {
+            Some(by_o) => Box::new(by_o.get(&o).into_iter().flatten().copied()),
+            None => Box::new(
+                self.by_s
+                    .iter()
+                    .filter(move |(_, objs)| objs.contains(&o))
+                    .map(|(&s, _)| s),
+            ),
+        }
+    }
+
+    /// All `(s, o)` pairs.
+    pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.by_s
+            .iter()
+            .flat_map(|(&s, objs)| objs.iter().map(move |&o| (s, o)))
+    }
+
+    /// Distinct subjects.
+    pub fn subject_keys(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.by_s.keys().copied()
+    }
+
+    /// Distinct objects (computed by scan when the object index is off).
+    pub fn object_keys(&self) -> Vec<NodeId> {
+        match &self.by_o {
+            Some(by_o) => by_o.keys().copied().collect(),
+            None => {
+                let mut all: Vec<NodeId> = self.by_s.values().flatten().copied().collect();
+                all.sort_unstable();
+                all.dedup();
+                all
+            }
+        }
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the table holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Fan-out of subject `s` (number of objects), 0 if absent.
+    pub fn out_degree(&self, s: NodeId) -> usize {
+        self.by_s.get(&s).map_or(0, FxHashSet::len)
+    }
+
+    /// Fan-in of object `o` (number of subjects), 0 if absent.
+    pub fn in_degree(&self, o: NodeId) -> usize {
+        match &self.by_o {
+            Some(by_o) => by_o.get(&o).map_or(0, FxHashSet::len),
+            None => self.subjects(o).count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(v: u64) -> NodeId {
+        NodeId(v)
+    }
+
+    #[test]
+    fn add_and_contains() {
+        let mut t = PropertyTable::new();
+        assert!(t.add(n(1), n(2)));
+        assert!(t.contains(n(1), n(2)));
+        assert!(!t.contains(n(2), n(1)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn add_is_idempotent() {
+        let mut t = PropertyTable::new();
+        assert!(t.add(n(1), n(2)));
+        assert!(!t.add(n(1), n(2)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn both_indexes_stay_consistent() {
+        let mut t = PropertyTable::new();
+        t.add(n(1), n(2));
+        t.add(n(1), n(3));
+        t.add(n(4), n(2));
+        let mut objs: Vec<_> = t.objects(n(1)).collect();
+        objs.sort();
+        assert_eq!(objs, vec![n(2), n(3)]);
+        let mut subs: Vec<_> = t.subjects(n(2)).collect();
+        subs.sort();
+        assert_eq!(subs, vec![n(1), n(4)]);
+        assert_eq!(t.out_degree(n(1)), 2);
+        assert_eq!(t.in_degree(n(2)), 2);
+        assert_eq!(t.out_degree(n(99)), 0);
+    }
+
+    #[test]
+    fn pairs_enumerates_everything() {
+        let mut t = PropertyTable::new();
+        t.add(n(1), n(2));
+        t.add(n(3), n(4));
+        let mut pairs: Vec<_> = t.pairs().collect();
+        pairs.sort();
+        assert_eq!(pairs, vec![(n(1), n(2)), (n(3), n(4))]);
+    }
+
+    #[test]
+    fn missing_keys_iterate_empty() {
+        let t = PropertyTable::new();
+        assert_eq!(t.objects(n(1)).count(), 0);
+        assert_eq!(t.subjects(n(1)).count(), 0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn keys() {
+        let mut t = PropertyTable::new();
+        t.add(n(1), n(2));
+        t.add(n(1), n(3));
+        assert_eq!(t.subject_keys().count(), 1);
+        assert_eq!(t.object_keys().len(), 2);
+    }
+
+    #[test]
+    fn scan_mode_matches_indexed_mode() {
+        let mut indexed = PropertyTable::new();
+        let mut scan = PropertyTable::without_object_index();
+        for (s, o) in [(1, 2), (1, 3), (4, 2), (5, 6), (7, 2)] {
+            assert_eq!(indexed.add(n(s), n(o)), scan.add(n(s), n(o)));
+        }
+        for o in [2, 3, 6, 99] {
+            let mut a: Vec<_> = indexed.subjects(n(o)).collect();
+            let mut b: Vec<_> = scan.subjects(n(o)).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "object {o}");
+            assert_eq!(indexed.in_degree(n(o)), scan.in_degree(n(o)));
+        }
+        let mut a = indexed.object_keys();
+        let mut b = scan.object_keys();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        assert_eq!(indexed.len(), scan.len());
+    }
+}

@@ -1,0 +1,348 @@
+//! The single-threaded vertically partitioned store.
+
+use crate::pattern::TriplePattern;
+use crate::table::PropertyTable;
+use slider_model::{FxHashMap, NodeId, Triple};
+
+/// An in-memory triple store, vertically partitioned by predicate.
+///
+/// Insertion is idempotent (duplicate triples are detected and rejected),
+/// and every rule-relevant access pattern is a hash lookup — see the crate
+/// docs for the index rationale.
+#[derive(Debug, Clone)]
+pub struct VerticalStore {
+    tables: FxHashMap<NodeId, PropertyTable>,
+    len: usize,
+    object_index: bool,
+}
+
+impl Default for VerticalStore {
+    fn default() -> Self {
+        VerticalStore::new()
+    }
+}
+
+/// Summary statistics of a store (used by the demo player and reports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Total number of distinct triples.
+    pub triples: usize,
+    /// Number of distinct predicates (= vertical partitions).
+    pub predicates: usize,
+    /// Size of the largest partition.
+    pub largest_partition: usize,
+}
+
+impl VerticalStore {
+    /// An empty store with full indexing.
+    pub fn new() -> Self {
+        VerticalStore {
+            tables: FxHashMap::default(),
+            len: 0,
+            object_index: true,
+        }
+    }
+
+    /// An empty store without the per-predicate object index — the
+    /// "predicate + subject only" indexing ablation (see `PropertyTable`).
+    pub fn without_object_index() -> Self {
+        VerticalStore {
+            tables: FxHashMap::default(),
+            len: 0,
+            object_index: false,
+        }
+    }
+
+    /// Inserts `t`; returns `true` if it was new.
+    pub fn insert(&mut self, t: Triple) -> bool {
+        let object_index = self.object_index;
+        let inserted = self
+            .tables
+            .entry(t.p)
+            .or_insert_with(|| {
+                if object_index {
+                    PropertyTable::new()
+                } else {
+                    PropertyTable::without_object_index()
+                }
+            })
+            .add(t.s, t.o);
+        if inserted {
+            self.len += 1;
+        }
+        inserted
+    }
+
+    /// Inserts a batch, appending the *new* triples to `fresh`.
+    /// Returns how many were new.
+    pub fn insert_batch(&mut self, triples: &[Triple], fresh: &mut Vec<Triple>) -> usize {
+        let before = fresh.len();
+        for &t in triples {
+            if self.insert(t) {
+                fresh.push(t);
+            }
+        }
+        fresh.len() - before
+    }
+
+    /// True if `t` is present.
+    pub fn contains(&self, t: Triple) -> bool {
+        self.tables
+            .get(&t.p)
+            .is_some_and(|tab| tab.contains(t.s, t.o))
+    }
+
+    /// Total number of triples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the store holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The partition for predicate `p`, if any triple uses it.
+    pub fn table(&self, p: NodeId) -> Option<&PropertyTable> {
+        self.tables.get(&p)
+    }
+
+    /// Objects `o` such that `(s, p, o)` holds — the `(p, s, ?)` pattern.
+    pub fn objects_with(&self, p: NodeId, s: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.tables
+            .get(&p)
+            .into_iter()
+            .flat_map(move |t| t.objects(s))
+    }
+
+    /// Subjects `s` such that `(s, p, o)` holds — the `(p, ?, o)` pattern.
+    pub fn subjects_with(&self, p: NodeId, o: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.tables
+            .get(&p)
+            .into_iter()
+            .flat_map(move |t| t.subjects(o))
+    }
+
+    /// All `(s, o)` pairs for predicate `p` — the `(p, ?, ?)` pattern.
+    pub fn pairs(&self, p: NodeId) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.tables
+            .get(&p)
+            .into_iter()
+            .flat_map(PropertyTable::pairs)
+    }
+
+    /// Distinct predicates in use.
+    pub fn predicates(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.tables.keys().copied()
+    }
+
+    /// Iterates over every triple (no ordering guarantee).
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.tables
+            .iter()
+            .flat_map(|(&p, tab)| tab.pairs().map(move |(s, o)| Triple::new(s, p, o)))
+    }
+
+    /// All triples matching `pattern`, routed through the best index.
+    pub fn matches(&self, pattern: TriplePattern) -> Vec<Triple> {
+        match (pattern.s, pattern.p, pattern.o) {
+            (_, Some(p), _) => self.matches_with_p(p, pattern),
+            // Unbound predicate: walk every partition (the paper notes some
+            // OWL rules need the full walk; ρdf/RDFS never take this path in
+            // hot loops).
+            _ => self.iter().filter(|&t| pattern.matches(t)).collect(),
+        }
+    }
+
+    fn matches_with_p(&self, p: NodeId, pattern: TriplePattern) -> Vec<Triple> {
+        let Some(tab) = self.tables.get(&p) else {
+            return Vec::new();
+        };
+        match (pattern.s, pattern.o) {
+            (Some(s), Some(o)) => {
+                if tab.contains(s, o) {
+                    vec![Triple::new(s, p, o)]
+                } else {
+                    Vec::new()
+                }
+            }
+            (Some(s), None) => tab.objects(s).map(|o| Triple::new(s, p, o)).collect(),
+            (None, Some(o)) => tab.subjects(o).map(|s| Triple::new(s, p, o)).collect(),
+            (None, None) => tab.pairs().map(|(s, o)| Triple::new(s, p, o)).collect(),
+        }
+    }
+
+    /// Number of triples with predicate `p`.
+    pub fn count_with_p(&self, p: NodeId) -> usize {
+        self.tables.get(&p).map_or(0, PropertyTable::len)
+    }
+
+    /// Store statistics.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            triples: self.len,
+            predicates: self.tables.len(),
+            largest_partition: self
+                .tables
+                .values()
+                .map(PropertyTable::len)
+                .max()
+                .unwrap_or(0),
+        }
+    }
+
+    /// All triples, sorted — for deterministic comparisons in tests.
+    pub fn to_sorted_vec(&self) -> Vec<Triple> {
+        let mut v: Vec<Triple> = self.iter().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl FromIterator<Triple> for VerticalStore {
+    fn from_iter<I: IntoIterator<Item = Triple>>(iter: I) -> Self {
+        let mut store = VerticalStore::new();
+        for t in iter {
+            store.insert(t);
+        }
+        store
+    }
+}
+
+impl Extend<Triple> for VerticalStore {
+    fn extend<I: IntoIterator<Item = Triple>>(&mut self, iter: I) {
+        for t in iter {
+            self.insert(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64, p: u64, o: u64) -> Triple {
+        Triple::new(NodeId(s), NodeId(p), NodeId(o))
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut st = VerticalStore::new();
+        assert!(st.insert(t(1, 2, 3)));
+        assert!(st.contains(t(1, 2, 3)));
+        assert!(!st.contains(t(3, 2, 1)));
+        assert_eq!(st.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut st = VerticalStore::new();
+        assert!(st.insert(t(1, 2, 3)));
+        assert!(!st.insert(t(1, 2, 3)));
+        assert_eq!(st.len(), 1);
+    }
+
+    #[test]
+    fn insert_batch_reports_fresh_only() {
+        let mut st = VerticalStore::new();
+        st.insert(t(1, 2, 3));
+        let mut fresh = Vec::new();
+        let n = st.insert_batch(
+            &[t(1, 2, 3), t(4, 2, 3), t(4, 2, 3), t(5, 6, 7)],
+            &mut fresh,
+        );
+        assert_eq!(n, 2);
+        assert_eq!(fresh, vec![t(4, 2, 3), t(5, 6, 7)]);
+        assert_eq!(st.len(), 3);
+    }
+
+    #[test]
+    fn indexed_accessors() {
+        let mut st = VerticalStore::new();
+        st.insert(t(1, 10, 2));
+        st.insert(t(1, 10, 3));
+        st.insert(t(4, 10, 2));
+        st.insert(t(1, 20, 2));
+        let mut objs: Vec<_> = st.objects_with(NodeId(10), NodeId(1)).collect();
+        objs.sort();
+        assert_eq!(objs, vec![NodeId(2), NodeId(3)]);
+        let mut subs: Vec<_> = st.subjects_with(NodeId(10), NodeId(2)).collect();
+        subs.sort();
+        assert_eq!(subs, vec![NodeId(1), NodeId(4)]);
+        assert_eq!(st.pairs(NodeId(10)).count(), 3);
+        assert_eq!(st.pairs(NodeId(99)).count(), 0);
+        assert_eq!(st.count_with_p(NodeId(20)), 1);
+    }
+
+    #[test]
+    fn iter_covers_all_partitions() {
+        let mut st = VerticalStore::new();
+        st.insert(t(1, 10, 2));
+        st.insert(t(1, 20, 2));
+        st.insert(t(3, 30, 4));
+        assert_eq!(st.iter().count(), 3);
+        assert_eq!(st.predicates().count(), 3);
+    }
+
+    /// `matches` must agree with a brute-force scan for every pattern shape.
+    #[test]
+    fn matches_agrees_with_reference() {
+        let triples = [
+            t(1, 10, 2),
+            t(1, 10, 3),
+            t(4, 10, 2),
+            t(1, 20, 2),
+            t(5, 20, 6),
+        ];
+        let st: VerticalStore = triples.iter().copied().collect();
+        let ids: Vec<Option<NodeId>> = vec![
+            None,
+            Some(NodeId(1)),
+            Some(NodeId(10)),
+            Some(NodeId(2)),
+            Some(NodeId(99)),
+        ];
+        for &s in &ids {
+            for &p in &ids {
+                for &o in &ids {
+                    let pat = TriplePattern::new(s, p, o);
+                    let mut got = st.matches(pat);
+                    got.sort_unstable();
+                    let mut want: Vec<Triple> = triples
+                        .iter()
+                        .copied()
+                        .filter(|&x| pat.matches(x))
+                        .collect();
+                    want.sort_unstable();
+                    assert_eq!(got, want, "pattern {pat:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats() {
+        let mut st = VerticalStore::new();
+        st.insert(t(1, 10, 2));
+        st.insert(t(2, 10, 3));
+        st.insert(t(1, 20, 2));
+        let s = st.stats();
+        assert_eq!(s.triples, 3);
+        assert_eq!(s.predicates, 2);
+        assert_eq!(s.largest_partition, 2);
+    }
+
+    #[test]
+    fn sorted_vec_is_deterministic() {
+        let st1: VerticalStore = [t(3, 1, 1), t(1, 1, 1), t(2, 1, 1)].into_iter().collect();
+        let st2: VerticalStore = [t(1, 1, 1), t(2, 1, 1), t(3, 1, 1)].into_iter().collect();
+        assert_eq!(st1.to_sorted_vec(), st2.to_sorted_vec());
+    }
+
+    #[test]
+    fn extend_trait() {
+        let mut st = VerticalStore::new();
+        st.extend([t(1, 2, 3), t(4, 5, 6)]);
+        assert_eq!(st.len(), 2);
+    }
+}

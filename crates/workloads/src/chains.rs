@@ -1,0 +1,104 @@
+//! The `subClassOfⁿ` ontologies — Equation 1 of the paper.
+//!
+//! ```text
+//! <1, type, Class>
+//! <i, type, Class>          i ∈ {2, 3, …, n}
+//! <i, subClassOf, (i−1)>    i ∈ {2, 3, …, n}
+//! ```
+//!
+//! "These ontologies are easy to generate but provide the utmost practical
+//! interest due to their complexity. The chain of n rules produce O(n²)
+//! unique triples, however commonly used iterative rules schemes produce
+//! O(n³) triples."
+//!
+//! Under ρdf the closure adds exactly `(n−1)(n−2)/2` `subClassOf` triples
+//! (every pair `(i, j)` with `i − j ≥ 2`), which is what Table 1 reports
+//! (e.g. n = 10 → 36 inferred).
+
+use slider_model::vocab::{RDFS_NS, RDF_NS};
+use slider_model::{Term, TermTriple};
+
+/// Namespace of the chain classes.
+pub const CHAIN_NS: &str = "http://slider.example.org/chain#";
+
+fn class(i: usize) -> Term {
+    Term::iri(format!("{CHAIN_NS}{i}"))
+}
+
+/// Generates the `subClassOfⁿ` ontology per Equation 1 (`2n − 1` triples).
+///
+/// Note: Table 1 lists the input of `subClassOf10` as 20 triples while
+/// Equation 1 produces 19; we implement the equation and document the
+/// off-by-one in EXPERIMENTS.md.
+pub fn subclass_chain(n: usize) -> Vec<TermTriple> {
+    let rdf_type = Term::iri(format!("{RDF_NS}type"));
+    let rdfs_class = Term::iri(format!("{RDFS_NS}Class"));
+    let sco = Term::iri(format!("{RDFS_NS}subClassOf"));
+    let mut out = Vec::with_capacity(2 * n);
+    if n >= 1 {
+        out.push((class(1), rdf_type.clone(), rdfs_class.clone()));
+    }
+    for i in 2..=n {
+        out.push((class(i), rdf_type.clone(), rdfs_class.clone()));
+        out.push((class(i), sco.clone(), class(i - 1)));
+    }
+    out
+}
+
+/// The number of `subClassOf` triples ρdf infers from `subclass_chain(n)`:
+/// `(n−1)(n−2)/2`.
+pub fn expected_rho_df_inferred(n: usize) -> usize {
+    if n < 3 {
+        0
+    } else {
+        (n - 1) * (n - 2) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_follow_equation_1() {
+        assert_eq!(subclass_chain(1).len(), 1);
+        assert_eq!(subclass_chain(10).len(), 19);
+        assert_eq!(subclass_chain(500).len(), 999);
+    }
+
+    #[test]
+    fn shape() {
+        let data = subclass_chain(3);
+        // (1 type Class), (2 type Class), (2 sco 1), (3 type Class), (3 sco 2)
+        assert_eq!(data.len(), 5);
+        let sco = Term::iri(format!("{RDFS_NS}subClassOf"));
+        let sco_triples: Vec<_> = data.iter().filter(|t| t.1 == sco).collect();
+        assert_eq!(sco_triples.len(), 2);
+        assert_eq!(sco_triples[0].0, class(2));
+        assert_eq!(sco_triples[0].2, class(1));
+    }
+
+    #[test]
+    fn expected_inferred_counts_match_paper_table1() {
+        // Table 1: subClassOf10 → 36, 20 → 171, 50 → 1176, 100 → 4851,
+        // 200 → 19701, 500 → 124251.
+        assert_eq!(expected_rho_df_inferred(10), 36);
+        assert_eq!(expected_rho_df_inferred(20), 171);
+        assert_eq!(expected_rho_df_inferred(50), 1176);
+        assert_eq!(expected_rho_df_inferred(100), 4851);
+        assert_eq!(expected_rho_df_inferred(200), 19701);
+        assert_eq!(expected_rho_df_inferred(500), 124251);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(expected_rho_df_inferred(0), 0);
+        assert_eq!(expected_rho_df_inferred(2), 0);
+        assert!(subclass_chain(0).is_empty());
+    }
+
+    #[test]
+    fn is_deterministic() {
+        assert_eq!(subclass_chain(50), subclass_chain(50));
+    }
+}

@@ -1,0 +1,89 @@
+//! Deterministic ontology generators for the paper's benchmark (§3).
+//!
+//! The evaluation uses "a set of 13 ontologies divided in three categories":
+//!
+//! 1. **Generated** — five BSBM (Berlin SPARQL Benchmark) ontologies from
+//!    100 k to 5 M triples. The original Java generator is replaced by
+//!    [`bsbm`], which emits the same *workload character*: a big A-Box over
+//!    a small schema, so that ρdf infers little and RDFS infers ≈⅓ of the
+//!    input (see DESIGN.md §3 for the substitution argument).
+//! 2. **subClassOf chains** — Equation 1 of the paper, implemented verbatim
+//!    in [`chains`]: the worst case for duplicate limitation, O(n²) unique
+//!    closure against O(n³) naive derivations.
+//! 3. **Real-world** — Wikipedia- and WordNet-shaped generators
+//!    ([`wikipedia`], [`wordnet`]) sized and tuned to the paper's
+//!    input/inferred ratios (Wikipedia: inference-heavy category DAG;
+//!    WordNet: no ρdf-visible schema at all, so ρdf infers exactly 0).
+//!
+//! All generators are seeded and fully deterministic; [`paper`] enumerates
+//! the 13 ontologies of Table 1 with an optional scale factor.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bsbm;
+pub mod chains;
+pub mod paper;
+pub mod stream;
+pub mod wikipedia;
+pub mod wordnet;
+
+pub use paper::{PaperOntology, ONTOLOGIES};
+
+use slider_model::{Dictionary, TermTriple, Triple};
+
+/// Encodes a generated ontology through a dictionary (the input-manager
+/// path used by every benchmark).
+pub fn encode_all(triples: &[TermTriple], dict: &Dictionary) -> Vec<Triple> {
+    triples.iter().map(|t| dict.encode_triple(t)).collect()
+}
+
+/// Serialises a generated ontology to N-Triples text (what the paper's
+/// on-disk ontologies look like; benches parse this to include parse time).
+pub fn to_ntriples(triples: &[TermTriple]) -> String {
+    let mut out = String::with_capacity(triples.len() * 64);
+    for t in triples {
+        slider_parser::write_triple(&mut out, t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slider_model::Term;
+
+    #[test]
+    fn encode_all_roundtrips() {
+        let dict = Dictionary::new();
+        let data = vec![
+            (
+                Term::iri("http://e/a"),
+                Term::iri("http://e/p"),
+                Term::iri("http://e/b"),
+            ),
+            (
+                Term::iri("http://e/a"),
+                Term::iri("http://e/p"),
+                Term::literal("x"),
+            ),
+        ];
+        let encoded = encode_all(&data, &dict);
+        assert_eq!(encoded.len(), 2);
+        assert_eq!(dict.decode_triple(encoded[0]).unwrap(), data[0]);
+    }
+
+    #[test]
+    fn to_ntriples_parses_back() {
+        let data = vec![(
+            Term::iri("http://e/a"),
+            Term::iri("http://e/p"),
+            Term::literal("hello world"),
+        )];
+        let text = to_ntriples(&data);
+        let parsed: Vec<TermTriple> = slider_parser::parse_ntriples_str(&text)
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(parsed, data);
+    }
+}

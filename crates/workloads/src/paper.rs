@@ -1,0 +1,174 @@
+//! The 13 benchmark ontologies of Table 1, as an enumerable catalogue.
+
+use crate::{bsbm, chains, wikipedia, wordnet};
+use slider_model::TermTriple;
+
+/// One of the paper's 13 benchmark ontologies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperOntology {
+    /// BSBM-generated, ~100 k triples.
+    Bsbm100k,
+    /// BSBM-generated, ~200 k triples.
+    Bsbm200k,
+    /// BSBM-generated, ~500 k triples.
+    Bsbm500k,
+    /// BSBM-generated, ~1 M triples.
+    Bsbm1M,
+    /// BSBM-generated, ~5 M triples.
+    Bsbm5M,
+    /// Wikipedia-shaped, 458 369 triples.
+    Wikipedia,
+    /// WordNet-shaped, 473 589 triples.
+    Wordnet,
+    /// subClassOf chain, n = 10.
+    SubClassOf10,
+    /// subClassOf chain, n = 20.
+    SubClassOf20,
+    /// subClassOf chain, n = 50.
+    SubClassOf50,
+    /// subClassOf chain, n = 100.
+    SubClassOf100,
+    /// subClassOf chain, n = 200.
+    SubClassOf200,
+    /// subClassOf chain, n = 500.
+    SubClassOf500,
+}
+
+/// All 13 ontologies in Table 1 row order.
+pub const ONTOLOGIES: [PaperOntology; 13] = [
+    PaperOntology::Bsbm100k,
+    PaperOntology::Bsbm200k,
+    PaperOntology::Bsbm500k,
+    PaperOntology::Bsbm1M,
+    PaperOntology::Bsbm5M,
+    PaperOntology::Wikipedia,
+    PaperOntology::Wordnet,
+    PaperOntology::SubClassOf10,
+    PaperOntology::SubClassOf20,
+    PaperOntology::SubClassOf50,
+    PaperOntology::SubClassOf100,
+    PaperOntology::SubClassOf200,
+    PaperOntology::SubClassOf500,
+];
+
+impl PaperOntology {
+    /// Name as printed in Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            PaperOntology::Bsbm100k => "BSBM_100k",
+            PaperOntology::Bsbm200k => "BSBM_200k",
+            PaperOntology::Bsbm500k => "BSBM_500k",
+            PaperOntology::Bsbm1M => "BSBM_1M",
+            PaperOntology::Bsbm5M => "BSBM_5M",
+            PaperOntology::Wikipedia => "wikipedia",
+            PaperOntology::Wordnet => "wordnet",
+            PaperOntology::SubClassOf10 => "subClassOf10",
+            PaperOntology::SubClassOf20 => "subClassOf20",
+            PaperOntology::SubClassOf50 => "subClassOf50",
+            PaperOntology::SubClassOf100 => "subClassOf100",
+            PaperOntology::SubClassOf200 => "subClassOf200",
+            PaperOntology::SubClassOf500 => "subClassOf500",
+        }
+    }
+
+    /// Paper input size (triples), before scaling.
+    pub fn paper_size(self) -> usize {
+        match self {
+            PaperOntology::Bsbm100k => 99_914,
+            PaperOntology::Bsbm200k => 200_007,
+            PaperOntology::Bsbm500k => 500_037,
+            PaperOntology::Bsbm1M => 1_000_000,
+            PaperOntology::Bsbm5M => 5_000_000,
+            PaperOntology::Wikipedia => 458_369,
+            PaperOntology::Wordnet => 473_589,
+            PaperOntology::SubClassOf10 => 20,
+            PaperOntology::SubClassOf20 => 40,
+            PaperOntology::SubClassOf50 => 100,
+            PaperOntology::SubClassOf100 => 200,
+            PaperOntology::SubClassOf200 => 400,
+            PaperOntology::SubClassOf500 => 1_000,
+        }
+    }
+
+    /// True for the subClassOf chain family (never scaled: the chain *is*
+    /// the experiment).
+    pub fn is_chain(self) -> bool {
+        matches!(
+            self,
+            PaperOntology::SubClassOf10
+                | PaperOntology::SubClassOf20
+                | PaperOntology::SubClassOf50
+                | PaperOntology::SubClassOf100
+                | PaperOntology::SubClassOf200
+                | PaperOntology::SubClassOf500
+        )
+    }
+
+    /// Generates the ontology. `scale` multiplies the large ontologies'
+    /// target size (chains are exempt); `scale = 1.0` reproduces the paper
+    /// sizes.
+    pub fn generate(self, scale: f64) -> Vec<TermTriple> {
+        let scaled = |n: usize| ((n as f64 * scale) as usize).max(500);
+        match self {
+            PaperOntology::Bsbm100k
+            | PaperOntology::Bsbm200k
+            | PaperOntology::Bsbm500k
+            | PaperOntology::Bsbm1M
+            | PaperOntology::Bsbm5M => {
+                bsbm::generate(&bsbm::BsbmConfig::sized(scaled(self.paper_size())))
+            }
+            PaperOntology::Wikipedia => wikipedia::generate(&wikipedia::WikipediaConfig::sized(
+                scaled(self.paper_size()),
+            )),
+            PaperOntology::Wordnet => {
+                wordnet::generate(&wordnet::WordnetConfig::sized(scaled(self.paper_size())))
+            }
+            PaperOntology::SubClassOf10 => chains::subclass_chain(10),
+            PaperOntology::SubClassOf20 => chains::subclass_chain(20),
+            PaperOntology::SubClassOf50 => chains::subclass_chain(50),
+            PaperOntology::SubClassOf100 => chains::subclass_chain(100),
+            PaperOntology::SubClassOf200 => chains::subclass_chain(200),
+            PaperOntology::SubClassOf500 => chains::subclass_chain(500),
+        }
+    }
+}
+
+impl std::fmt::Display for PaperOntology {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_ontologies() {
+        assert_eq!(ONTOLOGIES.len(), 13);
+        let names: Vec<&str> = ONTOLOGIES.iter().map(|o| o.name()).collect();
+        assert_eq!(names[0], "BSBM_100k");
+        assert_eq!(names[6], "wordnet");
+        assert_eq!(names[12], "subClassOf500");
+    }
+
+    #[test]
+    fn chains_ignore_scale() {
+        let full = PaperOntology::SubClassOf50.generate(1.0);
+        let scaled = PaperOntology::SubClassOf50.generate(0.01);
+        assert_eq!(full, scaled);
+        assert_eq!(full.len(), 99);
+    }
+
+    #[test]
+    fn scale_shrinks_big_ontologies() {
+        let small = PaperOntology::Bsbm100k.generate(0.02);
+        assert!(small.len() < 5_000, "{}", small.len());
+        assert!(small.len() >= 1_000);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(PaperOntology::Wikipedia.to_string(), "wikipedia");
+    }
+}

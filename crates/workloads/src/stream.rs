@@ -1,0 +1,118 @@
+//! Stream shaping: turning a static ontology into an arriving triple flow.
+//!
+//! The paper positions Slider as a reasoner for "dynamic triple streams"
+//! processed "as soon as \[data\] is published". These helpers chop a
+//! dataset into arrival batches for the streaming benchmarks and the
+//! `streaming_sensor` example.
+
+use slider_model::TermTriple;
+use std::time::Duration;
+
+/// Splits `triples` into `batch_size`-sized arrival batches (last batch may
+/// be short).
+pub fn batches(triples: &[TermTriple], batch_size: usize) -> Vec<Vec<TermTriple>> {
+    assert!(batch_size >= 1, "batch size must be at least 1");
+    triples
+        .chunks(batch_size)
+        .map(<[TermTriple]>::to_vec)
+        .collect()
+}
+
+/// An arrival schedule: batches paired with inter-arrival gaps.
+#[derive(Debug, Clone)]
+pub struct TimedStream {
+    items: Vec<(Duration, Vec<TermTriple>)>,
+}
+
+impl TimedStream {
+    /// A uniform schedule: every `gap`, one `batch_size` batch.
+    pub fn uniform(triples: &[TermTriple], batch_size: usize, gap: Duration) -> Self {
+        TimedStream {
+            items: batches(triples, batch_size)
+                .into_iter()
+                .map(|b| (gap, b))
+                .collect(),
+        }
+    }
+
+    /// Number of batches.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the stream has no batches.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates `(gap_before_batch, batch)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &(Duration, Vec<TermTriple>)> {
+        self.items.iter()
+    }
+
+    /// Plays the stream: sleeps each gap, then hands the batch to `deliver`.
+    pub fn play(&self, mut deliver: impl FnMut(&[TermTriple])) {
+        for (gap, batch) in &self.items {
+            if !gap.is_zero() {
+                std::thread::sleep(*gap);
+            }
+            deliver(batch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slider_model::Term;
+
+    fn data(n: usize) -> Vec<TermTriple> {
+        (0..n)
+            .map(|i| {
+                (
+                    Term::iri(format!("http://e/s{i}")),
+                    Term::iri("http://e/p"),
+                    Term::iri(format!("http://e/o{i}")),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_partitioning() {
+        let d = data(10);
+        let bs = batches(&d, 3);
+        assert_eq!(bs.len(), 4);
+        assert_eq!(bs[0].len(), 3);
+        assert_eq!(bs[3].len(), 1);
+        let rejoined: Vec<TermTriple> = bs.into_iter().flatten().collect();
+        assert_eq!(rejoined, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_rejected() {
+        let _ = batches(&data(3), 0);
+    }
+
+    #[test]
+    fn uniform_stream_plays_everything() {
+        let d = data(7);
+        let stream = TimedStream::uniform(&d, 2, Duration::ZERO);
+        assert_eq!(stream.len(), 4);
+        assert!(!stream.is_empty());
+        let mut seen = 0;
+        stream.play(|b| seen += b.len());
+        assert_eq!(seen, 7);
+    }
+
+    #[test]
+    fn iter_exposes_gaps() {
+        let d = data(4);
+        let stream = TimedStream::uniform(&d, 2, Duration::from_millis(5));
+        for (gap, batch) in stream.iter() {
+            assert_eq!(*gap, Duration::from_millis(5));
+            assert_eq!(batch.len(), 2);
+        }
+    }
+}

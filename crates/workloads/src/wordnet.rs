@@ -1,0 +1,156 @@
+//! A WordNet-shaped ontology generator: lexical graph with **no
+//! RDFS-visible schema**.
+//!
+//! Stands in for the paper's WordNet ontology (473 589 input triples). Its
+//! distinguishing row in Table 1: **ρdf infers exactly 0 triples** (the
+//! dataset uses only domain-specific properties — `hyponymOf`,
+//! `containsWordSense`, `gloss`, … — and contains no `subClassOf` /
+//! `subPropertyOf` / `domain` / `range` statements), while RDFS still
+//! infers ≈68 % of the input through rdfs4a/rdfs4b/rdfs1 (`type Resource`
+//! per IRI, `type Literal` per literal).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use slider_model::{Term, TermTriple};
+
+/// Namespace of the generated data.
+pub const WN_NS: &str = "http://wordnet.example.org/";
+
+/// Generator parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct WordnetConfig {
+    /// Approximate number of triples to generate.
+    pub target_triples: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WordnetConfig {
+    /// A config with the default seed.
+    pub fn sized(target_triples: usize) -> Self {
+        WordnetConfig {
+            target_triples,
+            seed: 0x5eed_30d5,
+        }
+    }
+
+    /// The paper's WordNet ontology size.
+    pub fn paper() -> Self {
+        WordnetConfig::sized(473_589)
+    }
+}
+
+/// Generates the ontology: synsets with glosses, hyponym links, word senses
+/// and a shared word pool (worst case for ρdf, bulk case for RDFS).
+pub fn generate(config: &WordnetConfig) -> Vec<TermTriple> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let target = config.target_triples.max(50);
+    let mut out = Vec::with_capacity(target + 16);
+
+    let contains_sense = Term::iri(format!("{WN_NS}schema/containsWordSense"));
+    let in_word = Term::iri(format!("{WN_NS}schema/word"));
+    let lexical_form = Term::iri(format!("{WN_NS}schema/lexicalForm"));
+    let gloss = Term::iri(format!("{WN_NS}schema/gloss"));
+    let pos = Term::iri(format!("{WN_NS}schema/partOfSpeech"));
+    let hyponym_of = Term::iri(format!("{WN_NS}schema/hyponymOf"));
+
+    // Part-of-speech literals come from a fixed pool: pooled literals
+    // (like shared words below) add triples without adding distinct nodes,
+    // pulling the RDFS inferred/input ratio to the paper's ≈0.68.
+    let pos_pool = ["noun", "verb", "adjective", "adverb"].map(Term::literal);
+
+    // Shared word pool: words are reused across synsets (as in WordNet,
+    // where polysemous words belong to many synsets).
+    let word_pool_size = (target / 15).max(16);
+    let mut word_emitted = vec![false; word_pool_size];
+
+    let mut synset_no = 0usize;
+    let mut sense_no = 0usize;
+    while out.len() < target {
+        synset_no += 1;
+        let synset = Term::iri(format!("{WN_NS}synset/{synset_no}"));
+        out.push((
+            synset.clone(),
+            gloss.clone(),
+            Term::literal(format!("gloss of synset {synset_no}")),
+        ));
+        out.push((
+            synset.clone(),
+            pos.clone(),
+            pos_pool[rng.random_range(0..4)].clone(),
+        ));
+        if synset_no > 1 {
+            // Hypernym tree: random earlier synset.
+            let parent = rng.random_range(1..synset_no);
+            out.push((
+                synset.clone(),
+                hyponym_of.clone(),
+                Term::iri(format!("{WN_NS}synset/{parent}")),
+            ));
+        }
+        for _ in 0..rng.random_range(2..=4usize) {
+            sense_no += 1;
+            let sense = Term::iri(format!("{WN_NS}wordsense/{sense_no}"));
+            out.push((synset.clone(), contains_sense.clone(), sense.clone()));
+            let w = rng.random_range(0..word_pool_size);
+            let word = Term::iri(format!("{WN_NS}word/{w}"));
+            out.push((sense, in_word.clone(), word.clone()));
+            if !word_emitted[w] {
+                word_emitted[w] = true;
+                out.push((
+                    word,
+                    lexical_form.clone(),
+                    Term::literal(format!("word-{w}")),
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slider_model::vocab::{RDFS_NS, RDF_NS};
+
+    #[test]
+    fn hits_target() {
+        let data = generate(&WordnetConfig::sized(10_000));
+        assert!(data.len() >= 10_000);
+        assert!(data.len() < 10_100);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            generate(&WordnetConfig::sized(3_000)),
+            generate(&WordnetConfig::sized(3_000))
+        );
+    }
+
+    #[test]
+    fn no_rdfs_schema_at_all() {
+        // The defining property: nothing for ρdf to infer from.
+        let data = generate(&WordnetConfig::sized(5_000));
+        for (_, p, _) in &data {
+            let iri = p.as_iri().unwrap();
+            assert!(
+                !iri.starts_with(RDFS_NS) && !iri.starts_with(RDF_NS),
+                "unexpected RDF(S) predicate {iri}"
+            );
+        }
+    }
+
+    #[test]
+    fn words_are_shared() {
+        let data = generate(&WordnetConfig::sized(20_000));
+        let in_word = Term::iri(format!("{WN_NS}schema/word"));
+        let uses: Vec<&Term> = data
+            .iter()
+            .filter(|t| t.1 == in_word)
+            .map(|t| &t.2)
+            .collect();
+        let distinct: std::collections::HashSet<&&Term> = uses.iter().collect();
+        assert!(distinct.len() < uses.len(), "words must be polysemous");
+    }
+}

@@ -1,0 +1,88 @@
+//! # Slider — an efficient incremental RDFS reasoner
+//!
+//! A from-scratch Rust reproduction of *Slider: an Efficient Incremental
+//! Reasoner* (Chevalier, Subercaze, Gravier, Laforest — SIGMOD 2015),
+//! including every substrate the paper depends on: RDF data model and
+//! dictionary encoding, N-Triples/Turtle parsing, a vertically partitioned
+//! concurrent triple store, the ρdf and RDFS rule fragments with their
+//! dependency graph, the buffered incremental reasoning engine, batch
+//! baselines, workload generators and the full benchmark harness.
+//!
+//! This facade crate re-exports the public API of every member crate under
+//! one roof; depend on it to get everything, or on the individual
+//! `slider-*` crates for narrower footprints.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use slider::prelude::*;
+//!
+//! // A reasoner over the ρdf fragment with default tuning.
+//! let slider = Slider::fragment(Fragment::RhoDf, SliderConfig::default());
+//!
+//! // Feed triples (here through the Turtle parser).
+//! let doc = r#"
+//!     @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+//!     @prefix ex:   <http://example.org/> .
+//!     ex:Cat  rdfs:subClassOf ex:Feline .
+//!     ex:Feline rdfs:subClassOf ex:Animal .
+//!     ex:felix a ex:Cat .
+//! "#;
+//! let triples: Vec<_> = slider::parser::parse_turtle_str(doc)
+//!     .collect::<Result<_, _>>()
+//!     .unwrap();
+//! slider.add_terms(&triples);
+//!
+//! // Wait for the closure: felix is a Feline and an Animal, and
+//! // Cat ⊑ Animal was derived by SCM-SCO.
+//! slider.wait_idle();
+//! assert_eq!(slider.store().len(), 3 + 3);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | module | crate | contents |
+//! |--------|-------|----------|
+//! | [`model`] | `slider-model` | terms, triples, dictionary, vocabulary |
+//! | [`parser`] | `slider-parser` | N-Triples + Turtle subset, writer |
+//! | [`store`] | `slider-store` | vertically partitioned triple store |
+//! | [`rules`] | `slider-rules` | ρdf/RDFS rules, dependency graph |
+//! | [`core`] | `slider-core` | the incremental reasoner |
+//! | [`baseline`] | `slider-baseline` | batch materialisers (comparators/oracles) |
+//! | [`workloads`] | `slider-workloads` | benchmark ontology generators |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use slider_baseline as baseline;
+pub use slider_core as core;
+pub use slider_model as model;
+pub use slider_parser as parser;
+pub use slider_rules as rules;
+pub use slider_store as store;
+pub use slider_workloads as workloads;
+
+/// The names most programs need, in one import.
+pub mod prelude {
+    pub use slider_baseline::{NaiveReasoner, SemiNaiveReasoner};
+    pub use slider_core::{Slider, SliderConfig};
+    pub use slider_model::{Dictionary, Literal, NodeId, Term, TermTriple, Triple};
+    pub use slider_parser::{NTriplesParser, TurtleParser};
+    pub use slider_rules::{DependencyGraph, Fragment, Rule, Ruleset};
+    pub use slider_store::{ConcurrentStore, TriplePattern, VerticalStore};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let slider = Slider::fragment(Fragment::Rdfs, SliderConfig::default());
+        let nt = "<http://e/a> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://e/b> .\n";
+        let triples = slider_parser::load_ntriples(nt.as_bytes(), slider.dict()).unwrap();
+        slider.add_triples(&triples);
+        slider.wait_idle();
+        assert!(slider.store().len() > 1);
+    }
+}

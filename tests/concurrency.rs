@@ -1,0 +1,163 @@
+//! Concurrency stress: multi-source ingestion, queries racing inference,
+//! and teardown under load — the paper's "multiple instances of input
+//! manager allows to retrieve data from various sources".
+
+use slider::prelude::*;
+use slider::workloads::{encode_all, PaperOntology};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn many_producers_one_closure() {
+    let data = PaperOntology::Bsbm100k.generate(0.01);
+    let dict = Arc::new(Dictionary::new());
+    let input = encode_all(&data, &dict);
+
+    // Expected closure from a single-threaded feed.
+    let expected = {
+        let slider = Slider::new(
+            Arc::clone(&dict),
+            Ruleset::rho_df(),
+            SliderConfig::default(),
+        );
+        slider.add_triples(&input);
+        slider.wait_idle();
+        slider.store().to_sorted_vec()
+    };
+
+    // 8 producers feeding interleaved slices concurrently.
+    let slider = Arc::new(Slider::new(
+        Arc::clone(&dict),
+        Ruleset::rho_df(),
+        SliderConfig::default(),
+    ));
+    std::thread::scope(|scope| {
+        for producer in 0..8 {
+            let slider = Arc::clone(&slider);
+            let slice: Vec<Triple> = input.iter().copied().skip(producer).step_by(8).collect();
+            scope.spawn(move || {
+                for chunk in slice.chunks(64) {
+                    slider.add_triples(chunk);
+                }
+            });
+        }
+    });
+    slider.wait_idle();
+    assert_eq!(slider.store().to_sorted_vec(), expected);
+}
+
+#[test]
+fn readers_race_inference_without_torn_state() {
+    let dict = Arc::new(Dictionary::new());
+    let input = encode_all(&PaperOntology::SubClassOf200.generate(1.0), &dict);
+    let slider = Arc::new(Slider::new(
+        Arc::clone(&dict),
+        Ruleset::rho_df(),
+        SliderConfig::default(),
+    ));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut readers = Vec::new();
+    for _ in 0..4 {
+        let slider = Arc::clone(&slider);
+        let stop = Arc::clone(&stop);
+        readers.push(std::thread::spawn(move || {
+            let mut last = 0usize;
+            let mut observations = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let now = slider.store().len();
+                assert!(now >= last, "reader saw the store shrink");
+                last = now;
+                observations += 1;
+            }
+            observations
+        }));
+    }
+
+    slider.add_triples(&input);
+    slider.wait_idle();
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        assert!(r.join().unwrap() > 0);
+    }
+    // Chain closure exact size: input 399 + 199·198/2 inferred.
+    assert_eq!(slider.store().len(), 399 + 19_701);
+}
+
+#[test]
+fn wait_idle_from_multiple_threads() {
+    let dict = Arc::new(Dictionary::new());
+    let input = encode_all(&PaperOntology::SubClassOf100.generate(1.0), &dict);
+    let slider = Arc::new(Slider::new(
+        Arc::clone(&dict),
+        Ruleset::rho_df(),
+        SliderConfig::default(),
+    ));
+    slider.add_triples(&input);
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let slider = Arc::clone(&slider);
+            scope.spawn(move || slider.wait_idle());
+        }
+    });
+    assert_eq!(slider.store().len(), 199 + 4_851);
+}
+
+#[test]
+fn stats_reads_race_inference() {
+    let dict = Arc::new(Dictionary::new());
+    let input = encode_all(&PaperOntology::Bsbm100k.generate(0.005), &dict);
+    let slider = Arc::new(Slider::new(
+        Arc::clone(&dict),
+        Ruleset::rdfs(&dict),
+        SliderConfig::default(),
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let observer = {
+        let slider = Arc::clone(&slider);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let snap = slider.stats();
+                // Derived ≥ fresh per rule, always.
+                for r in &snap.rules {
+                    assert!(
+                        r.derived >= r.fresh,
+                        "{}: {} < {}",
+                        r.name,
+                        r.derived,
+                        r.fresh
+                    );
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        })
+    };
+    slider.add_triples(&input);
+    slider.wait_idle();
+    stop.store(true, Ordering::Relaxed);
+    observer.join().unwrap();
+
+    let finali = slider.stats();
+    assert_eq!(
+        finali.store_size as u64,
+        finali.input_fresh + finali.total_inferred()
+    );
+}
+
+#[test]
+fn drop_under_load_terminates() {
+    for _ in 0..5 {
+        let dict = Arc::new(Dictionary::new());
+        let input = encode_all(&PaperOntology::SubClassOf200.generate(1.0), &dict);
+        let slider = Slider::new(
+            Arc::clone(&dict),
+            Ruleset::rho_df(),
+            SliderConfig::default().with_buffer_capacity(4),
+        );
+        slider.add_triples(&input);
+        // Drop while hundreds of jobs are in flight.
+        drop(slider);
+    }
+}

@@ -3,7 +3,8 @@
 //! The paper benchmarks Slider against **OWLIM-SE**, a commercial batch
 //! reasoner we cannot ship. This crate provides the stand-in (see
 //! `DESIGN.md` §3 for the substitution argument): two batch materialisers
-//! that run the *same* [`Ruleset`]s over the *same* store substrate, so the
+//! that run the *same* [`Ruleset`](slider_rules::Ruleset)s over the *same*
+//! store substrate, so the
 //! comparison isolates the paper's architectural claim — buffered
 //! incremental evaluation with duplicate limitation vs. batch fixpoint
 //! iteration.

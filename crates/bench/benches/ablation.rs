@@ -85,20 +85,30 @@ fn adaptive_scheduling(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/adaptive_scheduling");
     group.sample_size(10);
     for (label, adaptive) in [("static", false), ("adaptive", true)] {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &adaptive, |b, &adaptive| {
-            b.iter(|| {
-                run_slider(
-                    &text,
-                    Fragment::RhoDf,
-                    SliderConfig::default()
-                        .with_buffer_capacity(64)
-                        .with_adaptive_buffers(adaptive),
-                )
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &adaptive,
+            |b, &adaptive| {
+                b.iter(|| {
+                    run_slider(
+                        &text,
+                        Fragment::RhoDf,
+                        SliderConfig::default()
+                            .with_buffer_capacity(64)
+                            .with_adaptive_buffers(adaptive),
+                    )
+                })
+            },
+        );
     }
     group.finish();
 }
 
-criterion_group!(ablation, object_index, pool_size, duplicate_limitation, adaptive_scheduling);
+criterion_group!(
+    ablation,
+    object_index,
+    pool_size,
+    duplicate_limitation,
+    adaptive_scheduling
+);
 criterion_main!(ablation);

@@ -111,7 +111,11 @@ mod tests {
 
     #[test]
     fn adaptive_builder() {
-        assert!(SliderConfig::default().with_adaptive_buffers(true).adaptive_buffers);
+        assert!(
+            SliderConfig::default()
+                .with_adaptive_buffers(true)
+                .adaptive_buffers
+        );
     }
 
     #[test]

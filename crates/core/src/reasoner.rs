@@ -741,7 +741,9 @@ mod tests {
         let input = chain(60);
         let oracle = closure(Ruleset::rho_df(), &input);
         let slider = rho_slider(
-            SliderConfig::default().with_buffer_capacity(16).with_adaptive_buffers(true),
+            SliderConfig::default()
+                .with_buffer_capacity(16)
+                .with_adaptive_buffers(true),
         );
         slider.materialize(&input);
         assert_eq!(slider.store().to_sorted_vec(), oracle.to_sorted_vec());
@@ -755,7 +757,9 @@ mod tests {
         let input = chain(120);
         let base = 8;
         let slider = rho_slider(
-            SliderConfig::default().with_buffer_capacity(base).with_adaptive_buffers(true),
+            SliderConfig::default()
+                .with_buffer_capacity(base)
+                .with_adaptive_buffers(true),
         );
         slider.materialize(&input);
         let stats = slider.stats();
@@ -767,7 +771,11 @@ mod tests {
         assert!(grown > 0, "no rule's plan was retuned\n{stats}");
         // Bounds are respected.
         for r in &stats.rules {
-            assert!(r.buffer_capacity >= base && r.buffer_capacity <= base * 64, "{}", r.name);
+            assert!(
+                r.buffer_capacity >= base && r.buffer_capacity <= base * 64,
+                "{}",
+                r.name
+            );
         }
     }
 

@@ -122,19 +122,34 @@ pub fn events_to_json(events: &[Event]) -> String {
                 );
             }
             EventKind::BufferFull { rule } => {
-                let _ = write!(out, r#"{{"at_us":{us},"type":"buffer_full","rule":{rule}}}"#);
+                let _ = write!(
+                    out,
+                    r#"{{"at_us":{us},"type":"buffer_full","rule":{rule}}}"#
+                );
             }
             EventKind::TimeoutFlush { rule } => {
-                let _ = write!(out, r#"{{"at_us":{us},"type":"timeout_flush","rule":{rule}}}"#);
+                let _ = write!(
+                    out,
+                    r#"{{"at_us":{us},"type":"timeout_flush","rule":{rule}}}"#
+                );
             }
-            EventKind::RuleFired { rule, delta, derived, fresh, store_size } => {
+            EventKind::RuleFired {
+                rule,
+                delta,
+                derived,
+                fresh,
+                store_size,
+            } => {
                 let _ = write!(
                     out,
                     r#"{{"at_us":{us},"type":"rule_fired","rule":{rule},"delta":{delta},"derived":{derived},"fresh":{fresh},"store_size":{store_size}}}"#
                 );
             }
             EventKind::Idle { store_size } => {
-                let _ = write!(out, r#"{{"at_us":{us},"type":"idle","store_size":{store_size}}}"#);
+                let _ = write!(
+                    out,
+                    r#"{{"at_us":{us},"type":"idle","store_size":{store_size}}}"#
+                );
             }
         }
     }
@@ -193,10 +208,19 @@ mod tests {
     #[test]
     fn json_export_covers_every_event_kind() {
         let log = EventLog::new();
-        log.record(EventKind::Input { received: 5, fresh: 4 });
+        log.record(EventKind::Input {
+            received: 5,
+            fresh: 4,
+        });
         log.record(EventKind::BufferFull { rule: 2 });
         log.record(EventKind::TimeoutFlush { rule: 3 });
-        log.record(EventKind::RuleFired { rule: 2, delta: 4, derived: 6, fresh: 1, store_size: 5 });
+        log.record(EventKind::RuleFired {
+            rule: 2,
+            delta: 4,
+            derived: 6,
+            fresh: 1,
+            store_size: 5,
+        });
         log.record(EventKind::Idle { store_size: 5 });
         let json = events_to_json(&log.events());
         assert!(json.starts_with('['));

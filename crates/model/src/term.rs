@@ -108,7 +108,7 @@ impl Term {
     }
 }
 
-/// Coarse classification of a term, cheap to query per [`NodeId`].
+/// Coarse classification of a term, cheap to query per [`NodeId`](crate::NodeId).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum TermKind {

@@ -4,8 +4,9 @@
 //! constants millions of times; fixing their ids at dictionary construction
 //! time turns every vocabulary test into an integer comparison.
 //!
-//! The id assignment is an invariant of [`Dictionary::new`]
-//! (crate::Dictionary): the terms in [`ALL`] are interned in order, so
+//! The id assignment is an invariant of
+//! [`Dictionary::new`](crate::Dictionary::new): the terms in [`ALL`] are
+//! interned in order, so
 //! `ALL[i]` has id `i`. A unit test in `dict.rs` pins this.
 
 use std::fmt;

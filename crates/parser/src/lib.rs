@@ -18,6 +18,29 @@
 //! `Iterator<Item = Result<TermTriple, ParseError>>` over any `BufRead`, and
 //! never hold the whole document in memory. Errors carry line/column
 //! positions.
+//!
+//! ## Example
+//!
+//! Parse Turtle, serialise back to N-Triples, and re-parse — the round-trip
+//! is lossless:
+//!
+//! ```
+//! use slider_parser::{parse_ntriples_str, parse_turtle_str, write_triple};
+//!
+//! let ttl = r#"
+//!     @prefix ex: <http://example.org/> .
+//!     ex:felix a ex:Cat ; ex:name "Felix" .
+//! "#;
+//! let triples: Vec<_> = parse_turtle_str(ttl).collect::<Result<_, _>>().unwrap();
+//! assert_eq!(triples.len(), 2);
+//!
+//! let mut doc = String::new();
+//! for t in &triples {
+//!     write_triple(&mut doc, t);
+//! }
+//! let reparsed: Vec<_> = parse_ntriples_str(&doc).collect::<Result<_, _>>().unwrap();
+//! assert_eq!(reparsed, triples);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -25,6 +25,23 @@
 //! The caller guarantees `delta ⊆ store` — incoming triples are inserted
 //! into the store *before* being dispatched (Figure 1) — which makes the
 //! two one-sided joins cover the `delta × delta` case as well.
+//!
+//! ## Example
+//!
+//! Build the ρdf fragment and inspect its dependency graph (the paper's
+//! Figure 2): `SCM-SCO` produces `subClassOf` triples, which `CAX-SCO`
+//! consumes, so the graph has that edge:
+//!
+//! ```
+//! use slider_rules::{DependencyGraph, Ruleset};
+//!
+//! let rho = Ruleset::rho_df();
+//! assert_eq!(rho.len(), 8);
+//!
+//! let graph = DependencyGraph::build(&rho);
+//! assert_eq!(graph.len(), 8);
+//! assert!(graph.has_edge_named("SCM-SCO", "CAX-SCO"));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -60,9 +60,9 @@ impl TriplePattern {
     /// True if `t` matches this pattern.
     #[inline]
     pub fn matches(&self, t: Triple) -> bool {
-        self.s.map_or(true, |s| s == t.s)
-            && self.p.map_or(true, |p| p == t.p)
-            && self.o.map_or(true, |o| o == t.o)
+        self.s.is_none_or(|s| s == t.s)
+            && self.p.is_none_or(|p| p == t.p)
+            && self.o.is_none_or(|o| o == t.o)
     }
 
     /// Number of bound positions (0–3); a selectivity proxy.

@@ -14,7 +14,9 @@ fn traced_run(ontology: PaperOntology, scale: f64) -> (Slider, Vec<slider::core:
     let slider = Slider::new(
         Arc::clone(&dict),
         Ruleset::rho_df(),
-        SliderConfig::default().with_trace(true).with_buffer_capacity(256),
+        SliderConfig::default()
+            .with_trace(true)
+            .with_buffer_capacity(256),
     );
     for chunk in input.chunks(512) {
         slider.add_triples(chunk);
@@ -36,7 +38,12 @@ fn event_log_agrees_with_counters() {
     let mut input_fresh = 0u64;
     for event in &events {
         match event.kind {
-            EventKind::RuleFired { rule, fresh: f, derived: d, .. } => {
+            EventKind::RuleFired {
+                rule,
+                fresh: f,
+                derived: d,
+                ..
+            } => {
                 *fired.entry(rule).or_default() += 1;
                 *fresh.entry(rule).or_default() += f as u64;
                 *derived.entry(rule).or_default() += d as u64;
@@ -48,8 +55,18 @@ fn event_log_agrees_with_counters() {
 
     assert_eq!(input_fresh, stats.input_fresh);
     for (i, rule) in stats.rules.iter().enumerate() {
-        assert_eq!(fired.get(&i).copied().unwrap_or(0), rule.fired, "{} fired", rule.name);
-        assert_eq!(fresh.get(&i).copied().unwrap_or(0), rule.fresh, "{} fresh", rule.name);
+        assert_eq!(
+            fired.get(&i).copied().unwrap_or(0),
+            rule.fired,
+            "{} fired",
+            rule.name
+        );
+        assert_eq!(
+            fresh.get(&i).copied().unwrap_or(0),
+            rule.fresh,
+            "{} fresh",
+            rule.name
+        );
         assert_eq!(
             derived.get(&i).copied().unwrap_or(0),
             rule.derived,
@@ -65,10 +82,12 @@ fn store_size_in_events_is_monotone_and_final() {
     let final_size = slider.store().len();
     let mut last_seen = 0usize;
     for event in &events {
-        if let EventKind::RuleFired { store_size, .. } | EventKind::Idle { store_size } =
-            event.kind
+        if let EventKind::RuleFired { store_size, .. } | EventKind::Idle { store_size } = event.kind
         {
-            assert!(store_size >= last_seen, "store size went backwards in the log");
+            assert!(
+                store_size >= last_seen,
+                "store size went backwards in the log"
+            );
             last_seen = store_size;
         }
     }

@@ -1,0 +1,307 @@
+//! A small, API-compatible subset of `parking_lot`, backed by `std::sync`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the lock APIs it uses: [`Mutex`]/[`MutexGuard`], [`Condvar`],
+//! [`RwLock`] with [`RwLockReadGuard::map`] and [`MappedRwLockReadGuard`].
+//! Semantics match `parking_lot` where it differs from `std`: no lock
+//! poisoning (a panic while holding a guard simply releases it), and
+//! `Condvar::wait` takes the guard by `&mut`. Swap for the real crate by
+//! flipping the `[workspace.dependencies]` entry once networked builds are
+//! available.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync as ss;
+
+fn ignore_poison<G>(r: Result<G, ss::PoisonError<G>>) -> G {
+    r.unwrap_or_else(ss::PoisonError::into_inner)
+}
+
+// ---------------------------------------------------------------- Mutex --
+
+/// A mutual-exclusion lock without poisoning.
+#[derive(Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: ss::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex protecting `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: ss::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        ignore_poison(
+            self.inner
+                .into_inner()
+                .map_err(|e| ss::PoisonError::new(e.into_inner())),
+        )
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            guard: Some(ignore_poison(self.inner.lock())),
+        }
+    }
+
+    /// Returns a mutable reference to the protected value without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        ignore_poison(self.inner.get_mut())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// RAII guard for [`Mutex`]; unlocks on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    // `Option` so `Condvar::wait` can move the std guard out and back while
+    // the caller keeps holding this wrapper by `&mut`.
+    guard: Option<ss::MutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present")
+    }
+}
+
+// -------------------------------------------------------------- Condvar --
+
+/// A condition variable paired with [`Mutex`].
+#[derive(Default)]
+pub struct Condvar {
+    inner: ss::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub fn new() -> Self {
+        Condvar::default()
+    }
+
+    /// Atomically releases the guard's lock and blocks until notified; the
+    /// lock is re-acquired before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.guard.take().expect("guard present");
+        guard.guard = Some(ignore_poison(self.inner.wait(std_guard)));
+    }
+
+    /// Wakes one blocked waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all blocked waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+// --------------------------------------------------------------- RwLock --
+
+/// A reader-writer lock without poisoning.
+#[derive(Default)]
+pub struct RwLock<T: ?Sized> {
+    inner: ss::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a lock protecting `value`.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: ss::RwLock::new(value),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        ignore_poison(
+            self.inner
+                .into_inner()
+                .map_err(|e| ss::PoisonError::new(e.into_inner())),
+        )
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access, blocking until available.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard {
+            guard: ignore_poison(self.inner.read()),
+        }
+    }
+
+    /// Acquires exclusive write access, blocking until available.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard {
+            guard: ignore_poison(self.inner.write()),
+        }
+    }
+
+    /// Returns a mutable reference to the protected value without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        ignore_poison(self.inner.get_mut())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+/// RAII shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    guard: ss::RwLockReadGuard<'a, T>,
+}
+
+impl<'a, T: ?Sized> RwLockReadGuard<'a, T> {
+    /// Maps the guard to a component of the protected data, as
+    /// `parking_lot::RwLockReadGuard::map` does.
+    pub fn map<U: ?Sized, F>(orig: Self, f: F) -> MappedRwLockReadGuard<'a, U>
+    where
+        F: FnOnce(&T) -> &U,
+    {
+        // The pointee lives inside the RwLock, not the guard, so it stays
+        // valid while the boxed guard is held; the raw pointer erases `T`
+        // from the mapped guard's type, matching parking_lot's signature.
+        let ptr: *const U = f(&orig);
+        MappedRwLockReadGuard {
+            _guard: Box::new(orig.guard),
+            ptr,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+/// RAII exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    guard: ss::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+trait Erased {}
+impl<T: ?Sized> Erased for T {}
+
+/// A read guard that dereferences to a component of the locked data.
+pub struct MappedRwLockReadGuard<'a, U: ?Sized> {
+    _guard: Box<dyn Erased + 'a>,
+    ptr: *const U,
+    _marker: PhantomData<&'a U>,
+}
+
+impl<U: ?Sized> Deref for MappedRwLockReadGuard<'_, U> {
+    type Target = U;
+    fn deref(&self) -> &U {
+        // SAFETY: `ptr` was derived from a reference into the lock-protected
+        // data, and `_guard` keeps the read lock held for our lifetime.
+        unsafe { &*self.ptr }
+    }
+}
+
+// Sharing the mapped guard across threads is fine when `&U` is (the raw
+// pointer alone would suppress it). Deliberately NOT `Send`: the underlying
+// std read guard must be released on the thread that acquired it, and real
+// parking_lot guards are `!Send` by default too.
+unsafe impl<U: ?Sized + Sync> Sync for MappedRwLockReadGuard<'_, U> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut done = lock.lock();
+            while !*done {
+                cv.wait(&mut done);
+            }
+        });
+        std::thread::sleep(Duration::from_millis(10));
+        let (lock, cv) = &*pair;
+        *lock.lock() = true;
+        cv.notify_all();
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn rwlock_map_keeps_lock_alive() {
+        let lock = RwLock::new(vec![1u32, 2, 3]);
+        let mapped = RwLockReadGuard::map(lock.read(), |v| v.as_slice());
+        assert_eq!(&*mapped, &[1, 2, 3]);
+        drop(mapped);
+        lock.write().push(4);
+        assert_eq!(lock.read().len(), 4);
+    }
+
+    #[test]
+    fn no_poisoning_after_panic() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 0); // must not panic
+    }
+}

@@ -1,0 +1,662 @@
+//! A small, API-compatible subset of `proptest`, for offline builds.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the proptest APIs its property tests use: the [`Strategy`] trait with
+//! `prop_map`/`boxed`, [`Just`], weighted [`prop_oneof!`], regex-subset
+//! string strategies (`"[a-z]{1,5}"` and friends), tuple and range
+//! strategies, [`collection::vec`], [`any`], and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] macros.
+//!
+//! Differences from the real crate: cases are generated from a seed derived
+//! from the test name (deterministic across runs), and failing cases are
+//! **not shrunk** — the panic reports the failing assertion directly. Swap
+//! for the real crate by flipping the `[workspace.dependencies]` entry once
+//! networked builds are available.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+pub use rand;
+use rand::rngs::StdRng;
+
+// ----------------------------------------------------------------- errors --
+
+/// Why a single generated test case failed.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// A failure with the given explanation.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Runner configuration; only `cases` is interpreted by this subset.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// How many random cases to run per property.
+    pub cases: u32,
+    /// Accepted for API parity with the real crate; unused (no shrinking).
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+// --------------------------------------------------------------- strategy --
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Erases the strategy type for heterogeneous collections.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Weighted choice between strategies; backs [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    /// A union over `(weight, strategy)` pairs; total weight must be > 0.
+    pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(
+            options.iter().map(|(w, _)| u64::from(*w)).sum::<u64>() > 0,
+            "prop_oneof! requires a positive total weight"
+        );
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        use rand::Rng;
+        let total: u64 = self.options.iter().map(|(w, _)| u64::from(*w)).sum();
+        let mut pick = rng.random_range(0..total);
+        for (weight, strategy) in &self.options {
+            let weight = u64::from(*weight);
+            if pick < weight {
+                return strategy.generate(rng);
+            }
+            pick -= weight;
+        }
+        unreachable!("weights were validated in Union::new")
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                use rand::Rng;
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut StdRng) -> $ty {
+                use rand::Rng;
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+// ------------------------------------------------------- regex strategies --
+
+/// One quantified element of a regex-subset pattern.
+#[derive(Debug, Clone)]
+struct PatternPiece {
+    /// Inclusive char ranges to choose from.
+    ranges: Vec<(char, char)>,
+    min: u32,
+    max: u32,
+}
+
+/// Parses the regex subset used as string strategies: literal characters,
+/// `[...]` classes with ranges (a trailing or leading `-` is literal), and
+/// the quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`.
+fn parse_pattern(pattern: &str) -> Vec<PatternPiece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let ranges = if c == '[' {
+            let mut raw = Vec::new();
+            for d in chars.by_ref() {
+                if d == ']' {
+                    break;
+                }
+                raw.push(d);
+            }
+            let mut class = Vec::new();
+            let mut i = 0;
+            while i < raw.len() {
+                // `a-z` is a range unless the `-` is first or last in the
+                // class, in which case it is a literal.
+                if i + 2 < raw.len() && raw[i + 1] == '-' {
+                    class.push((raw[i], raw[i + 2]));
+                    i += 3;
+                } else {
+                    class.push((raw[i], raw[i]));
+                    i += 1;
+                }
+            }
+            class
+        } else {
+            vec![(c, c)]
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for d in chars.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                match spec.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad {m,n} quantifier"),
+                        n.trim().parse().expect("bad {m,n} quantifier"),
+                    ),
+                    None => {
+                        let n: u32 = spec.trim().parse().expect("bad {n} quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(PatternPiece { ranges, min, max });
+    }
+    pieces
+}
+
+fn generate_from_pattern(pieces: &[PatternPiece], rng: &mut StdRng) -> String {
+    use rand::Rng;
+    let mut out = String::new();
+    for piece in pieces {
+        let count = rng.random_range(piece.min..=piece.max);
+        for _ in 0..count {
+            if piece.ranges.is_empty() {
+                continue;
+            }
+            let (lo, hi) = piece.ranges[rng.random_range(0..piece.ranges.len())];
+            // Sample the scalar range, skipping the surrogate gap.
+            loop {
+                let v = rng.random_range(lo as u32..=hi as u32);
+                if let Some(c) = char::from_u32(v) {
+                    out.push(c);
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        generate_from_pattern(&parse_pattern(self), rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        generate_from_pattern(&parse_pattern(self), rng)
+    }
+}
+
+// -------------------------------------------------------------- arbitrary --
+
+/// Types with a canonical "generate anything" strategy, used by [`any`].
+pub trait Arbitrary {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`: `any::<String>()` etc.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+impl Arbitrary for String {
+    /// Arbitrary strings deliberately include control characters, quotes,
+    /// backslashes and non-ASCII codepoints so escaping logic gets
+    /// exercised, mirroring the real `any::<String>()`.
+    fn arbitrary(rng: &mut StdRng) -> String {
+        use rand::Rng;
+        let len = rng.random_range(0usize..=24);
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            let c = match rng.random_range(0u32..10) {
+                0 => char::from_u32(rng.random_range(0u32..0x20)).unwrap(), // control
+                1 => ['"', '\\', '\n', '\r', '\t'][rng.random_range(0usize..5)],
+                2 | 3 => loop {
+                    // Non-ASCII, skipping the surrogate gap.
+                    if let Some(c) = char::from_u32(rng.random_range(0x80u32..0x1_0000)) {
+                        break c;
+                    }
+                },
+                4 => loop {
+                    if let Some(c) = char::from_u32(rng.random_range(0x1_0000u32..0x11_0000)) {
+                        break c;
+                    }
+                },
+                _ => char::from_u32(rng.random_range(0x20u32..0x7f)).unwrap(), // printable ASCII
+            };
+            out.push(c);
+        }
+        out
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut StdRng) -> $ty {
+                use rand::RngCore;
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        use rand::RngCore;
+        rng.next_u64() & 1 == 1
+    }
+}
+
+// ------------------------------------------------------------- collection --
+
+/// Strategies for collections.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform in `len`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.len.is_empty() {
+                0
+            } else {
+                rng.random_range(self.len.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// ------------------------------------------------------------ test runner --
+
+/// Internals used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A deterministic per-test RNG, seeded from the test's name.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325; // FNV-1a
+        for b in test_name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        StdRng::seed_from_u64(hash)
+    }
+}
+
+/// The names most property tests need, in one import.
+pub mod prelude {
+    /// Alias so `prop::collection::vec(...)` resolves as in the real crate.
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+// ----------------------------------------------------------------- macros --
+
+/// Defines property tests; supports an optional leading
+/// `#![proptest_config(...)]` and any number of `fn name(pat in strategy)`
+/// items, as in the real crate (minus shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not invoke directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::rng_for(stringify!($name));
+            for case in 0..config.cases {
+                $(let $pat = $crate::Strategy::generate(&($strategy), &mut rng);)+
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        err
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Weighted (`w => strategy`) or unweighted choice between strategies with a
+/// common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strategy))),+
+        ])
+    };
+}
+
+/// Like `assert!`, but fails the current case instead of panicking so the
+/// runner can report which case broke.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} at {}:{}",
+                stringify!($cond),
+                file!(),
+                line!()
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({}) at {}:{}",
+                stringify!($cond),
+                format!($($fmt)+),
+                file!(),
+                line!()
+            )));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}` at {}:{}",
+                left,
+                right,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left == right` ({})\n  left: `{:?}`\n right: `{:?}` at {}:{}",
+                format!($($fmt)+),
+                left,
+                right,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+/// Like `assert_ne!`, but fails the current case instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `left != right`\n  both: `{:?}` at {}:{}",
+                left,
+                file!(),
+                line!()
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn regex_subset_respects_classes_and_counts() {
+        let mut rng = rng_for("regex");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z][a-z0-9/.#-]{0,30}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 31);
+            let mut chars = s.chars();
+            assert!(chars.next().unwrap().is_ascii_lowercase());
+            for c in chars {
+                assert!(
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || "/.#-".contains(c),
+                    "unexpected char {c:?} in {s:?}"
+                );
+            }
+            let t = Strategy::generate(&"[ -~]{0,20}", &mut rng);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)), "{t:?}");
+            let u = Strategy::generate(&"[a-z]{2,5}", &mut rng);
+            assert!((2..=5).contains(&u.len()), "{u:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_weights_zero_excludes_arm() {
+        let mut rng = rng_for("oneof");
+        let strat = prop_oneof![1 => Just(1u32), 0 => Just(2u32)];
+        for _ in 0..50 {
+            assert_eq!(Strategy::generate(&strat, &mut rng), 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn macro_roundtrip(v in prop::collection::vec(0u64..100, 0..10), flag in any::<bool>()) {
+            prop_assert!(v.len() < 10);
+            prop_assert_eq!(flag, flag);
+            for x in v {
+                prop_assert!(x < 100, "x = {}", x);
+            }
+        }
+    }
+
+    // No `#[test]` meta: expands to a plain fn the should_panic test calls.
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 4, ..ProptestConfig::default() })]
+
+        fn always_fails(x in 0u32..10) {
+            prop_assert!(x > 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics_with_case_info() {
+        always_fails();
+    }
+}

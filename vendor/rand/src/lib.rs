@@ -1,0 +1,191 @@
+//! A tiny, dependency-free, API-compatible subset of the `rand` crate.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors the handful of `rand` 0.9 APIs it actually uses:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`] and
+//! [`Rng::random_range`]. The generator is xoshiro256** seeded through
+//! SplitMix64 — deterministic per seed, which is all the workload
+//! generators require. Swap this crate for the real `rand` by flipping the
+//! `[workspace.dependencies]` entry once networked builds are available.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be created from a numeric seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Low-level source of random bits.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`.
+    ///
+    /// Panics if the range is empty, matching the real `rand`.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// A range that knows how to sample one of its elements.
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from `self` using `rng`.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Primitive types [`SampleRange`] knows how to sample; the two blanket
+/// range impls below hang off this trait so integer-literal inference works
+/// (`rng.random_range(0..v.len())` must infer `usize`), as in the real
+/// `rand`.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Bit-preserving widening cast (sign-extending for signed types).
+    fn to_u128(self) -> u128;
+    /// Truncating cast back; inverse of [`Self::to_u128`] modulo 2^128.
+    fn from_u128(v: u128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            #[inline]
+            fn to_u128(self) -> u128 {
+                self as u128
+            }
+            #[inline]
+            fn from_u128(v: u128) -> Self {
+                v as $ty
+            }
+        }
+    )*};
+}
+
+// Only types up to 64 bits: sampling draws a single u64 word, so a u128/i128
+// range wider than 2^64 could never be uniform — leave those out so misuse
+// fails to compile instead of silently skewing.
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        // Wrapping arithmetic in u128 is correct for signed types too:
+        // sign-extension preserves differences modulo 2^128.
+        let span = self.end.to_u128().wrapping_sub(self.start.to_u128());
+        let offset = (rng.next_u64() as u128) % span;
+        T::from_u128(self.start.to_u128().wrapping_add(offset))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        let span = end.to_u128().wrapping_sub(start.to_u128()).wrapping_add(1);
+        // span == 0 means the range covers all of u128; any draw is valid.
+        let offset = if span == 0 {
+            rng.next_u64() as u128
+        } else {
+            (rng.next_u64() as u128) % span
+        };
+        T::from_u128(start.to_u128().wrapping_add(offset))
+    }
+}
+
+/// Provided generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator (xoshiro256**).
+    ///
+    /// Unlike the real `StdRng` this is *not* cryptographically secure; the
+    /// workloads only need determinism and uniformity.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.random_range(0usize..1000), b.random_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.random_range(10u64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.random_range(1usize..=2);
+            assert!((1..=2).contains(&w));
+            let neg = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&neg));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..16).map(|_| a.random_range(0u64..1 << 60)).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.random_range(0u64..1 << 60)).collect();
+        assert_ne!(va, vb);
+    }
+}

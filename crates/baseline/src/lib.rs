@@ -18,14 +18,21 @@
 //!   *delta*. It is a stronger baseline and — because it is an independent,
 //!   simple implementation — the correctness oracle for Slider's closures
 //!   in the test suite.
+//! * [`RecomputeOracle`] extends the oracle role to **retraction**: it
+//!   tracks the explicit triple set and recomputes the closure from
+//!   scratch on demand, which is both the correctness reference for the
+//!   DRed maintenance subsystem and the batch comparator the `retraction`
+//!   bench measures against.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod naive;
+mod recompute;
 mod semi_naive;
 
 pub use naive::NaiveReasoner;
+pub use recompute::RecomputeOracle;
 pub use semi_naive::{closure, SemiNaiveReasoner};
 
 /// Statistics of one batch materialisation run.

@@ -1,0 +1,119 @@
+//! The recompute-from-scratch retraction oracle.
+//!
+//! Truth maintenance (Slider's DRed subsystem) is easy to get subtly wrong
+//! — overdeletion can miss a dependency, rederivation can resurrect too
+//! little or too much. This oracle is the trivially correct reference: it
+//! keeps the *explicit* (asserted) triple set and, on every query, recloses
+//! it from scratch with the semi-naive materialiser. `tests/retraction.rs`
+//! asserts that any interleaving of additions and retractions leaves
+//! Slider's store equal to [`RecomputeOracle::closure`].
+
+use crate::semi_naive::closure;
+use slider_model::{FxHashSet, Triple};
+use slider_rules::Ruleset;
+use slider_store::VerticalStore;
+
+/// A stateful explicit-set tracker whose closure is recomputed from
+/// scratch — the correctness baseline (and worst-case performance
+/// comparator) for incremental deletion.
+pub struct RecomputeOracle {
+    ruleset: Ruleset,
+    explicit: FxHashSet<Triple>,
+}
+
+impl RecomputeOracle {
+    /// An oracle over `ruleset` with no assertions.
+    pub fn new(ruleset: Ruleset) -> Self {
+        RecomputeOracle {
+            ruleset,
+            explicit: FxHashSet::default(),
+        }
+    }
+
+    /// Asserts `triples`; returns how many were new assertions.
+    pub fn add(&mut self, triples: &[Triple]) -> usize {
+        triples.iter().filter(|&&t| self.explicit.insert(t)).count()
+    }
+
+    /// Retracts `triples`; unknown (never-asserted) triples are skipped.
+    /// Returns how many assertions were retracted.
+    pub fn remove(&mut self, triples: &[Triple]) -> usize {
+        triples
+            .iter()
+            .filter(|&&t| self.explicit.remove(&t))
+            .count()
+    }
+
+    /// Number of surviving assertions.
+    pub fn explicit_len(&self) -> usize {
+        self.explicit.len()
+    }
+
+    /// The surviving assertions (no ordering guarantee).
+    pub fn explicit(&self) -> Vec<Triple> {
+        self.explicit.iter().copied().collect()
+    }
+
+    /// The from-scratch semi-naive closure of the surviving assertions.
+    pub fn closure(&self) -> VerticalStore {
+        closure(self.ruleset.clone(), &self.explicit())
+    }
+
+    /// Sorted closure, for direct comparison with
+    /// `ConcurrentStore::to_sorted_vec`.
+    pub fn to_sorted_vec(&self) -> Vec<Triple> {
+        self.closure().to_sorted_vec()
+    }
+}
+
+impl std::fmt::Debug for RecomputeOracle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecomputeOracle")
+            .field("ruleset", &self.ruleset.name())
+            .field("explicit", &self.explicit.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slider_model::vocab::RDFS_SUB_CLASS_OF;
+    use slider_model::NodeId;
+
+    fn sco(a: u64, b: u64) -> Triple {
+        Triple::new(NodeId(1000 + a), RDFS_SUB_CLASS_OF, NodeId(1000 + b))
+    }
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let mut oracle = RecomputeOracle::new(Ruleset::rho_df());
+        assert_eq!(oracle.add(&[sco(1, 2), sco(2, 3), sco(1, 2)]), 2);
+        assert_eq!(oracle.explicit_len(), 2);
+        // Chain of 2 closes with the transitive edge.
+        assert_eq!(
+            oracle.to_sorted_vec(),
+            vec![sco(1, 2), sco(1, 3), sco(2, 3)]
+        );
+        assert_eq!(oracle.remove(&[sco(2, 3), sco(9, 9)]), 1);
+        assert_eq!(oracle.to_sorted_vec(), vec![sco(1, 2)]);
+        assert_eq!(oracle.explicit_len(), 1);
+    }
+
+    #[test]
+    fn closure_is_recomputed_not_cached() {
+        let mut oracle = RecomputeOracle::new(Ruleset::rho_df());
+        oracle.add(&[sco(1, 2), sco(2, 3)]);
+        let first = oracle.to_sorted_vec();
+        oracle.remove(&[sco(1, 2)]);
+        oracle.add(&[sco(1, 2)]);
+        assert_eq!(oracle.to_sorted_vec(), first);
+    }
+
+    #[test]
+    fn empty_oracle() {
+        let oracle = RecomputeOracle::new(Ruleset::rho_df());
+        assert!(oracle.to_sorted_vec().is_empty());
+        assert!(oracle.explicit().is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! Criterion bench: one sliding-window maintenance step — add a batch,
+//! retract the expiring batch — under incremental DRed vs recompute.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use slider_baseline::RecomputeOracle;
+use slider_core::{Slider, SliderConfig};
+use slider_model::vocab::{RDFS_SUB_CLASS_OF, RDF_TYPE};
+use slider_model::{Dictionary, NodeId, Triple};
+use slider_rules::Ruleset;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const DEPTH: u64 = 12;
+const BATCH: u64 = 100;
+const WINDOW: usize = 4;
+
+fn class(d: u64) -> NodeId {
+    NodeId(10_000 + d)
+}
+
+fn taxonomy() -> Vec<Triple> {
+    (0..DEPTH - 1)
+        .map(|d| Triple::new(class(d), RDFS_SUB_CLASS_OF, class(d + 1)))
+        .collect()
+}
+
+fn batch(i: u64) -> Vec<Triple> {
+    (0..BATCH)
+        .map(|k| Triple::new(NodeId(1_000_000 + i * BATCH + k), RDF_TYPE, class(0)))
+        .collect()
+}
+
+fn window_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("retraction/window_step");
+    group.sample_size(10);
+
+    group.bench_function("slider_dred", |b| {
+        b.iter(|| {
+            let slider = Slider::new(
+                Arc::new(Dictionary::new()),
+                Ruleset::rho_df(),
+                SliderConfig::batch(),
+            );
+            slider.materialize(&taxonomy());
+            for i in 0..(WINDOW as u64 + 4) {
+                slider.add_triples(&batch(i));
+                if let Some(j) = i.checked_sub(WINDOW as u64) {
+                    slider.remove_triples(&batch(j));
+                }
+                slider.wait_idle();
+            }
+            black_box(slider.store().len())
+        })
+    });
+
+    group.bench_function("recompute_baseline", |b| {
+        b.iter(|| {
+            let mut oracle = RecomputeOracle::new(Ruleset::rho_df());
+            oracle.add(&taxonomy());
+            let mut size = 0usize;
+            for i in 0..(WINDOW as u64 + 4) {
+                oracle.add(&batch(i));
+                if let Some(j) = i.checked_sub(WINDOW as u64) {
+                    oracle.remove(&batch(j));
+                }
+                size = oracle.closure().len();
+            }
+            black_box(size)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(retraction, window_step);
+criterion_main!(retraction);

@@ -1,0 +1,175 @@
+//! The `retraction` benchmark: sliding-window streaming with incremental
+//! deletion (DRed) versus recompute-from-scratch.
+//!
+//! A fixed class taxonomy (subClassOf chains) stays resident while typed
+//! instance batches stream through a count-based sliding window: each step
+//! adds the arriving batch and retracts the batch expiring out of the
+//! window. Slider maintains the materialisation with DRed
+//! (`Slider::remove_triples`); the baseline recomputes the closure of the
+//! surviving explicit set from scratch every step
+//! (`slider_baseline::RecomputeOracle`) — exactly what a monotone-additive
+//! reasoner is forced to do.
+//!
+//! ```text
+//! cargo run --release -p slider-bench --bin retraction            # full size
+//! cargo run --release -p slider-bench --bin retraction -- --smoke # CI smoke
+//! ```
+//!
+//! `--smoke` runs a tiny workload and additionally cross-checks every
+//! step's store against the oracle, so CI both exercises the bench binary
+//! and re-verifies DRed end to end.
+
+use slider_baseline::RecomputeOracle;
+use slider_core::{Slider, SliderConfig};
+use slider_model::vocab::{RDFS_SUB_CLASS_OF, RDF_TYPE};
+use slider_model::{Dictionary, NodeId, Triple};
+use slider_rules::Ruleset;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Params {
+    /// Depth of each subClassOf chain in the background taxonomy.
+    depth: u64,
+    /// Number of parallel chains.
+    chains: u64,
+    /// Instance-typing triples per stream batch.
+    batch: u64,
+    /// Window size, in batches.
+    window: usize,
+    /// Stream steps to play.
+    steps: u64,
+    /// Cross-check every step against the oracle closure.
+    verify: bool,
+}
+
+const SMOKE: Params = Params {
+    depth: 8,
+    chains: 3,
+    batch: 40,
+    window: 4,
+    steps: 14,
+    verify: true,
+};
+
+const FULL: Params = Params {
+    depth: 24,
+    chains: 8,
+    batch: 500,
+    window: 8,
+    steps: 60,
+    verify: false,
+};
+
+/// Background: `chains` subClassOf chains of `depth` classes each.
+fn taxonomy(p: &Params) -> Vec<Triple> {
+    let class = |c: u64, d: u64| NodeId(10_000 + c * 1_000 + d);
+    (0..p.chains)
+        .flat_map(|c| {
+            (0..p.depth - 1)
+                .map(move |d| Triple::new(class(c, d), RDFS_SUB_CLASS_OF, class(c, d + 1)))
+        })
+        .collect()
+}
+
+/// Stream batch `i`: instances typed with the *leaf* class of a chain, so
+/// every arrival derives `depth − 1` superclass types per instance.
+fn batch(p: &Params, i: u64) -> Vec<Triple> {
+    let class = |c: u64, d: u64| NodeId(10_000 + c * 1_000 + d);
+    (0..p.batch)
+        .map(|k| {
+            let inst = NodeId(1_000_000 + i * p.batch + k);
+            Triple::new(inst, RDF_TYPE, class((i + k) % p.chains, 0))
+        })
+        .collect()
+}
+
+fn fmt_ms(d: Duration) -> String {
+    format!("{:8.2} ms", d.as_secs_f64() * 1e3)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    if args.iter().any(|a| a != "--smoke") {
+        eprintln!("usage: retraction [--smoke]");
+        std::process::exit(2);
+    }
+    let p = if smoke { SMOKE } else { FULL };
+
+    let schema = taxonomy(&p);
+    let batches: Vec<Vec<Triple>> = (0..p.steps).map(|i| batch(&p, i)).collect();
+
+    println!(
+        "retraction bench: {} chains × depth {}, {} steps of {} instance triples, window {}{}",
+        p.chains,
+        p.depth,
+        p.steps,
+        p.batch,
+        p.window,
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    // --- Slider: incremental DRed maintenance --------------------------
+    let slider = Slider::new(
+        Arc::new(Dictionary::new()),
+        Ruleset::rho_df(),
+        SliderConfig::batch(),
+    );
+    let mut oracle = RecomputeOracle::new(Ruleset::rho_df());
+    slider.materialize(&schema);
+    oracle.add(&schema);
+
+    let mut slider_elapsed = Duration::ZERO;
+    let mut oracle_elapsed = Duration::ZERO;
+    for (i, arriving) in batches.iter().enumerate() {
+        let expiring = i.checked_sub(p.window).map(|j| &batches[j]);
+
+        let start = Instant::now();
+        slider.add_triples(arriving);
+        if let Some(gone) = expiring {
+            slider.remove_triples(gone);
+        }
+        slider.wait_idle();
+        slider_elapsed += start.elapsed();
+
+        let start = Instant::now();
+        oracle.add(arriving);
+        if let Some(gone) = expiring {
+            oracle.remove(gone);
+        }
+        let closure = oracle.closure();
+        oracle_elapsed += start.elapsed();
+
+        if p.verify {
+            assert_eq!(
+                slider.store().to_sorted_vec(),
+                closure.to_sorted_vec(),
+                "DRed diverged from recompute at step {i}"
+            );
+        }
+    }
+
+    let stats = slider.stats();
+    println!(
+        "  slider (DRed):        {} total, {} / step",
+        fmt_ms(slider_elapsed),
+        fmt_ms(slider_elapsed / p.steps as u32)
+    );
+    println!(
+        "  recompute baseline:   {} total, {} / step",
+        fmt_ms(oracle_elapsed),
+        fmt_ms(oracle_elapsed / p.steps as u32)
+    );
+    println!(
+        "  gain: {:.2}x   (store: {} triples, {} explicit; {} retracted, {} overdeleted, {} rederived)",
+        oracle_elapsed.as_secs_f64() / slider_elapsed.as_secs_f64().max(1e-9),
+        stats.store_size,
+        stats.store.explicit,
+        stats.retracted,
+        stats.overdeleted,
+        stats.rederived
+    );
+    if p.verify {
+        println!("  verified: store == recompute closure at every step");
+    }
+}

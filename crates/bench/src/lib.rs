@@ -15,11 +15,15 @@
 //!   {Baseline, Slider}) plus the §3 headline averages;
 //! * `figure3` — the same data as inference-time series (Table 1 minus
 //!   BSBM_5M, as in the paper's figure), with an ASCII rendering and CSV;
-//! * `figure2` — the ρdf rules dependency graph as DOT.
+//! * `figure2` — the ρdf rules dependency graph as DOT;
+//! * `retraction` — sliding-window streaming with incremental deletion
+//!   (DRed) vs recompute-from-scratch; `--smoke` runs the tiny CI
+//!   configuration with per-step oracle verification.
 //!
 //! Criterion benches: `table1` (scaled-down row set), `buffer_params`
 //! (buffer size / timeout sweeps — the demo's §4 parameters), `ablation`
-//! (object index, pool size), `store_micro` (substrate microbenchmarks).
+//! (object index, pool size), `store_micro` (substrate microbenchmarks),
+//! `retraction` (one sliding-window maintenance step, both engines).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -33,6 +33,15 @@ pub struct SliderConfig {
     /// cheaper instances), productive rules smaller ones (lower latency).
     /// Off by default.
     pub adaptive_buffers: bool,
+    /// Conservative truth maintenance: when `true`, DRed retraction
+    /// (see [`Slider::remove_triples`](crate::Slider::remove_triples)) runs
+    /// **every** rule in both the overdeletion and rederivation phases,
+    /// instead of restricting overdeletion to the dependency-graph
+    /// downward closure of the retracted predicates and rederivation to
+    /// the rules whose output signature can emit an overdeleted predicate.
+    /// The two modes compute the same store; the restricted default just
+    /// does less work. Off by default; useful as a cross-check/ablation.
+    pub full_rederive: bool,
 }
 
 impl Default for SliderConfig {
@@ -44,6 +53,7 @@ impl Default for SliderConfig {
             trace: false,
             object_index: true,
             adaptive_buffers: false,
+            full_rederive: false,
         }
     }
 }
@@ -92,6 +102,12 @@ impl SliderConfig {
         self.adaptive_buffers = adaptive;
         self
     }
+
+    /// Builder-style conservative-maintenance switch.
+    pub fn with_full_rederive(mut self, full: bool) -> Self {
+        self.full_rederive = full;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +123,16 @@ mod tests {
         assert!(!c.trace);
         assert!(c.object_index);
         assert!(!c.adaptive_buffers);
+        assert!(!c.full_rederive);
+    }
+
+    #[test]
+    fn full_rederive_builder() {
+        assert!(
+            SliderConfig::default()
+                .with_full_rederive(true)
+                .full_rederive
+        );
     }
 
     #[test]

@@ -1,23 +1,27 @@
 //! **Slider** — the incremental reasoner (the paper's primary contribution).
 //!
-//! The architecture is a faithful Rust realisation of the paper's Figure 1:
+//! The architecture is a faithful Rust realisation of the paper's Figure 1,
+//! extended with a retraction path (DRed truth maintenance):
 //!
 //! ```text
 //!             ┌────────────────────────────────────────────────┐
 //!  evolving   │              TRIPLE STORE (RW-locked)          │
-//!  data ──►   └────▲──────────────▲──────────────▲─────────────┘
-//!   input          │ read         │ read         │ write (dedup)
+//!  data ──►   └─▲──▲──────────────▲──────────────▲─────────────┘
+//!   input       │  │ read         │ read         │ write (dedup)
 //!  manager ──► [Buffer R1] ─► (rule instance on thread pool) ─► [Distributor R1]
 //!          └─► [Buffer R2] ─► (rule instance on thread pool) ─► [Distributor R2]
 //!          └─► [Buffer R3] ─►            …                         │
-//!                  ▲───────────── fresh triples routed ◄───────────┘
-//!                        (rules dependency graph, Figure 2)
+//!               │  ▲───────────── fresh triples routed ◄───────────┘
+//!               │        (rules dependency graph, Figure 2)
+//!  retractions ─┴─► [DRed maintenance: overdelete ▸ rederive]
+//!               (write-locked; explicit/derived provenance flags)
 //! ```
 //!
 //! * The **input manager** ([`Slider::add_triples`], [`Slider::add_terms`])
 //!   dictionary-encodes incoming triples, inserts them into the store
-//!   (duplicates are dropped here — first dedup layer) and routes the new
-//!   ones to the buffers of every rule whose [`InputFilter`] accepts them.
+//!   (duplicates are dropped here — first dedup layer; inputs are flagged
+//!   **explicit**) and routes the new ones to the buffers of every rule
+//!   whose [`InputFilter`] accepts them.
 //! * Each rule module owns a **buffer**; when it reaches
 //!   [`SliderConfig::buffer_capacity`] triples — or sits idle longer than
 //!   [`SliderConfig::timeout`] — its content becomes a *rule instance*: a
@@ -30,10 +34,17 @@
 //! * [`Slider::wait_idle`] detects quiescence (all buffers empty, no
 //!   in-flight work): the closure is complete. Streaming callers instead
 //!   just keep feeding triples; timeouts keep buffers moving.
+//! * **Retractions** ([`Slider::remove_triples`], [`Slider::remove_terms`])
+//!   run the [`maintenance`] module's DRed algorithm under the store's
+//!   write lock: overdelete the downward closure of the retracted facts
+//!   through the dependency graph, then rederive the survivors via the
+//!   same rule modules. Afterwards the store equals the closure of the
+//!   surviving explicit triples — sliding-window streams retract expiring
+//!   batches instead of rebuilding.
 //!
 //! Termination is guaranteed because every dispatched triple was new to the
 //! store and rules never invent new term ids, so the reachable closure is
-//! finite and monotone.
+//! finite and monotone between maintenance runs.
 //!
 //! [`InputFilter`]: slider_rules::InputFilter
 
@@ -43,12 +54,14 @@
 mod buffer;
 mod config;
 mod inflight;
+pub mod maintenance;
 mod reasoner;
 mod stats;
 pub mod trace;
 
 pub use buffer::Buffer;
 pub use config::SliderConfig;
+pub use maintenance::RemovalOutcome;
 pub use reasoner::Slider;
 pub use stats::{RuleStats, StatsSnapshot};
 pub use trace::{events_to_json, Event, EventKind, EventLog};

@@ -3,9 +3,11 @@
 use crate::buffer::Buffer;
 use crate::config::SliderConfig;
 use crate::inflight::Inflight;
+use crate::maintenance::{self, RemovalOutcome};
 use crate::stats::{bump, GlobalCounters, RuleCounters, RuleStats, StatsSnapshot};
 use crate::trace::{Event, EventKind, EventLog};
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
 use slider_model::{Dictionary, TermTriple, Triple};
 use slider_rules::{DependencyGraph, Fragment, InputFilter, Rule, Ruleset};
 use slider_store::{ConcurrentStore, VerticalStore};
@@ -48,6 +50,10 @@ struct Engine {
     ruleset_name: String,
     /// Adaptive-scheduling bounds: `Some((base, max))` when enabled.
     adaptive: Option<(usize, usize)>,
+    /// Serialises DRed maintenance runs (see [`Slider::remove_triples`]).
+    maintenance: Mutex<()>,
+    /// Conservative-maintenance switch (see `SliderConfig::full_rederive`).
+    full_rederive: bool,
 }
 
 impl Engine {
@@ -280,6 +286,8 @@ impl Slider {
             adaptive: config
                 .adaptive_buffers
                 .then(|| (base_capacity, base_capacity.saturating_mul(64))),
+            maintenance: Mutex::new(()),
+            full_rederive: config.full_rederive,
         });
         let shutdown = Arc::new(AtomicBool::new(false));
 
@@ -319,15 +327,16 @@ impl Slider {
     }
 
     /// Feeds encoded triples to the input manager. Duplicates are dropped;
-    /// the new triples enter the store immediately and are routed to the
-    /// rule buffers. Returns how many were new.
+    /// the new triples enter the store immediately (marked **explicit** —
+    /// asserted, as opposed to rule-derived) and are routed to the rule
+    /// buffers. Returns how many were new.
     pub fn add_triples(&self, triples: &[Triple]) -> usize {
         let engine = &self.engine;
         // Token covers the push-and-route window so `wait_idle` on another
         // thread cannot observe a false quiescence mid-call.
         engine.inflight.inc();
         let mut fresh = Vec::with_capacity(triples.len());
-        engine.store.insert_batch(triples, &mut fresh);
+        engine.store.insert_batch_explicit(triples, &mut fresh);
         bump(&engine.globals.input_received, triples.len() as u64);
         bump(&engine.globals.input_fresh, fresh.len() as u64);
         if let Some(log) = &engine.log {
@@ -356,6 +365,96 @@ impl Slider {
             .map(|t| self.engine.dict.encode_triple(t))
             .collect();
         self.add_triples(&encoded)
+    }
+
+    /// Retracts encoded triples and runs DRed truth maintenance (see the
+    /// [`maintenance`](crate::maintenance) module): the retracted facts and
+    /// every conclusion that depended on them are deleted, then conclusions
+    /// with an alternative derivation from surviving facts are restored.
+    /// Afterwards the store equals the closure of the surviving explicit
+    /// triples.
+    ///
+    /// Only **explicit** (asserted) triples can be retracted; offering a
+    /// derived-only or absent triple is a no-op — a derived fact is not an
+    /// assertion, and deleting it would be futile (it is rederivable by
+    /// definition). Returns how many explicit triples were retracted.
+    ///
+    /// Removal is linearised against additions: the call waits for
+    /// quiescence (in-flight work from earlier `add_*` calls completes
+    /// first), and additions racing this call land either entirely before
+    /// or entirely after the maintenance run.
+    pub fn remove_triples(&self, triples: &[Triple]) -> usize {
+        self.remove_triples_outcome(triples).retracted
+    }
+
+    /// [`Slider::remove_triples`], returning the full per-phase counters.
+    pub fn remove_triples_outcome(&self, triples: &[Triple]) -> RemovalOutcome {
+        let engine = &self.engine;
+        // One maintenance run at a time; concurrent removers queue here.
+        let _serial = engine.maintenance.lock();
+        let rules: Vec<Arc<dyn Rule>> =
+            engine.modules.iter().map(|m| Arc::clone(&m.rule)).collect();
+        let (outcome, store_size) = loop {
+            // Drain all in-flight derivations, then re-check quiescence
+            // *under the write lock*: an `add_triples` that slipped in
+            // after `wait_idle` still holds its inflight token until its
+            // routing is done, so a clean check here means no rule
+            // instance can be holding stale premises. Blocked adders
+            // (waiting on this write lock) proceed after maintenance and
+            // join against the post-removal store — sound either way.
+            self.wait_idle();
+            let mut store = engine.store.write();
+            if engine.inflight.current() == 0 && engine.buffers_empty() {
+                let outcome = maintenance::dred(
+                    &mut store,
+                    &rules,
+                    &engine.graph,
+                    triples,
+                    engine.full_rederive,
+                );
+                // Size captured under the guard: racing adders blocked on
+                // the lock must not leak into "store size after
+                // maintenance" reported by the trace event.
+                break (outcome, store.len());
+            }
+        };
+        if outcome.retracted > 0 {
+            bump(&engine.globals.removal_runs, 1);
+            bump(&engine.globals.retracted, outcome.retracted as u64);
+            bump(&engine.globals.overdeleted, outcome.overdeleted as u64);
+            bump(&engine.globals.rederived, outcome.rederived as u64);
+        }
+        if let Some(log) = &engine.log {
+            log.record(EventKind::Removal {
+                requested: outcome.requested,
+                retracted: outcome.retracted,
+                overdeleted: outcome.overdeleted,
+                rederived: outcome.rederived,
+                store_size,
+            });
+        }
+        outcome
+    }
+
+    /// Retracts one encoded triple; returns `true` if it was an explicit
+    /// assertion (and was retracted).
+    pub fn remove_triple(&self, triple: Triple) -> bool {
+        self.remove_triples(std::slice::from_ref(&triple)) == 1
+    }
+
+    /// Retracts decoded triples. Terms are looked up (never interned): a
+    /// triple mentioning a term the dictionary has never seen cannot be in
+    /// the store and is skipped. Returns how many explicit triples were
+    /// retracted.
+    pub fn remove_terms(&self, triples: &[TermTriple]) -> usize {
+        let dict = &self.engine.dict;
+        let encoded: Vec<Triple> = triples
+            .iter()
+            .filter_map(|(s, p, o)| {
+                Some(Triple::new(dict.id_of(s)?, dict.id_of(p)?, dict.id_of(o)?))
+            })
+            .collect();
+        self.remove_triples(&encoded)
     }
 
     /// Force-flushes all buffers without waiting.
@@ -436,11 +535,17 @@ impl Slider {
                 buffer_capacity: m.capacity.load(Ordering::Relaxed),
             })
             .collect();
+        let store = engine.store.stats();
         StatsSnapshot {
             rules,
             input_received: engine.globals.input_received.load(Ordering::Relaxed),
             input_fresh: engine.globals.input_fresh.load(Ordering::Relaxed),
-            store_size: engine.store.len(),
+            store_size: store.triples,
+            store,
+            removal_runs: engine.globals.removal_runs.load(Ordering::Relaxed),
+            retracted: engine.globals.retracted.load(Ordering::Relaxed),
+            overdeleted: engine.globals.overdeleted.load(Ordering::Relaxed),
+            rederived: engine.globals.rederived.load(Ordering::Relaxed),
         }
     }
 
@@ -734,6 +839,56 @@ mod tests {
         let slider = rho_slider(SliderConfig::default());
         assert_eq!(slider.dependency_graph().len(), 8);
         assert_eq!(slider.ruleset_name(), "rho-df");
+    }
+
+    #[test]
+    fn remove_triples_runs_dred_end_to_end() {
+        let slider = rho_slider(SliderConfig::default());
+        slider.materialize(&chain(10));
+        assert_eq!(slider.remove_triples(&[sco(5, 6)]), 1);
+        let survivors: Vec<Triple> = chain(10).into_iter().filter(|&t| t != sco(5, 6)).collect();
+        let oracle = closure(Ruleset::rho_df(), &survivors);
+        assert_eq!(slider.store().to_sorted_vec(), oracle.to_sorted_vec());
+        let stats = slider.stats();
+        assert_eq!(stats.store.explicit, survivors.len());
+        assert_eq!(stats.removal_runs, 1);
+        assert_eq!(stats.retracted, 1);
+        assert!(stats.overdeleted > 0);
+        // Removing it again (or a derived fact) is a no-op.
+        assert_eq!(slider.remove_triples(&[sco(5, 6), sco(1, 3)]), 0);
+        assert_eq!(slider.stats().removal_runs, 1);
+    }
+
+    #[test]
+    fn removal_then_re_add_round_trips() {
+        let input = chain(12);
+        let slider = rho_slider(SliderConfig::default());
+        slider.materialize(&input);
+        let full = slider.store().to_sorted_vec();
+        assert!(slider.remove_triple(sco(4, 5)));
+        assert_ne!(slider.store().to_sorted_vec(), full);
+        slider.materialize(&[sco(4, 5)]);
+        assert_eq!(slider.store().to_sorted_vec(), full);
+    }
+
+    #[test]
+    fn remove_terms_skips_unknown_terms() {
+        use slider_model::Term;
+        let slider = Slider::fragment(Fragment::RhoDf, SliderConfig::default());
+        let sco_term = Term::iri("http://www.w3.org/2000/01/rdf-schema#subClassOf");
+        let cat = Term::iri("http://e/Cat");
+        let animal = Term::iri("http://e/Animal");
+        slider.add_terms(&[(cat.clone(), sco_term.clone(), animal.clone())]);
+        slider.wait_idle();
+        let interned = slider.dict().len();
+        // Unknown term: skipped without interning anything.
+        assert_eq!(
+            slider.remove_terms(&[(Term::iri("http://e/Nope"), sco_term.clone(), animal.clone())]),
+            0
+        );
+        assert_eq!(slider.dict().len(), interned);
+        assert_eq!(slider.remove_terms(&[(cat, sco_term, animal)]), 1);
+        assert!(slider.store().is_empty());
     }
 
     #[test]

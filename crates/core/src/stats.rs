@@ -27,6 +27,16 @@ pub(crate) struct GlobalCounters {
     pub input_received: AtomicU64,
     /// Input triples that were new to the store.
     pub input_fresh: AtomicU64,
+    /// Maintenance (DRed) runs that retracted at least one triple.
+    pub removal_runs: AtomicU64,
+    /// Explicit triples retracted by `remove_*` calls.
+    pub retracted: AtomicU64,
+    /// Derived triples deleted during DRed overdeletion (beyond the
+    /// retracted assertions themselves).
+    pub overdeleted: AtomicU64,
+    /// Overdeleted triples restored by the rederivation phase (they had an
+    /// alternative derivation from surviving facts).
+    pub rederived: AtomicU64,
 }
 
 #[inline]
@@ -74,6 +84,18 @@ pub struct StatsSnapshot {
     pub input_fresh: u64,
     /// Store size at snapshot time.
     pub store_size: usize,
+    /// Store composition at snapshot time, including the explicit/derived
+    /// provenance split (`store.triples == store_size`).
+    pub store: slider_store::StoreStats,
+    /// Maintenance (DRed) runs that retracted at least one triple.
+    pub removal_runs: u64,
+    /// Explicit triples retracted by `remove_*` calls.
+    pub retracted: u64,
+    /// Derived triples deleted during DRed overdeletion (beyond the
+    /// retracted assertions themselves).
+    pub overdeleted: u64,
+    /// Overdeleted triples restored by rederivation.
+    pub rederived: u64,
 }
 
 impl StatsSnapshot {
@@ -107,9 +129,20 @@ impl std::fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "input: {} received, {} fresh; store: {} triples",
-            self.input_received, self.input_fresh, self.store_size
+            "input: {} received, {} fresh; store: {} triples ({} explicit, {} derived)",
+            self.input_received,
+            self.input_fresh,
+            self.store_size,
+            self.store.explicit,
+            self.store.derived
         )?;
+        if self.removal_runs > 0 {
+            writeln!(
+                f,
+                "removals: {} runs, {} retracted, {} overdeleted, {} rederived",
+                self.removal_runs, self.retracted, self.overdeleted, self.rederived
+            )?;
+        }
         writeln!(
             f,
             "{:<10} {:>8} {:>8} {:>8} {:>10} {:>10} {:>10}",
@@ -143,14 +176,23 @@ mod tests {
         }
     }
 
+    fn snap(rules: Vec<RuleStats>, input_received: u64, input_fresh: u64) -> StatsSnapshot {
+        StatsSnapshot {
+            rules,
+            input_received,
+            input_fresh,
+            store_size: 0,
+            store: slider_store::StoreStats::default(),
+            removal_runs: 0,
+            retracted: 0,
+            overdeleted: 0,
+            rederived: 0,
+        }
+    }
+
     #[test]
     fn aggregation() {
-        let snap = StatsSnapshot {
-            rules: vec![rs("A", 10, 4), rs("B", 6, 6)],
-            input_received: 100,
-            input_fresh: 90,
-            store_size: 100,
-        };
+        let snap = snap(vec![rs("A", 10, 4), rs("B", 6, 6)], 100, 90);
         assert_eq!(snap.total_inferred(), 10);
         assert_eq!(snap.total_derived(), 16);
         assert_eq!(snap.total_fired(), 2);
@@ -160,25 +202,24 @@ mod tests {
 
     #[test]
     fn display_renders_table() {
-        let snap = StatsSnapshot {
-            rules: vec![rs("CAX-SCO", 5, 5)],
-            input_received: 1,
-            input_fresh: 1,
-            store_size: 6,
-        };
+        let snap = snap(vec![rs("CAX-SCO", 5, 5)], 1, 1);
         let text = snap.to_string();
         assert!(text.contains("CAX-SCO"));
         assert!(text.contains("fresh"));
+        // Removal line only appears once a removal ran.
+        assert!(!text.contains("removals:"));
+        let mut with_removals = snap.clone();
+        with_removals.removal_runs = 1;
+        with_removals.retracted = 2;
+        with_removals.overdeleted = 3;
+        with_removals.rederived = 1;
+        let text = with_removals.to_string();
+        assert!(text.contains("removals: 1 runs, 2 retracted, 3 overdeleted, 1 rederived"));
     }
 
     #[test]
     fn zero_derivations_ratio() {
-        let snap = StatsSnapshot {
-            rules: vec![],
-            input_received: 0,
-            input_fresh: 0,
-            store_size: 0,
-        };
+        let snap = snap(vec![], 0, 0);
         assert_eq!(snap.duplicate_ratio(), 0.0);
     }
 }

@@ -42,6 +42,19 @@ pub enum EventKind {
         /// Store size after the distributor ran.
         store_size: usize,
     },
+    /// A DRed maintenance run (retraction) completed.
+    Removal {
+        /// Triples offered to `remove_*`.
+        requested: usize,
+        /// Explicit triples actually retracted.
+        retracted: usize,
+        /// Derived triples deleted during overdeletion.
+        overdeleted: usize,
+        /// Overdeleted triples restored by rederivation.
+        rederived: usize,
+        /// Store size after maintenance.
+        store_size: usize,
+    },
     /// The reasoner reached quiescence.
     Idle {
         /// Store size at quiescence.
@@ -145,6 +158,18 @@ pub fn events_to_json(events: &[Event]) -> String {
                     r#"{{"at_us":{us},"type":"rule_fired","rule":{rule},"delta":{delta},"derived":{derived},"fresh":{fresh},"store_size":{store_size}}}"#
                 );
             }
+            EventKind::Removal {
+                requested,
+                retracted,
+                overdeleted,
+                rederived,
+                store_size,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"at_us":{us},"type":"removal","requested":{requested},"retracted":{retracted},"overdeleted":{overdeleted},"rederived":{rederived},"store_size":{store_size}}}"#
+                );
+            }
             EventKind::Idle { store_size } => {
                 let _ = write!(
                     out,
@@ -221,6 +246,13 @@ mod tests {
             fresh: 1,
             store_size: 5,
         });
+        log.record(EventKind::Removal {
+            requested: 3,
+            retracted: 2,
+            overdeleted: 4,
+            rederived: 1,
+            store_size: 2,
+        });
         log.record(EventKind::Idle { store_size: 5 });
         let json = events_to_json(&log.events());
         assert!(json.starts_with('['));
@@ -230,12 +262,13 @@ mod tests {
             r#""type":"buffer_full","rule":2"#,
             r#""type":"timeout_flush","rule":3"#,
             r#""type":"rule_fired","rule":2,"delta":4,"derived":6,"fresh":1,"store_size":5"#,
+            r#""type":"removal","requested":3,"retracted":2,"overdeleted":4,"rederived":1,"store_size":2"#,
             r#""type":"idle","store_size":5"#,
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
-        // 4 separators for 5 events.
-        assert_eq!(json.matches("},{").count(), 4);
+        // 5 separators for 6 events.
+        assert_eq!(json.matches("},{").count(), 5);
     }
 
     #[test]

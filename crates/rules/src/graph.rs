@@ -118,6 +118,37 @@ impl DependencyGraph {
             .map(|(i, _)| i)
     }
 
+    /// The rules transitively reachable from `seeds` along dependency
+    /// edges, seeds included. Result is sorted and deduplicated.
+    ///
+    /// This is the graph query behind DRed overdeletion (the *downward
+    /// closure* of a retraction): a deleted triple can only invalidate
+    /// conclusions of rules reachable from the rules that consume it, so
+    /// maintenance restricts its rule set to `reachable(entry_routes(p))`
+    /// for the retracted predicates `p`.
+    pub fn reachable(&self, seeds: impl IntoIterator<Item = usize>) -> Vec<usize> {
+        let mut visited = vec![false; self.len()];
+        let mut stack: Vec<usize> = seeds.into_iter().collect();
+        let mut out = Vec::new();
+        while let Some(i) = stack.pop() {
+            if visited[i] {
+                continue;
+            }
+            visited[i] = true;
+            out.push(i);
+            stack.extend(self.succ[i].iter().copied().filter(|&j| !visited[j]));
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// The rules that may participate in the downward closure of a deleted
+    /// triple with predicate `p`: the [`DependencyGraph::reachable`] set of
+    /// its [`DependencyGraph::entry_routes`].
+    pub fn affected_by(&self, p: slider_model::NodeId) -> Vec<usize> {
+        self.reachable(self.entry_routes(p).collect::<Vec<_>>())
+    }
+
     /// Renders the graph in Graphviz DOT, reproducing Figure 2's layout
     /// conventions (a "Universal Input" source node feeding the universal
     /// rules).
@@ -268,6 +299,54 @@ mod tests {
             .map(|i| g.name(i))
             .collect();
         assert_eq!(other, vec!["PRP-DOM", "PRP-RNG", "PRP-SPO1"]);
+    }
+
+    #[test]
+    fn reachability_closure() {
+        let g = DependencyGraph::build(&Ruleset::rho_df());
+        // Empty seed set reaches nothing.
+        assert!(g.reachable(Vec::new()).is_empty());
+        // Seeds are included even without a self-loop.
+        let cax = g.index_of("CAX-SCO").unwrap();
+        let from_cax = g.reachable([cax]);
+        assert!(from_cax.contains(&cax));
+        // CAX-SCO feeds the universal rules; PRP-SPO1 (universal output)
+        // then feeds everything — so the closure is all 8 rules.
+        assert_eq!(from_cax.len(), 8);
+        // Result is sorted + deduplicated even with duplicate seeds.
+        let dup = g.reachable([cax, cax]);
+        assert_eq!(dup, from_cax);
+        assert!(dup.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn affected_by_predicate() {
+        let g = DependencyGraph::build(&Ruleset::rho_df());
+        // In ρdf every predicate routes into the universal-input rules and
+        // PRP-SPO1's universal output closes over everything: deleting any
+        // triple can, in principle, touch all 8 rules.
+        assert_eq!(g.affected_by(RDFS_SUB_CLASS_OF).len(), 8);
+        assert_eq!(g.affected_by(slider_model::NodeId(99_999)).len(), 8);
+        // A ruleset without universal rules localises the closure.
+        let rs = Ruleset::custom("sco-only")
+            .with(crate::rho_df::CaxSco)
+            .with(crate::rho_df::ScmSco)
+            .with(crate::rho_df::ScmSpo);
+        let g = DependencyGraph::build(&rs);
+        let affected: Vec<&str> = g
+            .affected_by(RDF_TYPE)
+            .into_iter()
+            .map(|i| g.name(i))
+            .collect();
+        // type only enters CAX-SCO, whose output (type) feeds only itself.
+        assert_eq!(affected, vec!["CAX-SCO"]);
+        let affected: Vec<&str> = g
+            .affected_by(RDFS_SUB_CLASS_OF)
+            .into_iter()
+            .map(|i| g.name(i))
+            .collect();
+        // sco enters CAX-SCO + SCM-SCO; SCM-SPO stays untouched.
+        assert_eq!(affected, vec!["CAX-SCO", "SCM-SCO"]);
     }
 
     #[test]

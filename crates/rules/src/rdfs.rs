@@ -61,6 +61,18 @@ impl Rule for Rdfs1 {
             }
         }
     }
+
+    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+        // (l type Literal) ⇐ l is a literal ∧ ∃p: (_ p l).
+        Some(
+            t.p == RDF_TYPE
+                && t.o == RDFS_LITERAL
+                && self.dict.is_literal(t.s)
+                && store
+                    .predicates()
+                    .any(|p| store.subjects_with(p, t.s).next().is_some()),
+        )
+    }
 }
 
 /// `rdfs4a`: `(x p y) ⊢ (x type Resource)`.
@@ -88,6 +100,17 @@ impl Rule for Rdfs4a {
         for &t in delta {
             out.push(Triple::new(t.s, RDF_TYPE, RDFS_RESOURCE));
         }
+    }
+
+    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+        // (x type Resource) ⇐ ∃p: (x p _).
+        Some(
+            t.p == RDF_TYPE
+                && t.o == RDFS_RESOURCE
+                && store
+                    .predicates()
+                    .any(|p| store.objects_with(p, t.s).next().is_some()),
+        )
     }
 }
 
@@ -141,6 +164,18 @@ impl Rule for Rdfs4b {
             }
         }
     }
+
+    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+        // (y type Resource) ⇐ ∃p: (_ p y), with the literal gate.
+        Some(
+            t.p == RDF_TYPE
+                && t.o == RDFS_RESOURCE
+                && (self.include_literals || !self.dict.is_literal(t.s))
+                && store
+                    .predicates()
+                    .any(|p| store.subjects_with(p, t.s).next().is_some()),
+        )
+    }
 }
 
 /// `rdfs6`: `(p type Property) ⊢ (p subPropertyOf p)`.
@@ -170,6 +205,14 @@ impl Rule for Rdfs6 {
                 out.push(Triple::new(t.s, RDFS_SUB_PROPERTY_OF, t.s));
             }
         }
+    }
+
+    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+        Some(
+            t.p == RDFS_SUB_PROPERTY_OF
+                && t.s == t.o
+                && store.contains(Triple::new(t.s, RDF_TYPE, RDF_PROPERTY)),
+        )
     }
 }
 
@@ -201,6 +244,14 @@ impl Rule for Rdfs8 {
             }
         }
     }
+
+    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+        Some(
+            t.p == RDFS_SUB_CLASS_OF
+                && t.o == RDFS_RESOURCE
+                && store.contains(Triple::new(t.s, RDF_TYPE, RDFS_CLASS)),
+        )
+    }
 }
 
 /// `rdfs10`: `(c type Class) ⊢ (c subClassOf c)`.
@@ -230,6 +281,14 @@ impl Rule for Rdfs10 {
                 out.push(Triple::new(t.s, RDFS_SUB_CLASS_OF, t.s));
             }
         }
+    }
+
+    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+        Some(
+            t.p == RDFS_SUB_CLASS_OF
+                && t.s == t.o
+                && store.contains(Triple::new(t.s, RDF_TYPE, RDFS_CLASS)),
+        )
     }
 }
 
@@ -261,6 +320,18 @@ impl Rule for Rdfs12 {
             }
         }
     }
+
+    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+        Some(
+            t.p == RDFS_SUB_PROPERTY_OF
+                && t.o == RDFS_MEMBER
+                && store.contains(Triple::new(
+                    t.s,
+                    RDF_TYPE,
+                    RDFS_CONTAINER_MEMBERSHIP_PROPERTY,
+                )),
+        )
+    }
 }
 
 /// `rdfs13`: `(d type Datatype) ⊢ (d subClassOf Literal)`.
@@ -290,6 +361,14 @@ impl Rule for Rdfs13 {
                 out.push(Triple::new(t.s, RDFS_SUB_CLASS_OF, RDFS_LITERAL));
             }
         }
+    }
+
+    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+        Some(
+            t.p == RDFS_SUB_CLASS_OF
+                && t.o == RDFS_LITERAL
+                && store.contains(Triple::new(t.s, RDF_TYPE, RDFS_DATATYPE)),
+        )
     }
 }
 

@@ -55,6 +55,16 @@ impl Rule for CaxSco {
             }
         }
     }
+
+    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+        // (x type c2) ⇐ ∃c1: (c1 sco c2) ∧ (x type c1).
+        Some(
+            t.p == RDF_TYPE
+                && store
+                    .subjects_with(RDFS_SUB_CLASS_OF, t.o)
+                    .any(|c1| store.contains(Triple::new(t.s, RDF_TYPE, c1))),
+        )
+    }
 }
 
 /// `SCM-SCO`: `(c1 subClassOf c2), (c2 subClassOf c3) ⊢ (c1 subClassOf c3)`.
@@ -96,6 +106,16 @@ impl Rule for ScmSco {
             }
         }
     }
+
+    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+        // (c1 sco c3) ⇐ ∃c2: (c1 sco c2) ∧ (c2 sco c3).
+        Some(
+            t.p == RDFS_SUB_CLASS_OF
+                && store
+                    .objects_with(RDFS_SUB_CLASS_OF, t.s)
+                    .any(|c2| store.contains(Triple::new(c2, RDFS_SUB_CLASS_OF, t.o))),
+        )
+    }
 }
 
 /// `SCM-SPO`: `(p1 subPropertyOf p2), (p2 subPropertyOf p3) ⊢ (p1 subPropertyOf p3)`.
@@ -131,6 +151,16 @@ impl Rule for ScmSpo {
                 out.push(Triple::new(p0, RDFS_SUB_PROPERTY_OF, t.o));
             }
         }
+    }
+
+    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+        // (p1 spo p3) ⇐ ∃p2: (p1 spo p2) ∧ (p2 spo p3).
+        Some(
+            t.p == RDFS_SUB_PROPERTY_OF
+                && store
+                    .objects_with(RDFS_SUB_PROPERTY_OF, t.s)
+                    .any(|p2| store.contains(Triple::new(p2, RDFS_SUB_PROPERTY_OF, t.o))),
+        )
     }
 }
 
@@ -170,6 +200,16 @@ impl Rule for ScmDom2 {
             }
         }
     }
+
+    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+        // (p1 dom c) ⇐ ∃p2: (p1 spo p2) ∧ (p2 dom c).
+        Some(
+            t.p == RDFS_DOMAIN
+                && store
+                    .objects_with(RDFS_SUB_PROPERTY_OF, t.s)
+                    .any(|p2| store.contains(Triple::new(p2, RDFS_DOMAIN, t.o))),
+        )
+    }
 }
 
 /// `SCM-RNG2`: `(p2 range c), (p1 subPropertyOf p2) ⊢ (p1 range c)`.
@@ -205,6 +245,16 @@ impl Rule for ScmRng2 {
                 }
             }
         }
+    }
+
+    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+        // (p1 rng c) ⇐ ∃p2: (p1 spo p2) ∧ (p2 rng c).
+        Some(
+            t.p == RDFS_RANGE
+                && store
+                    .objects_with(RDFS_SUB_PROPERTY_OF, t.s)
+                    .any(|p2| store.contains(Triple::new(p2, RDFS_RANGE, t.o))),
+        )
     }
 }
 
@@ -246,6 +296,16 @@ impl Rule for PrpDom {
             }
         }
     }
+
+    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+        // (x type c) ⇐ ∃p: (p dom c) ∧ (x p _).
+        Some(
+            t.p == RDF_TYPE
+                && store
+                    .subjects_with(RDFS_DOMAIN, t.o)
+                    .any(|p| store.objects_with(p, t.s).next().is_some()),
+        )
+    }
 }
 
 /// `PRP-RNG`: `(p range c), (x p y) ⊢ (y type c)`.
@@ -282,6 +342,16 @@ impl Rule for PrpRng {
                 out.push(Triple::new(t.o, RDF_TYPE, c));
             }
         }
+    }
+
+    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+        // (y type c) ⇐ ∃p: (p rng c) ∧ (_ p y).
+        Some(
+            t.p == RDF_TYPE
+                && store
+                    .subjects_with(RDFS_RANGE, t.o)
+                    .any(|p| store.subjects_with(p, t.s).next().is_some()),
+        )
     }
 }
 
@@ -322,6 +392,15 @@ impl Rule for PrpSpo1 {
                 out.push(Triple::new(t.s, p2, t.o));
             }
         }
+    }
+
+    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+        // (x p2 y) ⇐ ∃p1: (p1 spo p2) ∧ (x p1 y).
+        Some(
+            store
+                .subjects_with(RDFS_SUB_PROPERTY_OF, t.p)
+                .any(|p1| store.contains(Triple::new(t.s, p1, t.o))),
+        )
     }
 }
 

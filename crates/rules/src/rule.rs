@@ -84,6 +84,22 @@ pub trait Rule: Send + Sync {
     /// to `out`. Conclusions may repeat; the distributor deduplicates
     /// against the store.
     fn apply(&self, store: &VerticalStore, delta: &[Triple], out: &mut Vec<Triple>);
+
+    /// Backward support check — the optional fast path for DRed
+    /// rederivation: is `t` derivable by this rule **in one step** from
+    /// premises currently in `store`?
+    ///
+    /// `Some(_)` answers must agree exactly with [`Rule::apply`]: `t` is
+    /// one-step derivable iff applying the rule with the full store as the
+    /// delta could emit `t`. `t` itself need not be in the store (the
+    /// maintenance subsystem asks about triples it just deleted). The
+    /// default `None` means "no backward matcher"; maintenance then falls
+    /// back to a forward full-store pass — sound for any rule, just
+    /// slower. All built-in ρdf and RDFS rules implement this.
+    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+        let _ = (store, t);
+        None
+    }
 }
 
 impl std::fmt::Debug for dyn Rule {

@@ -301,6 +301,105 @@ mod tests {
         }
     }
 
+    /// Every built-in ρdf/RDFS rule implements the backward `derives`
+    /// check, and it agrees exactly with one-step forward `apply` over an
+    /// exhaustive probe universe.
+    #[test]
+    fn derives_matches_one_step_apply() {
+        use slider_model::vocab::{
+            RDFS_CLASS, RDFS_DATATYPE, RDFS_DOMAIN, RDFS_LITERAL, RDFS_RANGE, RDFS_RESOURCE,
+            RDFS_SUB_CLASS_OF, RDFS_SUB_PROPERTY_OF, RDF_PROPERTY, RDF_TYPE,
+        };
+        use slider_model::{NodeId, Term, Triple};
+        use slider_store::VerticalStore;
+
+        let dict = Arc::new(Dictionary::new());
+        let lit = dict.intern(&Term::literal("x"));
+        let n = |v: u64| NodeId(1000 + v);
+        // A store touching every rule: sco/spo chains, dom/rng schema, an
+        // instance fact, typings of the structural classes, a literal.
+        let store: VerticalStore = [
+            Triple::new(n(1), RDFS_SUB_CLASS_OF, n(2)),
+            Triple::new(n(2), RDFS_SUB_CLASS_OF, n(3)),
+            Triple::new(n(9), RDF_TYPE, n(1)),
+            Triple::new(n(5), RDFS_SUB_PROPERTY_OF, n(6)),
+            Triple::new(n(6), RDFS_DOMAIN, n(2)),
+            Triple::new(n(6), RDFS_RANGE, n(3)),
+            Triple::new(n(7), n(5), n(8)),
+            Triple::new(n(7), n(5), lit),
+            Triple::new(n(4), RDF_TYPE, RDFS_CLASS),
+            Triple::new(n(5), RDF_TYPE, RDF_PROPERTY),
+            Triple::new(n(4), RDF_TYPE, RDFS_DATATYPE),
+        ]
+        .into_iter()
+        .collect();
+        let all: Vec<Triple> = store.iter().collect();
+
+        // Probe universe: every (s, p, o) over the mentioned nodes and the
+        // vocabulary constants.
+        let nodes: Vec<NodeId> = (1..10)
+            .map(n)
+            .chain([
+                lit,
+                RDFS_RESOURCE,
+                RDFS_LITERAL,
+                RDFS_CLASS,
+                RDF_PROPERTY,
+                RDFS_MEMBER_PROBE,
+            ])
+            .collect();
+        let preds = [
+            RDF_TYPE,
+            RDFS_SUB_CLASS_OF,
+            RDFS_SUB_PROPERTY_OF,
+            RDFS_DOMAIN,
+            RDFS_RANGE,
+            n(5),
+            n(6),
+        ];
+
+        for ruleset in [Ruleset::rho_df(), Ruleset::rdfs(&dict)] {
+            for rule in ruleset.rules() {
+                let mut out = Vec::new();
+                rule.apply(&store, &all, &mut out);
+                out.sort_unstable();
+                out.dedup();
+                for &s in &nodes {
+                    for &p in &preds {
+                        for &o in &nodes {
+                            let probe = Triple::new(s, p, o);
+                            assert_eq!(
+                                rule.derives(&store, probe),
+                                Some(out.binary_search(&probe).is_ok()),
+                                "{}: derives disagrees with apply on {probe:?}",
+                                rule.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Placeholder node so the probe grid also covers rdfs12's member
+    /// object without colliding with the data nodes.
+    const RDFS_MEMBER_PROBE: slider_model::NodeId = slider_model::vocab::RDFS_MEMBER;
+
+    #[test]
+    fn rdfs_plus_rules_have_no_backward_matcher_yet() {
+        let dict = Arc::new(Dictionary::new());
+        let store = slider_store::VerticalStore::new();
+        let probe = slider_model::Triple::new(
+            slider_model::NodeId(1),
+            slider_model::NodeId(2),
+            slider_model::NodeId(3),
+        );
+        // The RDFS-Plus extension rules fall back to the forward pass.
+        let rs = Ruleset::rdfs_plus(&dict);
+        let eq_sym = &rs.rules()[rs.index_of("EQ-SYM").unwrap()];
+        assert_eq!(eq_sym.derives(&store, probe), None);
+    }
+
     #[test]
     fn custom_builder() {
         let rs = Ruleset::custom("mine").with(CaxSco).with(ScmSco);

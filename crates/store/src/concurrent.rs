@@ -1,7 +1,7 @@
 //! The shared, lock-protected store used by the concurrent reasoner.
 
 use crate::vertical::{StoreStats, VerticalStore};
-use parking_lot::{RwLock, RwLockReadGuard};
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 use slider_model::Triple;
 
 /// A [`VerticalStore`] behind a readers-writer lock.
@@ -46,15 +46,53 @@ impl ConcurrentStore {
         self.inner.write().insert(t)
     }
 
+    /// Inserts a batch as **explicit** (asserted) facts under one write
+    /// lock; appends the *new* triples to `fresh` and returns how many
+    /// were new. The input manager uses this path; rule distributors use
+    /// the plain [`ConcurrentStore::insert_batch`], so the explicit flag
+    /// separates assertions from conclusions for truth maintenance.
+    pub fn insert_batch_explicit(&self, triples: &[Triple], fresh: &mut Vec<Triple>) -> usize {
+        if triples.is_empty() {
+            return 0;
+        }
+        self.inner.write().insert_batch_explicit(triples, fresh)
+    }
+
+    /// Removes one triple; returns `true` if it was present.
+    pub fn remove(&self, t: Triple) -> bool {
+        self.inner.write().remove(t)
+    }
+
+    /// Removes a batch under one write lock; appends the triples that were
+    /// actually present to `removed` and returns how many were present.
+    pub fn remove_batch(&self, triples: &[Triple], removed: &mut Vec<Triple>) -> usize {
+        if triples.is_empty() {
+            return 0;
+        }
+        self.inner.write().remove_batch(triples, removed)
+    }
+
     /// True if `t` is present.
     pub fn contains(&self, t: Triple) -> bool {
         self.inner.read().contains(t)
+    }
+
+    /// True if `t` is present and explicitly asserted.
+    pub fn is_explicit(&self, t: Triple) -> bool {
+        self.inner.read().is_explicit(t)
     }
 
     /// Acquires the read lock for a batch of queries (one lock per rule
     /// application, not per lookup).
     pub fn read(&self) -> RwLockReadGuard<'_, VerticalStore> {
         self.inner.read()
+    }
+
+    /// Acquires the write lock for a compound mutation. The maintenance
+    /// subsystem holds this across a whole DRed run so overdeletion and
+    /// rederivation are atomic with respect to readers.
+    pub fn write(&self) -> RwLockWriteGuard<'_, VerticalStore> {
+        self.inner.write()
     }
 
     /// Total number of triples.
@@ -110,6 +148,35 @@ mod tests {
         let st = ConcurrentStore::new();
         let mut fresh = Vec::new();
         assert_eq!(st.insert_batch(&[], &mut fresh), 0);
+    }
+
+    #[test]
+    fn explicit_insert_and_remove() {
+        let st = ConcurrentStore::new();
+        let mut fresh = Vec::new();
+        assert_eq!(st.insert_batch_explicit(&[t(1, 2, 3)], &mut fresh), 1);
+        assert!(st.is_explicit(t(1, 2, 3)));
+        st.insert(t(4, 2, 3)); // derived
+        assert!(!st.is_explicit(t(4, 2, 3)));
+        let mut removed = Vec::new();
+        assert_eq!(st.remove_batch(&[t(1, 2, 3), t(9, 9, 9)], &mut removed), 1);
+        assert_eq!(removed, vec![t(1, 2, 3)]);
+        assert!(st.remove(t(4, 2, 3)));
+        assert!(st.is_empty());
+        assert_eq!(st.remove_batch(&[], &mut removed), 0);
+    }
+
+    #[test]
+    fn write_guard_compound_mutation() {
+        let st = ConcurrentStore::new();
+        st.insert(t(1, 2, 3));
+        {
+            let mut guard = st.write();
+            guard.remove(t(1, 2, 3));
+            guard.insert_explicit(t(7, 8, 9));
+        }
+        assert_eq!(st.len(), 1);
+        assert!(st.is_explicit(t(7, 8, 9)));
     }
 
     #[test]

@@ -18,6 +18,13 @@
 //! triple was new, and the distributor uses exactly that signal to stop
 //! duplicates from re-entering the rule pipeline.
 //!
+//! The store also supports **retraction**: `remove`/`remove_batch` delete
+//! triples with both indexes kept in lock-step, and a per-triple provenance
+//! flag distinguishes **explicit** (asserted via the `*_explicit` insertion
+//! paths) from **derived** triples. The reasoner's DRed maintenance
+//! subsystem builds on exactly these two primitives — see
+//! `slider-core`'s `maintenance` module.
+//!
 //! [`ConcurrentStore`] wraps the store in a readers-writer lock (the paper
 //! uses a `ReentrantReadWriteLock`): many rule instances read concurrently
 //! while distributors serialise their batched writes.

@@ -58,6 +58,32 @@ impl PropertyTable {
         inserted
     }
 
+    /// Removes the pair; returns `true` if it was present.
+    ///
+    /// Both indexes stay in lock-step, and emptied leaf sets are dropped so
+    /// `subject_keys`/`object_keys` never report stale keys.
+    pub fn remove(&mut self, s: NodeId, o: NodeId) -> bool {
+        let Some(objs) = self.by_s.get_mut(&s) else {
+            return false;
+        };
+        if !objs.remove(&o) {
+            return false;
+        }
+        if objs.is_empty() {
+            self.by_s.remove(&s);
+        }
+        if let Some(by_o) = &mut self.by_o {
+            if let Some(subs) = by_o.get_mut(&o) {
+                subs.remove(&s);
+                if subs.is_empty() {
+                    by_o.remove(&o);
+                }
+            }
+        }
+        self.len -= 1;
+        true
+    }
+
     /// True if the pair is present.
     pub fn contains(&self, s: NodeId, o: NodeId) -> bool {
         self.by_s.get(&s).is_some_and(|set| set.contains(&o))
@@ -200,6 +226,50 @@ mod tests {
         t.add(n(1), n(3));
         assert_eq!(t.subject_keys().count(), 1);
         assert_eq!(t.object_keys().len(), 2);
+    }
+
+    #[test]
+    fn remove_keeps_indexes_in_lock_step() {
+        let mut t = PropertyTable::new();
+        t.add(n(1), n(2));
+        t.add(n(1), n(3));
+        t.add(n(4), n(2));
+        assert!(t.remove(n(1), n(2)));
+        assert!(!t.remove(n(1), n(2)), "double remove reports absent");
+        assert!(!t.contains(n(1), n(2)));
+        assert_eq!(t.len(), 2);
+        // The other direction survived.
+        assert_eq!(t.objects(n(1)).collect::<Vec<_>>(), vec![n(3)]);
+        assert_eq!(t.subjects(n(2)).collect::<Vec<_>>(), vec![n(4)]);
+        // Emptied keys disappear from both key sets.
+        assert!(t.remove(n(1), n(3)));
+        assert!(!t.subject_keys().any(|s| s == n(1)));
+        assert!(!t.object_keys().contains(&n(3)));
+        assert!(t.remove(n(4), n(2)));
+        assert!(t.is_empty());
+        assert_eq!(t.subject_keys().count(), 0);
+        assert!(t.object_keys().is_empty());
+    }
+
+    #[test]
+    fn remove_in_scan_mode_matches_indexed_mode() {
+        let mut indexed = PropertyTable::new();
+        let mut scan = PropertyTable::without_object_index();
+        for (s, o) in [(1, 2), (1, 3), (4, 2), (5, 6)] {
+            indexed.add(n(s), n(o));
+            scan.add(n(s), n(o));
+        }
+        for (s, o) in [(1, 2), (9, 9), (5, 6)] {
+            assert_eq!(indexed.remove(n(s), n(o)), scan.remove(n(s), n(o)));
+        }
+        assert_eq!(indexed.len(), scan.len());
+        for o in [2, 3, 6] {
+            let mut a: Vec<_> = indexed.subjects(n(o)).collect();
+            let mut b: Vec<_> = scan.subjects(n(o)).collect();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "object {o}");
+        }
     }
 
     #[test]

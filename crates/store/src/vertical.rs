@@ -2,18 +2,31 @@
 
 use crate::pattern::TriplePattern;
 use crate::table::PropertyTable;
-use slider_model::{FxHashMap, NodeId, Triple};
+use slider_model::{FxHashMap, FxHashSet, NodeId, Triple};
 
 /// An in-memory triple store, vertically partitioned by predicate.
 ///
 /// Insertion is idempotent (duplicate triples are detected and rejected),
 /// and every rule-relevant access pattern is a hash lookup — see the crate
 /// docs for the index rationale.
+///
+/// ## Provenance
+///
+/// The store tracks a per-triple provenance flag: a triple is **explicit**
+/// if it was asserted through one of the `*_explicit` insertion paths (the
+/// reasoner's input manager uses these for raw input), and **derived**
+/// otherwise (rule conclusions use plain [`VerticalStore::insert`]). The
+/// flag is what truth maintenance needs: retracting an assertion may only
+/// delete derived consequences — explicit facts survive on their own
+/// authority and are only deleted when themselves retracted.
 #[derive(Debug, Clone)]
 pub struct VerticalStore {
     tables: FxHashMap<NodeId, PropertyTable>,
     len: usize,
     object_index: bool,
+    /// The explicitly asserted subset (`explicit ⊆ store` always holds:
+    /// removal clears the flag, and marking inserts the triple).
+    explicit: FxHashSet<Triple>,
 }
 
 impl Default for VerticalStore {
@@ -23,10 +36,18 @@ impl Default for VerticalStore {
 }
 
 /// Summary statistics of a store (used by the demo player and reports).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreStats {
-    /// Total number of distinct triples.
+    /// Total number of distinct triples (`explicit + derived`).
     pub triples: usize,
+    /// Triples asserted through the explicit insertion paths
+    /// ([`VerticalStore::insert_explicit`] and friends) and not since
+    /// retracted. Stores fed only through plain [`VerticalStore::insert`]
+    /// (e.g. the batch baselines) report 0 here.
+    pub explicit: usize,
+    /// Triples present but not explicit — rule conclusions (or plain
+    /// inserts). Always `triples - explicit`.
+    pub derived: usize,
     /// Number of distinct predicates (= vertical partitions).
     pub predicates: usize,
     /// Size of the largest partition.
@@ -40,6 +61,7 @@ impl VerticalStore {
             tables: FxHashMap::default(),
             len: 0,
             object_index: true,
+            explicit: FxHashSet::default(),
         }
     }
 
@@ -50,6 +72,7 @@ impl VerticalStore {
             tables: FxHashMap::default(),
             len: 0,
             object_index: false,
+            explicit: FxHashSet::default(),
         }
     }
 
@@ -83,6 +106,86 @@ impl VerticalStore {
             }
         }
         fresh.len() - before
+    }
+
+    /// Inserts `t` and marks it **explicit** (asserted). Returns `true` if
+    /// the triple was new to the store — a triple already present as
+    /// derived is *not* new (it changes provenance only).
+    pub fn insert_explicit(&mut self, t: Triple) -> bool {
+        let inserted = self.insert(t);
+        self.explicit.insert(t);
+        inserted
+    }
+
+    /// Explicit-marking [`VerticalStore::insert_batch`]: inserts a batch as
+    /// asserted facts, appending the *new* triples to `fresh`.
+    pub fn insert_batch_explicit(&mut self, triples: &[Triple], fresh: &mut Vec<Triple>) -> usize {
+        let before = fresh.len();
+        for &t in triples {
+            if self.insert_explicit(t) {
+                fresh.push(t);
+            }
+        }
+        fresh.len() - before
+    }
+
+    /// Removes `t` (and its explicit flag, if any); returns `true` if it
+    /// was present. Emptied partitions are dropped so `predicates()` never
+    /// reports a predicate with zero triples.
+    pub fn remove(&mut self, t: Triple) -> bool {
+        let Some(tab) = self.tables.get_mut(&t.p) else {
+            return false;
+        };
+        if !tab.remove(t.s, t.o) {
+            return false;
+        }
+        if tab.is_empty() {
+            self.tables.remove(&t.p);
+        }
+        self.len -= 1;
+        self.explicit.remove(&t);
+        true
+    }
+
+    /// Removes a batch, appending the triples that were actually present
+    /// to `removed`. Returns how many were present.
+    pub fn remove_batch(&mut self, triples: &[Triple], removed: &mut Vec<Triple>) -> usize {
+        let before = removed.len();
+        for &t in triples {
+            if self.remove(t) {
+                removed.push(t);
+            }
+        }
+        removed.len() - before
+    }
+
+    /// True if `t` is present *and* explicitly asserted.
+    pub fn is_explicit(&self, t: Triple) -> bool {
+        self.explicit.contains(&t)
+    }
+
+    /// Clears the explicit flag of `t` without removing the triple
+    /// (demotes an assertion to a derived fact). Returns `true` if the
+    /// flag was set. Truth maintenance uses this as the first step of a
+    /// retraction: the triple then lives or dies by rederivability alone.
+    pub fn unmark_explicit(&mut self, t: Triple) -> bool {
+        self.explicit.remove(&t)
+    }
+
+    /// Number of explicitly asserted triples.
+    pub fn explicit_count(&self) -> usize {
+        self.explicit.len()
+    }
+
+    /// Number of derived (non-explicit) triples.
+    pub fn derived_count(&self) -> usize {
+        self.len - self.explicit.len()
+    }
+
+    /// Iterates over the explicitly asserted triples (no ordering
+    /// guarantee).
+    pub fn explicit_iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.explicit.iter().copied()
     }
 
     /// True if `t` is present.
@@ -181,6 +284,8 @@ impl VerticalStore {
     pub fn stats(&self) -> StoreStats {
         StoreStats {
             triples: self.len,
+            explicit: self.explicit.len(),
+            derived: self.len - self.explicit.len(),
             predicates: self.tables.len(),
             largest_partition: self
                 .tables
@@ -323,13 +428,72 @@ mod tests {
     #[test]
     fn stats() {
         let mut st = VerticalStore::new();
-        st.insert(t(1, 10, 2));
+        st.insert_explicit(t(1, 10, 2));
         st.insert(t(2, 10, 3));
         st.insert(t(1, 20, 2));
         let s = st.stats();
         assert_eq!(s.triples, 3);
+        assert_eq!(s.explicit, 1);
+        assert_eq!(s.derived, 2);
         assert_eq!(s.predicates, 2);
         assert_eq!(s.largest_partition, 2);
+    }
+
+    #[test]
+    fn remove_and_repartition() {
+        let mut st = VerticalStore::new();
+        st.insert(t(1, 10, 2));
+        st.insert(t(1, 10, 3));
+        st.insert(t(4, 20, 5));
+        assert!(st.remove(t(1, 10, 2)));
+        assert!(!st.remove(t(1, 10, 2)), "double remove reports absent");
+        assert!(!st.remove(t(9, 99, 9)), "unknown predicate is a no-op");
+        assert_eq!(st.len(), 2);
+        assert!(!st.contains(t(1, 10, 2)));
+        assert!(st.contains(t(1, 10, 3)));
+        // Removing the last triple of a partition drops the partition.
+        assert!(st.remove(t(4, 20, 5)));
+        assert_eq!(st.predicates().count(), 1);
+        assert_eq!(st.count_with_p(NodeId(20)), 0);
+        // Re-insert after removal works.
+        assert!(st.insert(t(4, 20, 5)));
+        assert_eq!(st.predicates().count(), 2);
+    }
+
+    #[test]
+    fn remove_batch_reports_present_only() {
+        let mut st = VerticalStore::new();
+        st.insert(t(1, 2, 3));
+        st.insert(t(4, 2, 3));
+        let mut removed = Vec::new();
+        let n = st.remove_batch(&[t(1, 2, 3), t(9, 9, 9), t(1, 2, 3)], &mut removed);
+        assert_eq!(n, 1);
+        assert_eq!(removed, vec![t(1, 2, 3)]);
+        assert_eq!(st.len(), 1);
+    }
+
+    #[test]
+    fn provenance_flags() {
+        let mut st = VerticalStore::new();
+        // Derived first, then asserted: not "new", but flagged.
+        assert!(st.insert(t(1, 2, 3)));
+        assert!(!st.is_explicit(t(1, 2, 3)));
+        assert!(!st.insert_explicit(t(1, 2, 3)));
+        assert!(st.is_explicit(t(1, 2, 3)));
+        assert_eq!(st.explicit_count(), 1);
+        assert_eq!(st.derived_count(), 0);
+        // Unmarking demotes without removing.
+        assert!(st.unmark_explicit(t(1, 2, 3)));
+        assert!(!st.unmark_explicit(t(1, 2, 3)));
+        assert!(st.contains(t(1, 2, 3)));
+        assert_eq!(st.derived_count(), 1);
+        // Removal clears the flag too.
+        let mut fresh = Vec::new();
+        st.insert_batch_explicit(&[t(4, 5, 6)], &mut fresh);
+        assert_eq!(fresh, vec![t(4, 5, 6)]);
+        assert!(st.remove(t(4, 5, 6)));
+        assert!(!st.is_explicit(t(4, 5, 6)));
+        assert_eq!(st.explicit_iter().count(), 0);
     }
 
     #[test]

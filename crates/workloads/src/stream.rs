@@ -3,8 +3,17 @@
 //! The paper positions Slider as a reasoner for "dynamic triple streams"
 //! processed "as soon as \[data\] is published". These helpers chop a
 //! dataset into arrival batches for the streaming benchmarks and the
-//! `streaming_sensor` example.
+//! `streaming_sensor` example:
+//!
+//! * [`TimedStream`] — batches paired with inter-arrival gaps, either
+//!   [`uniform`](TimedStream::uniform) or [`bursty`](TimedStream::bursty)
+//!   (geometric gaps: back-to-back bursts with occasional long pauses);
+//! * [`SlidingWindow`] — a count-based window that pairs each arrival
+//!   batch with the batch expiring out of the window, feeding the
+//!   retraction path (`Slider::remove_terms`) instead of a rebuild.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use slider_model::TermTriple;
 use std::time::Duration;
 
@@ -35,6 +44,45 @@ impl TimedStream {
         }
     }
 
+    /// A bursty schedule with geometric inter-arrival gaps: each batch
+    /// waits `k · tick` where `k ~ Geometric(continue_prob)`
+    /// (`P(k) = (1−p)·pᵏ`), so most batches arrive back-to-back (`k = 0`)
+    /// with occasional long quiet stretches — the classic bursty-traffic
+    /// shape the uniform schedule can't exercise. The mean gap is
+    /// `tick · p/(1−p)`. Deterministic per `seed`.
+    ///
+    /// Panics unless `0.0 <= continue_prob < 1.0`.
+    pub fn bursty(
+        triples: &[TermTriple],
+        batch_size: usize,
+        tick: Duration,
+        continue_prob: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            (0.0..1.0).contains(&continue_prob),
+            "continue_prob must be in [0, 1)"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Geometric sampling by coin flips on a 2^-53-grained uniform.
+        let mut geometric = move || {
+            let mut k = 0u32;
+            loop {
+                let unit = rng.random_range(0u64..1 << 53) as f64 / (1u64 << 53) as f64;
+                if unit >= continue_prob {
+                    return k;
+                }
+                k += 1;
+            }
+        };
+        TimedStream {
+            items: batches(triples, batch_size)
+                .into_iter()
+                .map(|b| (tick * geometric(), b))
+                .collect(),
+        }
+    }
+
     /// Number of batches.
     pub fn len(&self) -> usize {
         self.items.len()
@@ -57,6 +105,97 @@ impl TimedStream {
                 std::thread::sleep(*gap);
             }
             deliver(batch);
+        }
+    }
+}
+
+/// One step of a [`SlidingWindow`]: what arrives and what expires.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowStep<'a> {
+    /// Zero-based step index (= index of the arriving batch).
+    pub index: usize,
+    /// The batch entering the window.
+    pub arrival: &'a [TermTriple],
+    /// The batch leaving the window (`None` until the window is full).
+    pub expiring: Option<&'a [TermTriple]>,
+}
+
+/// A count-based sliding window over arrival batches.
+///
+/// Step `i` delivers batch `i` and — once the window holds `window`
+/// batches — expires batch `i − window`. Streaming consumers feed the
+/// arrival to `Slider::add_terms` and the expiring batch to
+/// `Slider::remove_terms`, keeping the materialisation equal to the
+/// closure of exactly the last `window` batches *without* any rebuild
+/// (the DRed maintenance path). `examples/streaming_sensor.rs` and the
+/// `retraction` bench both drive this shape.
+#[derive(Debug, Clone)]
+pub struct SlidingWindow {
+    batches: Vec<Vec<TermTriple>>,
+    window: usize,
+    gap: Duration,
+}
+
+impl SlidingWindow {
+    /// Chops `triples` into `batch_size` batches sliding over a window of
+    /// `window` batches, with `gap` between arrivals.
+    ///
+    /// Panics if `window` is 0 (an empty window expires every arrival
+    /// immediately — use a plain [`TimedStream`] if you don't want state).
+    pub fn new(triples: &[TermTriple], batch_size: usize, window: usize, gap: Duration) -> Self {
+        assert!(window >= 1, "window must hold at least 1 batch");
+        SlidingWindow {
+            batches: batches(triples, batch_size),
+            window,
+            gap,
+        }
+    }
+
+    /// Number of steps (= number of arrival batches).
+    pub fn len(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// True if the stream has no batches.
+    pub fn is_empty(&self) -> bool {
+        self.batches.is_empty()
+    }
+
+    /// Window size, in batches.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Iterates the steps: each arrival paired with the batch (if any)
+    /// that slides out of the window on that step.
+    pub fn steps(&self) -> impl Iterator<Item = WindowStep<'_>> {
+        self.batches
+            .iter()
+            .enumerate()
+            .map(|(i, arrival)| WindowStep {
+                index: i,
+                arrival,
+                expiring: i
+                    .checked_sub(self.window)
+                    .map(|j| self.batches[j].as_slice()),
+            })
+    }
+
+    /// The batches still inside the window after the last arrival (at most
+    /// `window` of them, in arrival order).
+    pub fn tail(&self) -> &[Vec<TermTriple>] {
+        let start = self.batches.len().saturating_sub(self.window);
+        &self.batches[start..]
+    }
+
+    /// Plays the window: sleeps the gap, then hands
+    /// `(arrival, expiring)` to `deliver` for each step.
+    pub fn play(&self, mut deliver: impl FnMut(&[TermTriple], Option<&[TermTriple]>)) {
+        for step in self.steps() {
+            if !self.gap.is_zero() {
+                std::thread::sleep(self.gap);
+            }
+            deliver(step.arrival, step.expiring);
         }
     }
 }
@@ -114,5 +253,98 @@ mod tests {
             assert_eq!(*gap, Duration::from_millis(5));
             assert_eq!(batch.len(), 2);
         }
+    }
+
+    #[test]
+    fn bursty_is_deterministic_and_preserves_data() {
+        let d = data(64);
+        let tick = Duration::from_millis(1);
+        let a = TimedStream::bursty(&d, 4, tick, 0.5, 42);
+        let b = TimedStream::bursty(&d, 4, tick, 0.5, 42);
+        let gaps = |s: &TimedStream| s.iter().map(|(g, _)| *g).collect::<Vec<_>>();
+        assert_eq!(gaps(&a), gaps(&b), "same seed, same schedule");
+        assert_ne!(
+            gaps(&a),
+            gaps(&TimedStream::bursty(&d, 4, tick, 0.5, 43)),
+            "different seed, different schedule"
+        );
+        let rejoined: Vec<TermTriple> = a.iter().flat_map(|(_, b)| b.clone()).collect();
+        assert_eq!(rejoined, d, "batches cover the data in order");
+        // The geometric shape: bursts (zero gaps) and pauses (>= 1 tick).
+        assert!(gaps(&a).iter().any(Duration::is_zero));
+        assert!(gaps(&a).iter().any(|g| *g >= tick));
+        // Gaps are whole multiples of the tick.
+        for g in gaps(&a) {
+            assert_eq!(g.as_millis() % tick.as_millis(), 0);
+        }
+    }
+
+    #[test]
+    fn bursty_zero_probability_degenerates_to_back_to_back() {
+        let d = data(10);
+        let s = TimedStream::bursty(&d, 2, Duration::from_millis(3), 0.0, 1);
+        assert!(s.iter().all(|(g, _)| g.is_zero()));
+    }
+
+    #[test]
+    #[should_panic(expected = "continue_prob")]
+    fn bursty_rejects_certain_continuation() {
+        let _ = TimedStream::bursty(&data(2), 1, Duration::from_millis(1), 1.0, 0);
+    }
+
+    #[test]
+    fn sliding_window_pairs_arrivals_with_expiries() {
+        let d = data(10); // 5 batches of 2, window of 2
+        let w = SlidingWindow::new(&d, 2, 2, Duration::ZERO);
+        assert_eq!(w.len(), 5);
+        assert_eq!(w.window(), 2);
+        assert!(!w.is_empty());
+        let steps: Vec<_> = w.steps().collect();
+        // First `window` steps only fill the window.
+        assert!(steps[0].expiring.is_none());
+        assert!(steps[1].expiring.is_none());
+        // From then on, step i expires batch i - window.
+        for (i, step) in steps.iter().enumerate().skip(2) {
+            assert_eq!(step.index, i);
+            let expiring = step.expiring.expect("window full");
+            assert_eq!(expiring, &d[(i - 2) * 2..(i - 2) * 2 + 2]);
+            assert_eq!(step.arrival, &d[i * 2..(i * 2 + 2).min(d.len())]);
+        }
+        // The tail is exactly the last `window` batches.
+        let tail: Vec<TermTriple> = w.tail().iter().flatten().cloned().collect();
+        assert_eq!(tail, d[6..].to_vec());
+    }
+
+    #[test]
+    fn sliding_window_play_maintains_live_set() {
+        let d = data(12); // 6 batches of 2, window of 3
+        let w = SlidingWindow::new(&d, 2, 3, Duration::ZERO);
+        let mut live: Vec<TermTriple> = Vec::new();
+        w.play(|arrival, expiring| {
+            live.extend_from_slice(arrival);
+            if let Some(gone) = expiring {
+                for t in gone {
+                    let pos = live.iter().position(|x| x == t).expect("was live");
+                    live.remove(pos);
+                }
+            }
+            assert!(live.len() <= 6, "never more than window × batch_size");
+        });
+        let tail: Vec<TermTriple> = w.tail().iter().flatten().cloned().collect();
+        assert_eq!(live, tail, "after the stream the live set is the tail");
+    }
+
+    #[test]
+    fn sliding_window_shorter_than_window_never_expires() {
+        let d = data(4);
+        let w = SlidingWindow::new(&d, 2, 5, Duration::ZERO);
+        assert!(w.steps().all(|s| s.expiring.is_none()));
+        assert_eq!(w.tail().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        let _ = SlidingWindow::new(&data(2), 1, 0, Duration::ZERO);
     }
 }

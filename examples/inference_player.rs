@@ -75,6 +75,19 @@ fn replay(events: &[Event], rule_names: &[&'static str], input_size: usize) {
                     modules[*rule].name
                 );
             }
+            EventKind::Removal {
+                requested,
+                retracted,
+                overdeleted,
+                rederived,
+                store_size: size,
+            } => {
+                store_size = *size;
+                println!(
+                    "[{step:>4} {ms:>8.2}ms] retract {requested} offered: {retracted} retracted, \
+                     {overdeleted} overdeleted, {rederived} rederived"
+                );
+            }
             EventKind::Idle { store_size: size } => {
                 store_size = *size;
                 println!("[{step:>4} {ms:>8.2}ms] idle    (closure complete)");

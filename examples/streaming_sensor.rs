@@ -1,20 +1,27 @@
-//! Streamed reasoning over evolving data — the paper's motivating
-//! scenario: "inferences on streams of semantic data … handle expanding
-//! data with a growing background knowledge base".
+//! Streamed reasoning over a **sliding window** — the paper's motivating
+//! scenario ("inferences on streams of semantic data") extended with the
+//! retraction subsystem: observations *expire*.
 //!
 //! A simulated building-sensor feed publishes observations in timed
 //! batches while the background knowledge (sensor taxonomy, room
-//! topology) is already loaded. Slider infers continuously: between
-//! arrival batches, buffer timeouts flush partial buffers, so queries see
-//! up-to-date inferences *without* any batch re-run.
+//! topology) stays resident. Each window step feeds the arriving batch to
+//! the reasoner and retracts the batch sliding out of the window
+//! (`Slider::remove_terms` → DRed truth maintenance), so the
+//! materialisation always reflects exactly the last `WINDOW` observation
+//! batches — no rebuild, and queries keep running concurrently.
 //!
 //! ```text
 //! cargo run --release --example streaming_sensor
 //! ```
 
 use slider::prelude::*;
-use slider::workloads::stream::TimedStream;
+use slider::workloads::stream::SlidingWindow;
 use std::time::Duration;
+
+/// How many observation batches stay live.
+const WINDOW: usize = 10;
+/// Total observation batches streamed.
+const BATCHES: usize = 40;
 
 const RDF_NS: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
 const RDFS_NS: &str = "http://www.w3.org/2000/01/rdf-schema#";
@@ -92,24 +99,38 @@ fn main() {
     let background_size = slider.store().len();
     println!("  {background_size} triples (incl. taxonomy closure)\n");
 
-    // The stream: 40 observation batches arriving every 10 ms.
-    let feed: Vec<TermTriple> = (0..40).flat_map(observation_batch).collect();
-    let stream = TimedStream::uniform(&feed, 12, Duration::from_millis(10));
+    // The stream: observation batches (4 triples each) through a sliding
+    // window of WINDOW batches, one arrival every 10 ms.
+    let feed: Vec<TermTriple> = (0..BATCHES).flat_map(observation_batch).collect();
+    let window = SlidingWindow::new(&feed, 4, WINDOW, Duration::from_millis(10));
 
     let dict = slider.dict();
     let rdf_type = slider::model::vocab::RDF_TYPE;
     let sensor_class = dict.intern(&iri(S_NS, "Sensor"));
 
-    println!("streaming {} batches …", stream.len());
-    let mut batch_no = 0usize;
-    stream.play(|batch| {
-        batch_no += 1;
-        slider.add_terms(batch);
+    println!(
+        "streaming {} batches through a {}-batch window …",
+        window.len(),
+        window.window()
+    );
+    let mut step = 0usize;
+    window.play(|arrival, expiring| {
+        step += 1;
+        slider.add_terms(arrival);
+        if let Some(expired) = expiring {
+            // The batch sliding out of the window is retracted; DRed
+            // deletes its derived types and keeps everything else.
+            slider.remove_terms(expired);
+        }
         // Query concurrently with inference — no global lock, no re-run.
-        let known_sensors = slider.store().read().subjects_with(rdf_type, sensor_class).count();
-        if batch_no % 10 == 0 {
+        let known_sensors = slider
+            .store()
+            .read()
+            .subjects_with(rdf_type, sensor_class)
+            .count();
+        if step % 10 == 0 {
             println!(
-                "  after batch {batch_no:>3}: store = {:>5} triples, {} resources known to be Sensors",
+                "  after step {step:>3}: store = {:>4} triples, {} live Sensors",
                 slider.store().len(),
                 known_sensors
             );
@@ -119,20 +140,27 @@ fn main() {
     slider.wait_idle();
     let stats = slider.stats();
     println!(
-        "\nstream drained: {} triples total, {} inferred",
+        "\nstream drained: {} triples live ({} explicit, {} derived), {} inferred in total",
         stats.store_size,
+        stats.store.explicit,
+        stats.store.derived,
         stats.total_inferred()
     );
+    println!(
+        "maintenance: {} retracted, {} overdeleted, {} rederived over {} runs",
+        stats.retracted, stats.overdeleted, stats.rederived, stats.removal_runs
+    );
 
-    // Every sensor was typed with a *leaf* class only; the stream made
-    // them all Sensors through CAX-SCO against the background taxonomy.
+    // Every sensor was typed with a *leaf* class only; CAX-SCO made each a
+    // Sensor against the background taxonomy — and expiry took it away
+    // again, so exactly the last WINDOW batches' sensors remain.
     let sensors = slider
         .store()
         .read()
         .subjects_with(rdf_type, sensor_class)
         .count();
-    println!("sensors inferred to be rdf:type s:Sensor: {sensors} (expected 40)");
-    assert_eq!(sensors, 40);
+    println!("sensors currently rdf:type s:Sensor: {sensors} (expected {WINDOW})");
+    assert_eq!(sensors, WINDOW);
 
     // Timeout flushes are what kept latency low — show they happened.
     let timeout_fires: u64 = stats.rules.iter().map(|r| r.timeout_flushes).sum();

@@ -37,7 +37,39 @@
 //! // Cat ⊑ Animal was derived by SCM-SCO.
 //! slider.wait_idle();
 //! assert_eq!(slider.store().len(), 3 + 3);
+//!
+//! // Retraction (DRed truth maintenance): retract the Feline ⊑ Animal
+//! // assertion and every conclusion that depended on it goes too.
+//! let feline_animal = slider::parser::parse_turtle_str(
+//!     "@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+//!      @prefix ex: <http://example.org/> .
+//!      ex:Feline rdfs:subClassOf ex:Animal .",
+//! ).collect::<Result<Vec<_>, _>>().unwrap();
+//! assert_eq!(slider.remove_terms(&feline_animal), 1);
+//! // Cat ⊑ Animal and felix's Animal typing went with it; what is left is
+//! // the closure of the two surviving assertions: felix is just a Feline.
+//! assert_eq!(slider.store().len(), 2 + 1);
 //! ```
+//!
+//! ## Removal semantics
+//!
+//! The store distinguishes **explicit** triples (asserted through
+//! `add_*` — what you said) from **derived** ones (rule conclusions —
+//! what follows). `Slider::remove_triples`/`remove_terms` retract
+//! *assertions*: the triple loses its explicit status, and DRed
+//! maintenance (overdelete, then rederive — see `slider_core::maintenance`)
+//! updates the derived closure, leaving the store equal to the closure of
+//! the surviving explicit triples. Consequences:
+//!
+//! * removing a **derived-only** fact is a no-op — it is not an assertion,
+//!   and it would be rederived anyway;
+//! * removing an explicit fact that is *also* derivable (e.g. an asserted
+//!   `Cat ⊑ Animal` in a taxonomy that implies it) demotes it to derived:
+//!   it stays in the store but no longer survives on its own authority;
+//! * `remove_terms` only looks terms up (never interns), so a triple over
+//!   unknown terms is skipped;
+//! * `Slider::stats().store` reports the explicit/derived split, and the
+//!   `retracted`/`overdeleted`/`rederived` counters the maintenance runs.
 //!
 //! ## Crate map
 //!
@@ -84,5 +116,8 @@ mod tests {
         slider.add_triples(&triples);
         slider.wait_idle();
         assert!(slider.store().len() > 1);
+        // The retraction path round-trips through the facade too.
+        assert_eq!(slider.remove_triples(&triples), 1);
+        assert!(slider.store().is_empty());
     }
 }

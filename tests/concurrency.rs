@@ -147,6 +147,65 @@ fn stats_reads_race_inference() {
 }
 
 #[test]
+fn removals_race_insertions_without_corrupting_invariants() {
+    // Plain (non-schema) predicates: the ρdf rules derive nothing, so the
+    // expected final store is exactly the surviving explicit set — which
+    // makes len()/dedup/provenance invariants checkable under full racing.
+    let plain = |k: u64| Triple::new(NodeId(50_000 + k), NodeId(40_000), NodeId(60_000 + k));
+    let preloaded: Vec<Triple> = (0..600).map(plain).collect();
+    let added: Vec<Triple> = (600..1_200).map(plain).collect();
+    let (doomed, kept) = preloaded.split_at(300);
+
+    let dict = Arc::new(Dictionary::new());
+    let slider = Arc::new(Slider::new(
+        Arc::clone(&dict),
+        Ruleset::rho_df(),
+        SliderConfig::default(),
+    ));
+    slider.add_triples(&preloaded);
+    slider.wait_idle();
+
+    std::thread::scope(|scope| {
+        // 4 producers keep inserting fresh triples…
+        for producer in 0..4 {
+            let slider = Arc::clone(&slider);
+            let slice: Vec<Triple> = added.iter().copied().skip(producer).step_by(4).collect();
+            scope.spawn(move || {
+                for chunk in slice.chunks(16) {
+                    slider.add_triples(chunk);
+                }
+            });
+        }
+        // …while 2 removers retract disjoint halves of the preload.
+        for (remover, slice) in doomed.chunks(150).enumerate() {
+            let slider = Arc::clone(&slider);
+            let slice = slice.to_vec();
+            scope.spawn(move || {
+                let mut retracted = 0usize;
+                for chunk in slice.chunks(25) {
+                    retracted += slider.remove_triples(chunk);
+                }
+                assert_eq!(retracted, 150, "remover {remover} lost retractions");
+            });
+        }
+    });
+    slider.wait_idle();
+
+    // Exact final contents: preload minus doomed plus added, each once.
+    let mut expected: Vec<Triple> = kept.iter().chain(added.iter()).copied().collect();
+    expected.sort_unstable();
+    let got = slider.store().to_sorted_vec();
+    assert_eq!(got, expected);
+    // len() agrees with the enumerated (deduplicated) contents, and every
+    // survivor kept its explicit provenance.
+    assert_eq!(slider.store().len(), got.len());
+    let stats = slider.stats();
+    assert_eq!(stats.store.explicit, expected.len());
+    assert_eq!(stats.store.derived, 0);
+    assert_eq!(stats.retracted, 300);
+}
+
+#[test]
 fn drop_under_load_terminates() {
     for _ in 0..5 {
         let dict = Arc::new(Dictionary::new());

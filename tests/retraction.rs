@@ -1,0 +1,345 @@
+//! The retraction (DRed truth-maintenance) suite: any interleaving of
+//! `add_*`/`remove_*` calls must leave the store equal to the from-scratch
+//! semi-naive closure of the surviving explicit triples, as computed by
+//! the [`RecomputeOracle`] baseline.
+
+use proptest::prelude::*;
+use slider::baseline::RecomputeOracle;
+use slider::core::EventKind;
+use slider::model::vocab::{
+    RDFS_DOMAIN, RDFS_RANGE, RDFS_SUB_CLASS_OF, RDFS_SUB_PROPERTY_OF, RDF_TYPE,
+};
+use slider::prelude::*;
+use std::sync::Arc;
+
+fn n(v: u64) -> NodeId {
+    NodeId(1000 + v)
+}
+fn sco(a: u64, b: u64) -> Triple {
+    Triple::new(n(a), RDFS_SUB_CLASS_OF, n(b))
+}
+fn ty(a: u64, b: u64) -> Triple {
+    Triple::new(n(a), RDF_TYPE, n(b))
+}
+fn chain(k: u64) -> Vec<Triple> {
+    (1..k).map(|i| sco(i, i + 1)).collect()
+}
+
+fn rho_slider(config: SliderConfig) -> Slider {
+    Slider::new(Arc::new(Dictionary::new()), Ruleset::rho_df(), config)
+}
+
+/// Asserts the DRed invariant: Slider's store == oracle closure.
+#[track_caller]
+fn assert_matches_oracle(slider: &Slider, oracle: &RecomputeOracle, context: &str) {
+    assert_eq!(
+        slider.store().to_sorted_vec(),
+        oracle.to_sorted_vec(),
+        "store diverged from recompute oracle: {context}"
+    );
+    assert_eq!(
+        slider.stats().store.explicit,
+        oracle.explicit_len(),
+        "explicit count diverged: {context}"
+    );
+}
+
+#[test]
+fn single_link_retraction_on_chain() {
+    let input = chain(20);
+    let slider = rho_slider(SliderConfig::default());
+    slider.materialize(&input);
+    let mut oracle = RecomputeOracle::new(Ruleset::rho_df());
+    oracle.add(&input);
+
+    slider.remove_triples(&[sco(10, 11)]);
+    oracle.remove(&[sco(10, 11)]);
+    assert_matches_oracle(&slider, &oracle, "chain minus middle link");
+    // The two halves survive: 1→…→10 and 11→…→20.
+    assert!(slider.store().contains(sco(1, 10)));
+    assert!(slider.store().contains(sco(11, 20)));
+    assert!(!slider.store().contains(sco(1, 20)));
+}
+
+#[test]
+fn alternative_derivations_are_rederived() {
+    // Diamond: 1→{2,3}→4 plus an instance typed at the bottom.
+    let input = vec![sco(1, 2), sco(2, 4), sco(1, 3), sco(3, 4), ty(9, 1)];
+    let slider = rho_slider(SliderConfig::default());
+    slider.materialize(&input);
+    let mut oracle = RecomputeOracle::new(Ruleset::rho_df());
+    oracle.add(&input);
+
+    let outcome = slider.remove_triples_outcome(&[sco(2, 4)]);
+    oracle.remove(&[sco(2, 4)]);
+    assert_matches_oracle(&slider, &oracle, "diamond minus one side");
+    // (1 sco 4) and (9 type 4) survived via the 1→3→4 path…
+    assert!(slider.store().contains(sco(1, 4)));
+    assert!(slider.store().contains(ty(9, 4)));
+    // …which means rederivation actually ran.
+    assert!(outcome.rederived > 0, "{outcome:?}");
+}
+
+#[test]
+fn removing_derived_facts_is_a_noop() {
+    let input = chain(6);
+    let slider = rho_slider(SliderConfig::default());
+    slider.materialize(&input);
+    let before = slider.store().to_sorted_vec();
+    // sco(1,3) is derived; ty(1,1) absent; both no-ops.
+    assert_eq!(slider.remove_triples(&[sco(1, 3), ty(1, 1)]), 0);
+    assert_eq!(slider.store().to_sorted_vec(), before);
+    assert_eq!(slider.stats().removal_runs, 0);
+}
+
+#[test]
+fn retracting_everything_empties_the_store() {
+    let input = chain(15);
+    let slider = rho_slider(SliderConfig::default());
+    slider.materialize(&input);
+    assert_eq!(slider.remove_triples(&input), input.len());
+    assert!(slider.store().is_empty(), "{:?}", slider.store().stats());
+    let stats = slider.stats();
+    assert_eq!(stats.store.explicit, 0);
+    assert_eq!(stats.store.derived, 0);
+}
+
+#[test]
+fn interleaved_adds_and_removes_match_oracle_at_each_quiescence() {
+    let slider = rho_slider(SliderConfig::default());
+    let mut oracle = RecomputeOracle::new(Ruleset::rho_df());
+    let script: Vec<(bool, Vec<Triple>)> = vec![
+        (true, chain(8)),
+        (false, vec![sco(3, 4)]),
+        (true, vec![ty(9, 1), sco(3, 4)]), // re-add the removed link
+        (false, vec![sco(1, 2), sco(7, 8)]),
+        (true, vec![sco(20, 1), sco(21, 20)]),
+        (false, vec![ty(9, 1)]),
+        (false, vec![sco(21, 20), sco(4, 5)]),
+    ];
+    for (i, (is_add, batch)) in script.iter().enumerate() {
+        if *is_add {
+            slider.add_triples(batch);
+            oracle.add(batch);
+        } else {
+            slider.remove_triples(batch);
+            oracle.remove(batch);
+        }
+        slider.wait_idle();
+        assert_matches_oracle(&slider, &oracle, &format!("script step {i}"));
+    }
+}
+
+#[test]
+fn full_rederive_mode_agrees_with_restricted_mode() {
+    let input = vec![
+        sco(1, 2),
+        sco(2, 3),
+        sco(1, 3), // also derivable
+        ty(9, 1),
+        Triple::new(n(5), RDFS_SUB_PROPERTY_OF, n(6)),
+        Triple::new(n(6), RDFS_DOMAIN, n(2)),
+        Triple::new(n(6), RDFS_RANGE, n(3)),
+        Triple::new(n(7), n(5), n(8)),
+    ];
+    let removals = [
+        vec![Triple::new(n(5), RDFS_SUB_PROPERTY_OF, n(6))],
+        vec![sco(1, 3), sco(2, 3)],
+        vec![Triple::new(n(7), n(5), n(8)), ty(9, 1)],
+    ];
+    let restricted = rho_slider(SliderConfig::default());
+    let full = rho_slider(SliderConfig::default().with_full_rederive(true));
+    let mut oracle = RecomputeOracle::new(Ruleset::rho_df());
+    restricted.materialize(&input);
+    full.materialize(&input);
+    oracle.add(&input);
+    for (i, batch) in removals.iter().enumerate() {
+        restricted.remove_triples(batch);
+        full.remove_triples(batch);
+        oracle.remove(batch);
+        assert_matches_oracle(&restricted, &oracle, &format!("restricted, removal {i}"));
+        assert_matches_oracle(&full, &oracle, &format!("full_rederive, removal {i}"));
+    }
+}
+
+#[test]
+fn rdfs_fragment_retraction_matches_oracle() {
+    let dict = Arc::new(Dictionary::new());
+    let ruleset = Ruleset::rdfs(&dict);
+    let slider = Slider::new(Arc::clone(&dict), ruleset.clone(), SliderConfig::default());
+    let mut oracle = RecomputeOracle::new(ruleset);
+    let input = vec![
+        sco(1, 2),
+        sco(2, 3),
+        ty(9, 1),
+        Triple::new(n(4), n(5), n(6)),
+    ];
+    slider.materialize(&input);
+    oracle.add(&input);
+    for removal in [
+        vec![sco(2, 3)],
+        vec![ty(9, 1)],
+        vec![Triple::new(n(4), n(5), n(6))],
+    ] {
+        slider.remove_triples(&removal);
+        oracle.remove(&removal);
+        assert_matches_oracle(&slider, &oracle, &format!("RDFS removal {removal:?}"));
+    }
+}
+
+#[test]
+fn remove_terms_resolves_through_the_dictionary() {
+    let slider = Slider::fragment(Fragment::RhoDf, SliderConfig::default());
+    let sco_t = Term::iri("http://www.w3.org/2000/01/rdf-schema#subClassOf");
+    let a = Term::iri("http://e/A");
+    let b = Term::iri("http://e/B");
+    let c = Term::iri("http://e/C");
+    slider.add_terms(&[
+        (a.clone(), sco_t.clone(), b.clone()),
+        (b.clone(), sco_t.clone(), c.clone()),
+    ]);
+    slider.wait_idle();
+    assert_eq!(slider.store().len(), 3); // + (A sco C)
+    assert_eq!(slider.remove_terms(&[(b.clone(), sco_t.clone(), c)]), 1);
+    assert_eq!(slider.store().len(), 1);
+    // Unknown terms never match (and are not interned).
+    let before = slider.dict().len();
+    assert_eq!(
+        slider.remove_terms(&[(a, sco_t, Term::iri("http://e/Unknown"))]),
+        0
+    );
+    assert_eq!(slider.dict().len(), before);
+}
+
+#[test]
+fn removal_emits_trace_event_and_counters() {
+    let slider = rho_slider(SliderConfig::default().with_trace(true));
+    slider.materialize(&chain(10));
+    let outcome = slider.remove_triples_outcome(&[sco(5, 6), ty(1, 1)]);
+    assert_eq!(outcome.requested, 2);
+    assert_eq!(outcome.retracted, 1);
+    let events = slider.events().expect("tracing on");
+    let removal = events
+        .iter()
+        .find_map(|e| match e.kind {
+            EventKind::Removal {
+                requested,
+                retracted,
+                overdeleted,
+                rederived,
+                store_size,
+            } => Some((requested, retracted, overdeleted, rederived, store_size)),
+            _ => None,
+        })
+        .expect("removal event recorded");
+    assert_eq!(removal.0, 2);
+    assert_eq!(removal.1, 1);
+    assert_eq!(removal.2 as u64, slider.stats().overdeleted);
+    assert_eq!(removal.4, slider.store().len());
+    // The Display form mentions the removal line.
+    assert!(slider.stats().to_string().contains("removals: 1 runs"));
+}
+
+#[test]
+fn tiny_buffers_and_single_worker_still_maintain_correctly() {
+    let config = SliderConfig::default()
+        .with_buffer_capacity(1)
+        .with_workers(1);
+    let slider = rho_slider(config);
+    let mut oracle = RecomputeOracle::new(Ruleset::rho_df());
+    let input = chain(12);
+    slider.materialize(&input);
+    oracle.add(&input);
+    slider.remove_triples(&[sco(6, 7), sco(2, 3)]);
+    oracle.remove(&[sco(6, 7), sco(2, 3)]);
+    assert_matches_oracle(&slider, &oracle, "tiny buffers");
+}
+
+// ---------- the property test -----------------------------------------------
+
+/// A pool of triples that keeps joins frequent: schema-heavy predicates
+/// over a small node universe.
+fn pool_triple() -> impl Strategy<Value = Triple> {
+    let node = || (0u64..10).prop_map(n);
+    (
+        node(),
+        prop_oneof![
+            3 => Just(RDFS_SUB_CLASS_OF),
+            2 => Just(RDF_TYPE),
+            2 => Just(RDFS_SUB_PROPERTY_OF),
+            1 => Just(RDFS_DOMAIN),
+            1 => Just(RDFS_RANGE),
+            2 => (0u64..3).prop_map(n),
+        ],
+        node(),
+    )
+        .prop_map(|(s, p, o)| Triple::new(s, p, o))
+}
+
+/// One scripted operation: `true` = add the batch, `false` = remove it.
+fn op() -> impl Strategy<Value = (bool, Vec<Triple>)> {
+    (
+        prop_oneof![2 => Just(true), 1 => Just(false)],
+        prop::collection::vec(pool_triple(), 1..8),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The acceptance property: after ANY interleaving of add/remove and
+    /// `wait_idle`, the store equals the from-scratch semi-naive closure
+    /// of the surviving explicit triples.
+    #[test]
+    fn random_interleavings_match_recompute_oracle(ops in prop::collection::vec(op(), 1..12)) {
+        let slider = rho_slider(SliderConfig::default());
+        let mut oracle = RecomputeOracle::new(Ruleset::rho_df());
+        for (i, (is_add, batch)) in ops.iter().enumerate() {
+            if *is_add {
+                slider.add_triples(batch);
+                oracle.add(batch);
+            } else {
+                slider.remove_triples(batch);
+                oracle.remove(batch);
+            }
+            slider.wait_idle();
+            prop_assert_eq!(
+                slider.store().to_sorted_vec(),
+                oracle.to_sorted_vec(),
+                "diverged after op {} of {:?}",
+                i,
+                ops
+            );
+        }
+        // Provenance bookkeeping stayed exact as well.
+        prop_assert_eq!(slider.stats().store.explicit, oracle.explicit_len());
+    }
+
+    /// Same property under pathological buffering and the conservative
+    /// maintenance mode.
+    #[test]
+    fn random_interleavings_tiny_buffers_full_rederive(ops in prop::collection::vec(op(), 1..8)) {
+        let config = SliderConfig::default()
+            .with_buffer_capacity(1)
+            .with_workers(2)
+            .with_full_rederive(true);
+        let slider = rho_slider(config);
+        let mut oracle = RecomputeOracle::new(Ruleset::rho_df());
+        for (is_add, batch) in &ops {
+            if *is_add {
+                slider.add_triples(batch);
+                oracle.add(batch);
+            } else {
+                slider.remove_triples(batch);
+                oracle.remove(batch);
+            }
+        }
+        slider.wait_idle();
+        prop_assert_eq!(
+            slider.store().to_sorted_vec(),
+            oracle.to_sorted_vec(),
+            "diverged after {:?}",
+            ops
+        );
+    }
+}

@@ -1,29 +1,40 @@
 //! The `retraction` benchmark: sliding-window streaming with incremental
-//! deletion (DRed) versus recompute-from-scratch.
+//! deletion (DRed) versus recompute-from-scratch, and **per-batch eager**
+//! versus **coalesced** maintenance under a bursty time-based window.
 //!
 //! A fixed class taxonomy (subClassOf chains) stays resident while typed
-//! instance batches stream through a count-based sliding window: each step
-//! adds the arriving batch and retracts the batch expiring out of the
-//! window. Slider maintains the materialisation with DRed
-//! (`Slider::remove_triples`); the baseline recomputes the closure of the
-//! surviving explicit set from scratch every step
-//! (`slider_baseline::RecomputeOracle`) — exactly what a monotone-additive
-//! reasoner is forced to do.
+//! instance batches stream through a sliding window on a *bursty* virtual
+//! clock (geometric inter-arrival gaps): most arrivals are back-to-back,
+//! and the arrival after a long pause expires a whole run of batches at
+//! once. Three maintainers process the identical schedule:
+//!
+//! * **eager (per-batch DRed)** — every expiring batch pays its own
+//!   overdelete/rederive cycle (`Slider::remove_triples`), exactly what a
+//!   count-based window does per step;
+//! * **coalesced** — expiring batches are deferred
+//!   (`Slider::remove_deferred`) and each step with expiries ends in one
+//!   `Slider::flush_maintenance`: a single DRed pass over the union;
+//! * **recompute** — the closure of the surviving explicit set is rebuilt
+//!   from scratch every step (`slider_baseline::RecomputeOracle`), what a
+//!   monotone-additive reasoner is forced to do.
 //!
 //! ```text
 //! cargo run --release -p slider-bench --bin retraction            # full size
 //! cargo run --release -p slider-bench --bin retraction -- --smoke # CI smoke
 //! ```
 //!
-//! `--smoke` runs a tiny workload and additionally cross-checks every
-//! step's store against the oracle, so CI both exercises the bench binary
-//! and re-verifies DRed end to end.
+//! `--smoke` runs a tiny workload and additionally cross-checks the eager
+//! *and* coalesced stores against the oracle at every step — each
+//! coalesced flush must leave the store exactly where N eager removals
+//! would have — so CI both exercises the bench binary and re-verifies the
+//! coalescing invariant end to end.
 
 use slider_baseline::RecomputeOracle;
 use slider_core::{Slider, SliderConfig};
-use slider_model::vocab::{RDFS_SUB_CLASS_OF, RDF_TYPE};
+use slider_model::vocab::{RDFS_DOMAIN, RDFS_SUB_CLASS_OF, RDF_TYPE};
 use slider_model::{Dictionary, NodeId, Triple};
 use slider_rules::Ruleset;
+use slider_workloads::stream::{bursty_gaps, expirations};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -34,8 +45,11 @@ struct Params {
     chains: u64,
     /// Instance-typing triples per stream batch.
     batch: u64,
-    /// Window size, in batches.
-    window: usize,
+    /// Shared subjects every batch observes (the overlapping downward
+    /// closure — see [`batch`]).
+    shared: u64,
+    /// Window length, in bursty-clock ticks.
+    window_ticks: u32,
     /// Stream steps to play.
     steps: u64,
     /// Cross-check every step against the oracle closure.
@@ -46,7 +60,8 @@ const SMOKE: Params = Params {
     depth: 8,
     chains: 3,
     batch: 40,
-    window: 4,
+    shared: 10,
+    window_ticks: 4,
     steps: 14,
     verify: true,
 };
@@ -54,37 +69,97 @@ const SMOKE: Params = Params {
 const FULL: Params = Params {
     depth: 24,
     chains: 8,
-    batch: 500,
-    window: 8,
+    batch: 300,
+    shared: 1_000,
+    window_ticks: 8,
     steps: 60,
     verify: false,
 };
 
-/// Background: `chains` subClassOf chains of `depth` classes each.
+/// Geometric-gap continuation probability of the bursty virtual clock.
+const CONTINUE_PROB: f64 = 0.6;
+/// Seed of the bursty virtual clock (deterministic runs).
+const SEED: u64 = 42;
+
+fn class(c: u64, d: u64) -> NodeId {
+    NodeId(10_000 + c * 1_000 + d)
+}
+
+/// Per-batch observation predicate (see [`batch`]).
+fn obs_pred(i: u64) -> NodeId {
+    NodeId(20_000 + i)
+}
+
+/// A subject observed by *every* batch.
+fn shared_subj(s: u64) -> NodeId {
+    NodeId(2_000_000 + s)
+}
+
+/// Background: `chains` subClassOf chains of `depth` classes each, plus a
+/// domain axiom per observation predicate pointing its subjects at the
+/// *same* leaf class — every live batch independently supports the shared
+/// subjects' type chain.
 fn taxonomy(p: &Params) -> Vec<Triple> {
-    let class = |c: u64, d: u64| NodeId(10_000 + c * 1_000 + d);
     (0..p.chains)
         .flat_map(|c| {
             (0..p.depth - 1)
                 .map(move |d| Triple::new(class(c, d), RDFS_SUB_CLASS_OF, class(c, d + 1)))
         })
+        .chain((0..p.steps).map(|i| Triple::new(obs_pred(i), RDFS_DOMAIN, class(0, 0))))
         .collect()
 }
 
-/// Stream batch `i`: instances typed with the *leaf* class of a chain, so
-/// every arrival derives `depth − 1` superclass types per instance.
+/// Stream batch `i`: instances typed with the *leaf* class of a chain
+/// (every arrival derives `depth − 1` superclass types per instance), plus
+/// one observation of each **shared** subject through the batch's own
+/// predicate. Via the domain axioms, every live batch independently
+/// derives the same `shared × depth` type triples — so retracting one
+/// batch overdeletes that *overlapping downward closure* and rederives it
+/// from the still-live batches. Per-batch eager DRed repeats that
+/// overdelete/rederive cycle for every expiring batch; one coalesced pass
+/// over the union pays it once — exactly the sharing the scheduler
+/// amortises.
 fn batch(p: &Params, i: u64) -> Vec<Triple> {
-    let class = |c: u64, d: u64| NodeId(10_000 + c * 1_000 + d);
     (0..p.batch)
         .map(|k| {
             let inst = NodeId(1_000_000 + i * p.batch + k);
             Triple::new(inst, RDF_TYPE, class((i + k) % p.chains, 0))
+        })
+        .chain((0..p.shared).map(|s| {
+            Triple::new(
+                shared_subj(s),
+                obs_pred(i),
+                NodeId(3_000_000 + i * 10_000 + s),
+            )
+        }))
+        .collect()
+}
+
+/// Bursty virtual arrival times: the cumulative sum of
+/// [`bursty_gaps`] — the exact sampler behind `TimedStream::bursty`.
+fn bursty_times(steps: u64, continue_prob: f64, seed: u64) -> Vec<Duration> {
+    let tick = Duration::from_millis(1);
+    let mut at = Duration::ZERO;
+    bursty_gaps(steps as usize, tick, continue_prob, seed)
+        .into_iter()
+        .map(|gap| {
+            at += gap;
+            at
         })
         .collect()
 }
 
 fn fmt_ms(d: Duration) -> String {
     format!("{:8.2} ms", d.as_secs_f64() * 1e3)
+}
+
+fn batch_slider() -> Slider {
+    // Deferred flushing is driven explicitly here; disable the deadline so
+    // timings measure the maintenance itself, not flusher scheduling.
+    let config = SliderConfig::batch()
+        .with_maintenance_batch(usize::MAX)
+        .with_maintenance_max_age(None);
+    Slider::new(Arc::new(Dictionary::new()), Ruleset::rho_df(), config)
 }
 
 fn main() {
@@ -98,78 +173,127 @@ fn main() {
 
     let schema = taxonomy(&p);
     let batches: Vec<Vec<Triple>> = (0..p.steps).map(|i| batch(&p, i)).collect();
+    // The bursty time-based window: per step, which batches expire.
+    let times = bursty_times(p.steps, CONTINUE_PROB, SEED);
+    let window = Duration::from_millis(p.window_ticks as u64);
+    let expiry = expirations(&times, window);
+    let expired_total: usize = expiry.iter().map(Vec::len).sum();
+    let bulk_steps = expiry.iter().filter(|e| e.len() > 1).count();
 
     println!(
-        "retraction bench: {} chains × depth {}, {} steps of {} instance triples, window {}{}",
+        "retraction bench: {} chains × depth {}, {} steps of {} instance triples, \
+         {}-tick window over a bursty clock ({} expiries, {} bulk steps){}",
         p.chains,
         p.depth,
         p.steps,
         p.batch,
-        p.window,
+        p.window_ticks,
+        expired_total,
+        bulk_steps,
         if smoke { " [smoke]" } else { "" }
     );
 
-    // --- Slider: incremental DRed maintenance --------------------------
-    let slider = Slider::new(
-        Arc::new(Dictionary::new()),
-        Ruleset::rho_df(),
-        SliderConfig::batch(),
-    );
+    // --- eager: one DRed run per expiring batch ------------------------
+    let eager = batch_slider();
+    eager.materialize(&schema);
+    // --- coalesced: defer expiring batches, one flush per step ---------
+    let coalesced = batch_slider();
+    coalesced.materialize(&schema);
+    // --- recompute baseline --------------------------------------------
     let mut oracle = RecomputeOracle::new(Ruleset::rho_df());
-    slider.materialize(&schema);
     oracle.add(&schema);
 
-    let mut slider_elapsed = Duration::ZERO;
+    let mut eager_elapsed = Duration::ZERO;
+    let mut coalesced_elapsed = Duration::ZERO;
     let mut oracle_elapsed = Duration::ZERO;
     for (i, arriving) in batches.iter().enumerate() {
-        let expiring = i.checked_sub(p.window).map(|j| &batches[j]);
+        let expiring = &expiry[i];
 
         let start = Instant::now();
-        slider.add_triples(arriving);
-        if let Some(gone) = expiring {
-            slider.remove_triples(gone);
+        eager.add_triples(arriving);
+        for &j in expiring {
+            eager.remove_triples(&batches[j]);
         }
-        slider.wait_idle();
-        slider_elapsed += start.elapsed();
+        eager.wait_idle();
+        eager_elapsed += start.elapsed();
+
+        let start = Instant::now();
+        coalesced.add_triples(arriving);
+        for &j in expiring {
+            coalesced.remove_deferred(&batches[j]);
+        }
+        if !expiring.is_empty() {
+            coalesced.flush_maintenance();
+        }
+        coalesced.wait_idle();
+        coalesced_elapsed += start.elapsed();
 
         let start = Instant::now();
         oracle.add(arriving);
-        if let Some(gone) = expiring {
-            oracle.remove(gone);
+        for &j in expiring {
+            oracle.remove(&batches[j]);
         }
         let closure = oracle.closure();
         oracle_elapsed += start.elapsed();
 
         if p.verify {
+            let expected = closure.to_sorted_vec();
             assert_eq!(
-                slider.store().to_sorted_vec(),
-                closure.to_sorted_vec(),
-                "DRed diverged from recompute at step {i}"
+                eager.store().to_sorted_vec(),
+                expected,
+                "eager DRed diverged from recompute at step {i}"
+            );
+            // The coalescing invariant: one flush over the union must land
+            // exactly where the per-batch runs did.
+            assert_eq!(
+                coalesced.store().to_sorted_vec(),
+                expected,
+                "coalesced DRed diverged from recompute at step {i}"
             );
         }
     }
 
-    let stats = slider.stats();
+    let eager_stats = eager.stats();
+    let co_stats = coalesced.stats();
     println!(
-        "  slider (DRed):        {} total, {} / step",
-        fmt_ms(slider_elapsed),
-        fmt_ms(slider_elapsed / p.steps as u32)
+        "  eager (per-batch DRed): {} total, {} / step  ({} maintenance runs)",
+        fmt_ms(eager_elapsed),
+        fmt_ms(eager_elapsed / p.steps as u32),
+        eager_stats.removal_runs
     );
     println!(
-        "  recompute baseline:   {} total, {} / step",
+        "  coalesced DRed:         {} total, {} / step  ({} coalesced runs)",
+        fmt_ms(coalesced_elapsed),
+        fmt_ms(coalesced_elapsed / p.steps as u32),
+        co_stats.coalesced_runs
+    );
+    println!(
+        "  recompute baseline:     {} total, {} / step",
         fmt_ms(oracle_elapsed),
         fmt_ms(oracle_elapsed / p.steps as u32)
     );
     println!(
-        "  gain: {:.2}x   (store: {} triples, {} explicit; {} retracted, {} overdeleted, {} rederived)",
-        oracle_elapsed.as_secs_f64() / slider_elapsed.as_secs_f64().max(1e-9),
-        stats.store_size,
-        stats.store.explicit,
-        stats.retracted,
-        stats.overdeleted,
-        stats.rederived
+        "  coalesced vs eager: {:.2}x   coalesced vs recompute: {:.2}x   (store: {} triples, \
+         {} explicit; {} retracted, {} overdeleted, {} rederived)",
+        eager_elapsed.as_secs_f64() / coalesced_elapsed.as_secs_f64().max(1e-9),
+        oracle_elapsed.as_secs_f64() / coalesced_elapsed.as_secs_f64().max(1e-9),
+        co_stats.store_size,
+        co_stats.store.explicit,
+        co_stats.retracted,
+        co_stats.overdeleted,
+        co_stats.rederived
+    );
+    assert_eq!(
+        eager_stats.retracted, co_stats.retracted,
+        "both maintainers retracted the same assertions"
+    );
+    assert!(
+        co_stats.coalesced_runs < eager_stats.removal_runs,
+        "coalescing must batch runs: {} coalesced vs {} eager",
+        co_stats.coalesced_runs,
+        eager_stats.removal_runs
     );
     if p.verify {
-        println!("  verified: store == recompute closure at every step");
+        println!("  verified: eager and coalesced stores == recompute closure at every step");
     }
 }

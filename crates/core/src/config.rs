@@ -42,6 +42,21 @@ pub struct SliderConfig {
     /// The two modes compute the same store; the restricted default just
     /// does less work. Off by default; useful as a cross-check/ablation.
     pub full_rederive: bool,
+    /// Coalesced-maintenance threshold: how many *distinct* pending
+    /// retractions [`Slider::remove_deferred`](crate::Slider::remove_deferred)
+    /// accumulates before it triggers one coalesced DRed run over the whole
+    /// pending set (the retraction analogue of `buffer_capacity`). See the
+    /// [`scheduler`](crate::scheduler) module docs for the trigger
+    /// semantics. Default: 1024.
+    pub maintenance_batch: usize,
+    /// Coalesced-maintenance deadline: how long the *oldest* deferred
+    /// retraction may stay pending before the flusher thread forces a
+    /// coalesced run (the retraction analogue of `timeout`). `None`
+    /// disables the deadline — pending retractions then wait for the
+    /// threshold or an explicit
+    /// [`Slider::flush_maintenance`](crate::Slider::flush_maintenance).
+    /// Default: 100 ms.
+    pub maintenance_max_age: Option<Duration>,
 }
 
 impl Default for SliderConfig {
@@ -54,15 +69,24 @@ impl Default for SliderConfig {
             object_index: true,
             adaptive_buffers: false,
             full_rederive: false,
+            maintenance_batch: 1024,
+            maintenance_max_age: Some(Duration::from_millis(100)),
         }
     }
 }
 
 impl SliderConfig {
-    /// Batch-friendly configuration: no timeouts, default buffers.
+    /// Batch-friendly configuration: no timeouts, default buffers, and no
+    /// maintenance deadline — no flusher thread at all. Batch callers
+    /// drive everything explicitly
+    /// ([`Slider::wait_idle`](crate::Slider::wait_idle),
+    /// [`Slider::flush_maintenance`](crate::Slider::flush_maintenance));
+    /// deferred retractions flush on the pending-count threshold or an
+    /// explicit flush only.
     pub fn batch() -> Self {
         SliderConfig {
             timeout: None,
+            maintenance_max_age: None,
             ..SliderConfig::default()
         }
     }
@@ -108,6 +132,18 @@ impl SliderConfig {
         self.full_rederive = full;
         self
     }
+
+    /// Builder-style coalesced-maintenance threshold (min 1).
+    pub fn with_maintenance_batch(mut self, batch: usize) -> Self {
+        self.maintenance_batch = batch.max(1);
+        self
+    }
+
+    /// Builder-style coalesced-maintenance deadline.
+    pub fn with_maintenance_max_age(mut self, max_age: Option<Duration>) -> Self {
+        self.maintenance_max_age = max_age;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +160,8 @@ mod tests {
         assert!(c.object_index);
         assert!(!c.adaptive_buffers);
         assert!(!c.full_rederive);
+        assert!(c.maintenance_batch >= 1);
+        assert!(c.maintenance_max_age.is_some());
     }
 
     #[test]
@@ -148,13 +186,26 @@ mod tests {
     fn builders_clamp() {
         let c = SliderConfig::default()
             .with_buffer_capacity(0)
-            .with_workers(0);
+            .with_workers(0)
+            .with_maintenance_batch(0);
         assert_eq!(c.buffer_capacity, 1);
         assert_eq!(c.workers, 1);
+        assert_eq!(c.maintenance_batch, 1);
+    }
+
+    #[test]
+    fn maintenance_builders() {
+        let c = SliderConfig::default()
+            .with_maintenance_batch(7)
+            .with_maintenance_max_age(None);
+        assert_eq!(c.maintenance_batch, 7);
+        assert!(c.maintenance_max_age.is_none());
     }
 
     #[test]
     fn batch_mode_has_no_timeout() {
         assert!(SliderConfig::batch().timeout.is_none());
+        // …and no maintenance deadline: no flusher thread in batch mode.
+        assert!(SliderConfig::batch().maintenance_max_age.is_none());
     }
 }

@@ -41,6 +41,12 @@
 //!   same rule modules. Afterwards the store equals the closure of the
 //!   surviving explicit triples — sliding-window streams retract expiring
 //!   batches instead of rebuilding.
+//! * **Deferred retractions** ([`Slider::remove_deferred`],
+//!   [`Slider::flush_maintenance`]) enqueue on the [`scheduler`] module's
+//!   maintenance scheduler instead; one *coalesced* DRed run over the
+//!   whole pending set fires on a pending-count threshold, a max-age
+//!   deadline (serviced by the flusher thread), or an explicit flush —
+//!   amortising maintenance for high-churn windows.
 //!
 //! Termination is guaranteed because every dispatched triple was new to the
 //! store and rules never invent new term ids, so the reachable closure is
@@ -56,6 +62,7 @@ mod config;
 mod inflight;
 pub mod maintenance;
 mod reasoner;
+pub mod scheduler;
 mod stats;
 pub mod trace;
 

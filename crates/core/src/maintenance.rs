@@ -45,13 +45,26 @@ use slider_store::VerticalStore;
 use std::sync::Arc;
 
 /// Counters of one maintenance (retraction) run.
+///
+/// Every *distinct* offered triple lands in exactly one of
+/// [`retracted`](RemovalOutcome::retracted),
+/// [`ignored_derived`](RemovalOutcome::ignored_derived) or
+/// [`not_found`](RemovalOutcome::not_found); duplicate offers within one
+/// call only inflate [`requested`](RemovalOutcome::requested).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RemovalOutcome {
-    /// Triples offered for removal.
+    /// Triples offered for removal (including duplicates within the call).
     pub requested: usize,
     /// Explicit triples actually retracted (present + asserted). Offering a
     /// derived or absent triple is a no-op and does not count.
     pub retracted: usize,
+    /// Offered triples that were present but **derived-only**: not
+    /// assertions, so there was nothing to retract — the no-op the facade
+    /// documents (a derived fact would be rederived anyway). Distinct from
+    /// [`not_found`](RemovalOutcome::not_found).
+    pub ignored_derived: usize,
+    /// Offered triples absent from the store altogether.
+    pub not_found: usize,
     /// Derived triples deleted during overdeletion, beyond the retracted
     /// assertions themselves. Some may have been restored again — see
     /// [`RemovalOutcome::rederived`].
@@ -86,13 +99,23 @@ pub(crate) fn dred(
 
     // Only triples that are present *and* explicit are genuine
     // retractions; demote them to derived so the deletion loop below may
-    // take them, and seed the first deletion round.
+    // take them, and seed the first deletion round. The no-ops are
+    // reported distinctly: present-but-derived-only vs absent.
     let mut scheduled: FxHashSet<Triple> = FxHashSet::default();
+    let mut offered: FxHashSet<Triple> = FxHashSet::default();
     let mut delta: Vec<Triple> = Vec::new();
     for &t in retracted {
-        if store.is_explicit(t) && scheduled.insert(t) {
+        if !offered.insert(t) {
+            continue; // duplicate within this request: already classified
+        }
+        if store.is_explicit(t) {
+            scheduled.insert(t);
             store.unmark_explicit(t);
             delta.push(t);
+        } else if store.contains(t) {
+            outcome.ignored_derived += 1;
+        } else {
+            outcome.not_found += 1;
         }
     }
     outcome.retracted = delta.len();
@@ -319,6 +342,31 @@ mod tests {
         assert_eq!(outcome.requested, 2);
         assert_eq!(outcome.retracted, 0);
         assert_eq!(outcome.overdeleted, 0);
+        // The two no-op flavours are reported distinctly.
+        assert_eq!(
+            outcome.ignored_derived, 1,
+            "sco(1,3) is present but derived"
+        );
+        assert_eq!(outcome.not_found, 1, "ty(9,9) is absent");
+    }
+
+    #[test]
+    fn duplicate_offers_classify_once() {
+        let rs = Ruleset::rho_df();
+        let explicit = [sco(1, 2), sco(2, 3)];
+        let retract = [
+            sco(1, 2),
+            sco(1, 2),
+            sco(1, 3),
+            sco(1, 3),
+            ty(9, 9),
+            ty(9, 9),
+        ];
+        let (_, outcome) = run(&rs, &explicit, &retract, false);
+        assert_eq!(outcome.requested, 6);
+        assert_eq!(outcome.retracted, 1);
+        assert_eq!(outcome.ignored_derived, 1);
+        assert_eq!(outcome.not_found, 1);
     }
 
     #[test]

@@ -4,6 +4,7 @@ use crate::buffer::Buffer;
 use crate::config::SliderConfig;
 use crate::inflight::Inflight;
 use crate::maintenance::{self, RemovalOutcome};
+use crate::scheduler::MaintenanceScheduler;
 use crate::stats::{bump, GlobalCounters, RuleCounters, RuleStats, StatsSnapshot};
 use crate::trace::{Event, EventKind, EventLog};
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -54,6 +55,9 @@ struct Engine {
     maintenance: Mutex<()>,
     /// Conservative-maintenance switch (see `SliderConfig::full_rederive`).
     full_rederive: bool,
+    /// Deferred retractions awaiting a coalesced DRed run (see
+    /// [`Slider::remove_deferred`]).
+    scheduler: MaintenanceScheduler,
 }
 
 impl Engine {
@@ -91,13 +95,29 @@ impl Engine {
             }
             bump(&module.counters.buffered, accepted.len() as u64);
             let capacity = module.capacity.load(Ordering::Relaxed);
-            for chunk in module.buffer.push_batch_with(&accepted, capacity) {
-                bump(&module.counters.full_flushes, 1);
-                if let Some(log) = &self.log {
-                    log.record(EventKind::BufferFull { rule: i });
-                }
-                self.submit(i, chunk);
+            self.fire_chunks(i, module.buffer.push_batch_with(&accepted, capacity));
+            // A racing retune may have shrunk the threshold between the
+            // load above and the push (its own chunk-firing can miss our
+            // triples); the buffer lock we just released makes the new
+            // capacity visible here, so fire anything now eligible rather
+            // than letting it stall until the next push or timeout.
+            let current = module.capacity.load(Ordering::Relaxed);
+            if current < capacity {
+                self.fire_chunks(i, module.buffer.take_full_chunks(current));
             }
+        }
+    }
+
+    /// Submits capacity-triggered chunks as rule instances, with the
+    /// full-flush accounting every such fire shares.
+    fn fire_chunks(&self, rule: usize, chunks: Vec<Vec<Triple>>) {
+        let module = &self.modules[rule];
+        for chunk in chunks {
+            bump(&module.counters.full_flushes, 1);
+            if let Some(log) = &self.log {
+                log.record(EventKind::BufferFull { rule });
+            }
+            self.submit(rule, chunk);
         }
     }
 
@@ -122,26 +142,8 @@ impl Engine {
             self.store.insert_batch(&out, &mut fresh);
             bump(&module.counters.fresh, fresh.len() as u64);
         }
-        if let Some((base, max)) = self.adaptive {
-            if !out.is_empty() {
-                // The run-time dynamic plan (§5 future work): a rule whose
-                // conclusions are mostly duplicates gains nothing from
-                // low-latency firing — grow its batch so the join cost is
-                // amortised; a productive rule shrinks back towards the
-                // configured capacity for low inference latency.
-                let ratio = fresh.len() as f64 / out.len() as f64;
-                let cap = module.capacity.load(Ordering::Relaxed);
-                let retuned = if ratio < 0.1 {
-                    (cap.saturating_mul(2)).min(max)
-                } else if ratio > 0.5 {
-                    (cap / 2).max(base)
-                } else {
-                    cap
-                };
-                if retuned != cap {
-                    module.capacity.store(retuned, Ordering::Relaxed);
-                }
-            }
+        if !out.is_empty() {
+            self.retune(rule, out.len(), fresh.len());
         }
         if let Some(log) = &self.log {
             log.record(EventKind::RuleFired {
@@ -155,6 +157,38 @@ impl Engine {
         if !fresh.is_empty() {
             // Distributor step 3: dispatch to dependent buffers only.
             self.dispatch(&module.successors, &fresh);
+        }
+    }
+
+    /// The run-time dynamic plan (§5 future work): a rule whose conclusions
+    /// are mostly duplicates gains nothing from low-latency firing — grow
+    /// its batch so the join cost is amortised; a productive rule shrinks
+    /// back towards the configured capacity for low inference latency.
+    /// No-op unless adaptive scheduling is enabled.
+    fn retune(&self, rule: usize, derived: usize, fresh: usize) {
+        let Some((base, max)) = self.adaptive else {
+            return;
+        };
+        let module = &self.modules[rule];
+        let ratio = fresh as f64 / derived as f64;
+        let cap = module.capacity.load(Ordering::Relaxed);
+        let retuned = if ratio < 0.1 {
+            (cap.saturating_mul(2)).min(max)
+        } else if ratio > 0.5 {
+            (cap / 2).max(base)
+        } else {
+            cap
+        };
+        if retuned == cap {
+            return;
+        }
+        module.capacity.store(retuned, Ordering::Relaxed);
+        if retuned < cap {
+            // Shrinking can leave the buffer already over the new fire
+            // threshold; without this, those triples would stall until the
+            // next push or a timeout flush (with `timeout: None`, forever).
+            // Fire every now-eligible chunk immediately.
+            self.fire_chunks(rule, module.buffer.take_full_chunks(retuned));
         }
     }
 
@@ -180,6 +214,99 @@ impl Engine {
             }
         }
     }
+
+    /// Blocks until quiescent (see [`Slider::wait_idle`]).
+    fn wait_idle(&self) {
+        loop {
+            self.flush_all();
+            self.inflight.wait_zero();
+            if self.buffers_empty() && self.inflight.current() == 0 {
+                break;
+            }
+        }
+        if let Some(log) = &self.log {
+            log.record(EventKind::Idle {
+                store_size: self.store.len(),
+            });
+        }
+    }
+
+    /// One serialised DRed run over `triples` (see
+    /// [`Slider::remove_triples`] for the linearisation contract).
+    fn remove_eager(&self, triples: &[Triple]) -> RemovalOutcome {
+        // One maintenance run at a time; concurrent removers queue here.
+        let _serial = self.maintenance.lock();
+        let (outcome, store_size) = self.remove_locked(triples);
+        if let Some(log) = &self.log {
+            log.record(EventKind::Removal {
+                requested: outcome.requested,
+                retracted: outcome.retracted,
+                overdeleted: outcome.overdeleted,
+                rederived: outcome.rederived,
+                store_size,
+            });
+        }
+        outcome
+    }
+
+    /// Drains the deferred-retraction queue and runs one coalesced DRed
+    /// pass over the union (see [`Slider::flush_maintenance`]).
+    fn flush_maintenance(&self) -> RemovalOutcome {
+        let _serial = self.maintenance.lock();
+        // Drained under the maintenance mutex, so two racing flushes
+        // (threshold vs deadline vs explicit) cannot split one pending
+        // generation across two runs.
+        let pending = self.scheduler.drain();
+        if pending.is_empty() {
+            return RemovalOutcome::default();
+        }
+        let (outcome, store_size) = self.remove_locked(&pending);
+        bump(&self.globals.coalesced_runs, 1);
+        if let Some(log) = &self.log {
+            log.record(EventKind::CoalescedRemoval {
+                pending: pending.len(),
+                retracted: outcome.retracted,
+                overdeleted: outcome.overdeleted,
+                rederived: outcome.rederived,
+                store_size,
+            });
+        }
+        outcome
+    }
+
+    /// The shared DRed body: waits for quiescence, runs maintenance under
+    /// the write lock, updates the global counters. The caller must hold
+    /// the maintenance mutex. Returns the outcome and the store size
+    /// captured under the write guard.
+    fn remove_locked(&self, triples: &[Triple]) -> (RemovalOutcome, usize) {
+        let rules: Vec<Arc<dyn Rule>> = self.modules.iter().map(|m| Arc::clone(&m.rule)).collect();
+        let (outcome, store_size) = loop {
+            // Drain all in-flight derivations, then re-check quiescence
+            // *under the write lock*: an `add_triples` that slipped in
+            // after `wait_idle` still holds its inflight token until its
+            // routing is done, so a clean check here means no rule
+            // instance can be holding stale premises. Blocked adders
+            // (waiting on this write lock) proceed after maintenance and
+            // join against the post-removal store — sound either way.
+            self.wait_idle();
+            let mut store = self.store.write();
+            if self.inflight.current() == 0 && self.buffers_empty() {
+                let outcome =
+                    maintenance::dred(&mut store, &rules, &self.graph, triples, self.full_rederive);
+                // Size captured under the guard: racing adders blocked on
+                // the lock must not leak into "store size after
+                // maintenance" reported by the trace event.
+                break (outcome, store.len());
+            }
+        };
+        if outcome.retracted > 0 {
+            bump(&self.globals.removal_runs, 1);
+            bump(&self.globals.retracted, outcome.retracted as u64);
+            bump(&self.globals.overdeleted, outcome.overdeleted as u64);
+            bump(&self.globals.rederived, outcome.rederived as u64);
+        }
+        (outcome, store_size)
+    }
 }
 
 fn worker_loop(engine: Arc<Engine>, rx: Receiver<Job>) {
@@ -194,24 +321,45 @@ fn worker_loop(engine: Arc<Engine>, rx: Receiver<Job>) {
     }
 }
 
-fn flusher_loop(engine: Arc<Engine>, shutdown: Arc<AtomicBool>, timeout: Duration) {
-    // Scan at half the timeout, clamped to [1, 10] ms, so a stale buffer
-    // waits at most ~1.5 × timeout.
-    let tick = (timeout / 2).clamp(Duration::from_millis(1), Duration::from_millis(10));
+fn flusher_loop(
+    engine: Arc<Engine>,
+    shutdown: Arc<AtomicBool>,
+    timeout: Option<Duration>,
+    max_age: Option<Duration>,
+) {
+    // Scan at half the smallest deadline it services, clamped to
+    // [1, 10] ms, so a stale buffer (or pending retraction) waits at most
+    // ~1.5 × its deadline.
+    let base = match (timeout, max_age) {
+        (Some(t), Some(a)) => t.min(a),
+        (Some(t), None) => t,
+        (None, Some(a)) => a,
+        // Unreachable in practice: the flusher is only spawned when at
+        // least one of the two deadlines is configured (see Slider::new).
+        (None, None) => Duration::from_millis(20),
+    };
+    let tick = (base / 2).clamp(Duration::from_millis(1), Duration::from_millis(10));
     while !shutdown.load(Ordering::Relaxed) {
         std::thread::sleep(tick);
-        for (i, module) in engine.modules.iter().enumerate() {
-            engine.inflight.inc();
-            match module.buffer.drain_if_stale(timeout) {
-                Some(delta) => {
-                    bump(&module.counters.timeout_flushes, 1);
-                    if let Some(log) = &engine.log {
-                        log.record(EventKind::TimeoutFlush { rule: i });
+        if let Some(timeout) = timeout {
+            for (i, module) in engine.modules.iter().enumerate() {
+                engine.inflight.inc();
+                match module.buffer.drain_if_stale(timeout) {
+                    Some(delta) => {
+                        bump(&module.counters.timeout_flushes, 1);
+                        if let Some(log) = &engine.log {
+                            log.record(EventKind::TimeoutFlush { rule: i });
+                        }
+                        engine.submit_with_token(i, delta);
                     }
-                    engine.submit_with_token(i, delta);
+                    None => engine.inflight.dec(),
                 }
-                None => engine.inflight.dec(),
             }
+        }
+        // Deferred retractions past the max-age deadline: run the
+        // coalesced flush from here — the scheduler's "timeout" trigger.
+        if engine.scheduler.is_stale() {
+            engine.flush_maintenance();
         }
     }
 }
@@ -288,6 +436,10 @@ impl Slider {
                 .then(|| (base_capacity, base_capacity.saturating_mul(64))),
             maintenance: Mutex::new(()),
             full_rederive: config.full_rederive,
+            scheduler: MaintenanceScheduler::new(
+                config.maintenance_batch,
+                config.maintenance_max_age,
+            ),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
 
@@ -302,12 +454,16 @@ impl Slider {
             })
             .collect();
 
-        let flusher = config.timeout.map(|timeout| {
+        // The flusher services both buffer timeouts and the deferred-
+        // retraction max-age deadline; spawn it if either is configured.
+        let flusher = (config.timeout.is_some() || engine.scheduler.has_deadline()).then(|| {
             let engine = Arc::clone(&engine);
             let shutdown = Arc::clone(&shutdown);
+            let timeout = config.timeout;
+            let max_age = config.maintenance_max_age;
             std::thread::Builder::new()
                 .name("slider-flusher".to_owned())
-                .spawn(move || flusher_loop(engine, shutdown, timeout))
+                .spawn(move || flusher_loop(engine, shutdown, timeout, max_age))
                 .expect("spawn flusher thread")
         });
 
@@ -377,63 +533,77 @@ impl Slider {
     /// Only **explicit** (asserted) triples can be retracted; offering a
     /// derived-only or absent triple is a no-op — a derived fact is not an
     /// assertion, and deleting it would be futile (it is rederivable by
-    /// definition). Returns how many explicit triples were retracted.
+    /// definition). Returns how many explicit triples were retracted;
+    /// [`Slider::remove_triples_outcome`] additionally reports the
+    /// derived-only and not-found no-ops separately.
     ///
     /// Removal is linearised against additions: the call waits for
     /// quiescence (in-flight work from earlier `add_*` calls completes
     /// first), and additions racing this call land either entirely before
     /// or entirely after the maintenance run.
+    ///
+    /// For high-churn streams (a window retracting a batch per arrival),
+    /// prefer [`Slider::remove_deferred`]: it coalesces several retraction
+    /// batches into one DRed run.
     pub fn remove_triples(&self, triples: &[Triple]) -> usize {
         self.remove_triples_outcome(triples).retracted
     }
 
-    /// [`Slider::remove_triples`], returning the full per-phase counters.
+    /// [`Slider::remove_triples`], returning the full per-phase counters —
+    /// including how many offered triples were ignored because they were
+    /// **derived-only** ([`RemovalOutcome::ignored_derived`] — present but
+    /// not asserted, so there was nothing to retract) as opposed to absent
+    /// from the store altogether ([`RemovalOutcome::not_found`]).
     pub fn remove_triples_outcome(&self, triples: &[Triple]) -> RemovalOutcome {
+        self.engine.remove_eager(triples)
+    }
+
+    /// Defers retraction of `triples`: they are enqueued on the
+    /// maintenance scheduler instead of being retracted now, and a single
+    /// **coalesced** DRed run over the whole pending set fires when the
+    /// distinct-pending count reaches
+    /// [`SliderConfig::maintenance_batch`](crate::SliderConfig::maintenance_batch),
+    /// when the oldest pending retraction outlives
+    /// [`SliderConfig::maintenance_max_age`](crate::SliderConfig::maintenance_max_age)
+    /// (serviced by the flusher thread), or when
+    /// [`Slider::flush_maintenance`] is called. Returns how many triples
+    /// were newly enqueued (already-pending duplicates are dropped).
+    ///
+    /// The coalescing invariant: a flush leaves the store exactly where
+    /// the same retractions applied eagerly one batch at a time would have
+    /// — both end at the closure of the surviving explicit triples — while
+    /// paying the overdelete/rederive machinery once instead of N times.
+    /// The trade-off is staleness: until the flush, queries still see the
+    /// pre-retraction closure, and a triple re-asserted while pending is
+    /// retracted by the next flush all the same. Use the eager
+    /// [`Slider::remove_triples`] when retractions must be visible
+    /// immediately. Pending retractions die with the reasoner: call
+    /// [`Slider::flush_maintenance`] before dropping if they must apply.
+    pub fn remove_deferred(&self, triples: &[Triple]) -> usize {
         let engine = &self.engine;
-        // One maintenance run at a time; concurrent removers queue here.
-        let _serial = engine.maintenance.lock();
-        let rules: Vec<Arc<dyn Rule>> =
-            engine.modules.iter().map(|m| Arc::clone(&m.rule)).collect();
-        let (outcome, store_size) = loop {
-            // Drain all in-flight derivations, then re-check quiescence
-            // *under the write lock*: an `add_triples` that slipped in
-            // after `wait_idle` still holds its inflight token until its
-            // routing is done, so a clean check here means no rule
-            // instance can be holding stale premises. Blocked adders
-            // (waiting on this write lock) proceed after maintenance and
-            // join against the post-removal store — sound either way.
-            self.wait_idle();
-            let mut store = engine.store.write();
-            if engine.inflight.current() == 0 && engine.buffers_empty() {
-                let outcome = maintenance::dred(
-                    &mut store,
-                    &rules,
-                    &engine.graph,
-                    triples,
-                    engine.full_rederive,
-                );
-                // Size captured under the guard: racing adders blocked on
-                // the lock must not leak into "store size after
-                // maintenance" reported by the trace event.
-                break (outcome, store.len());
-            }
-        };
-        if outcome.retracted > 0 {
-            bump(&engine.globals.removal_runs, 1);
-            bump(&engine.globals.retracted, outcome.retracted as u64);
-            bump(&engine.globals.overdeleted, outcome.overdeleted as u64);
-            bump(&engine.globals.rederived, outcome.rederived as u64);
+        let (fresh, threshold_hit) = engine.scheduler.enqueue(triples);
+        bump(&engine.globals.deferred, fresh as u64);
+        if threshold_hit {
+            engine.flush_maintenance();
         }
-        if let Some(log) = &engine.log {
-            log.record(EventKind::Removal {
-                requested: outcome.requested,
-                retracted: outcome.retracted,
-                overdeleted: outcome.overdeleted,
-                rederived: outcome.rederived,
-                store_size,
-            });
-        }
-        outcome
+        fresh
+    }
+
+    /// [`Slider::remove_deferred`] over decoded triples; terms are looked
+    /// up (never interned), and triples over unknown terms are skipped, as
+    /// in [`Slider::remove_terms`].
+    pub fn remove_terms_deferred(&self, triples: &[TermTriple]) -> usize {
+        self.remove_deferred(&self.encode_known(triples))
+    }
+
+    /// Flushes the deferred-retraction queue now: drains every pending
+    /// retraction and runs one coalesced DRed pass over the union (see
+    /// [`Slider::remove_deferred`]). A no-op returning an empty outcome
+    /// when nothing is pending. The outcome's
+    /// [`requested`](RemovalOutcome::requested) equals the number of
+    /// distinct pending retractions drained.
+    pub fn flush_maintenance(&self) -> RemovalOutcome {
+        self.engine.flush_maintenance()
     }
 
     /// Retracts one encoded triple; returns `true` if it was an explicit
@@ -447,14 +617,19 @@ impl Slider {
     /// the store and is skipped. Returns how many explicit triples were
     /// retracted.
     pub fn remove_terms(&self, triples: &[TermTriple]) -> usize {
+        self.remove_triples(&self.encode_known(triples))
+    }
+
+    /// Encodes decoded triples by dictionary lookup only, skipping triples
+    /// over unknown terms (the `remove_*` path: never interns).
+    fn encode_known(&self, triples: &[TermTriple]) -> Vec<Triple> {
         let dict = &self.engine.dict;
-        let encoded: Vec<Triple> = triples
+        triples
             .iter()
             .filter_map(|(s, p, o)| {
                 Some(Triple::new(dict.id_of(s)?, dict.id_of(p)?, dict.id_of(o)?))
             })
-            .collect();
-        self.remove_triples(&encoded)
+            .collect()
     }
 
     /// Force-flushes all buffers without waiting.
@@ -468,20 +643,10 @@ impl Slider {
     ///
     /// Quiescence is relative to inputs already fed; a concurrent
     /// `add_triples` extends the work and the method keeps waiting for it.
+    /// Deferred retractions ([`Slider::remove_deferred`]) are *not* work in
+    /// this sense — they stay pending until their own trigger fires.
     pub fn wait_idle(&self) {
-        let engine = &self.engine;
-        loop {
-            engine.flush_all();
-            engine.inflight.wait_zero();
-            if engine.buffers_empty() && engine.inflight.current() == 0 {
-                break;
-            }
-        }
-        if let Some(log) = &engine.log {
-            log.record(EventKind::Idle {
-                store_size: engine.store.len(),
-            });
-        }
+        self.engine.wait_idle();
     }
 
     /// Convenience: feed a batch and wait for its closure. Returns the
@@ -546,6 +711,9 @@ impl Slider {
             retracted: engine.globals.retracted.load(Ordering::Relaxed),
             overdeleted: engine.globals.overdeleted.load(Ordering::Relaxed),
             rederived: engine.globals.rederived.load(Ordering::Relaxed),
+            deferred: engine.globals.deferred.load(Ordering::Relaxed),
+            pending_removals: engine.scheduler.pending(),
+            coalesced_runs: engine.globals.coalesced_runs.load(Ordering::Relaxed),
         }
     }
 
@@ -558,14 +726,18 @@ impl Slider {
 impl Drop for Slider {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
+        // Join the flusher *before* stopping the workers: a deadline-
+        // triggered `flush_maintenance` may be waiting for quiescence,
+        // which only the still-running workers can provide — stopping them
+        // first could strand the flusher (and this join) forever.
+        if let Some(handle) = self.flusher.take() {
+            let _ = handle.join();
+        }
         for _ in &self.workers {
             // Queued Run jobs drain first; workers then stop.
             let _ = self.engine.job_tx.send(Job::Stop);
         }
         for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
-        if let Some(handle) = self.flusher.take() {
             let _ = handle.join();
         }
     }
@@ -941,5 +1113,52 @@ mod tests {
         for r in &slider.stats().rules {
             assert_eq!(r.buffer_capacity, 77, "{}", r.name);
         }
+    }
+
+    /// Regression (adaptive shrink stall): when a retune lowers a module's
+    /// capacity below its current queue length, the now-eligible chunks
+    /// must fire *at retune time* — with no timeout flusher and no further
+    /// pushes, they previously stalled until an explicit flush.
+    #[test]
+    fn adaptive_shrink_fires_already_buffered_chunks() {
+        // No buffer timeout and no maintenance deadline: nothing but the
+        // retune itself can flush a stalled buffer.
+        let config = SliderConfig::batch()
+            .with_buffer_capacity(4)
+            .with_adaptive_buffers(true)
+            .with_maintenance_max_age(None);
+        let slider = rho_slider(config);
+        let engine = &slider.engine;
+
+        // Find the subClassOf-transitivity module and simulate a grown
+        // plan: capacity 16 with 8 triples sitting in its buffer (inserted
+        // into the store first, as the real dispatch path does).
+        let input = chain(9); // 8 sco links
+        let rule = engine
+            .modules
+            .iter()
+            .position(|m| m.rule.name() == "SCM-SCO")
+            .expect("the subClassOf-transitivity module");
+        let module = &engine.modules[rule];
+        module.capacity.store(16, Ordering::Relaxed);
+        let mut fresh = Vec::new();
+        engine.store.insert_batch_explicit(&input, &mut fresh);
+        assert!(module.buffer.push_batch_with(&input, 16).is_empty());
+        assert_eq!(module.buffer.len(), 8);
+
+        // A productive instance (fresh/derived > 0.5) shrinks 16 → 8: the
+        // 8 buffered triples are exactly one now-eligible chunk.
+        engine.retune(rule, 10, 9);
+        assert_eq!(module.capacity.load(Ordering::Relaxed), 8);
+        engine.inflight.wait_zero();
+        // The fired instance really ran: the chain's 2-step closure exists.
+        // (The buffer need not be empty — the instance's own conclusions
+        // legitimately re-buffer, SCM-SCO being its own successor.)
+        assert!(
+            slider.store().contains(sco(1, 3)),
+            "buffered chunk stalled through the shrink"
+        );
+        let stats = slider.stats();
+        assert!(stats.rules[rule].full_flushes >= 1);
     }
 }

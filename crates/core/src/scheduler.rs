@@ -1,0 +1,191 @@
+//! Coalesced maintenance scheduling — batching DRed runs for high churn.
+//!
+//! A sliding window over a fast stream retracts a batch per arrival; paying
+//! a full overdelete/rederive cycle for each one (the eager
+//! [`Slider::remove_triples`](crate::Slider::remove_triples) path) wastes
+//! most of its time on per-run overhead: waiting for quiescence, taking the
+//! write lock, scoping the rules, and re-scanning the deleted set during
+//! rederivation. One DRed pass over the *union* of several expiring batches
+//! does the same downward-closure walk once — the classic amortisation of
+//! tick-based incremental window maintenance.
+//!
+//! `MaintenanceScheduler` (crate-private; driven through the
+//! [`Slider`](crate::Slider) methods below) is the pending set behind
+//! [`Slider::remove_deferred`](crate::Slider::remove_deferred): retractions
+//! are enqueued (deduplicated, FIFO) instead of applied, and a single
+//! coalesced run fires on any of three triggers:
+//!
+//! 1. **pending-count threshold** — the distinct pending set reaches
+//!    [`SliderConfig::maintenance_batch`](crate::SliderConfig::maintenance_batch);
+//! 2. **max-age deadline** — the oldest pending retraction has waited
+//!    [`SliderConfig::maintenance_max_age`](crate::SliderConfig::maintenance_max_age),
+//!    serviced by the reasoner's flusher thread;
+//! 3. **explicit flush** —
+//!    [`Slider::flush_maintenance`](crate::Slider::flush_maintenance).
+//!
+//! The coalescing invariant (pinned against the recompute oracle in
+//! `tests/retraction.rs`): a coalesced flush leaves the store exactly where
+//! N eager removals would have — both end at the closure of the surviving
+//! explicit triples. Between enqueue and flush the retractions are simply
+//! *not applied yet*: queries see the pre-retraction closure, and a triple
+//! re-asserted while pending is still retracted by the next flush.
+
+use parking_lot::Mutex;
+use slider_model::{FxHashSet, Triple};
+use std::time::{Duration, Instant};
+
+/// The deferred-retraction queue: distinct pending triples in FIFO order,
+/// plus the age of the oldest one.
+struct Pending {
+    /// Distinct pending retractions, in first-enqueue order.
+    queue: Vec<Triple>,
+    /// Dedup set mirroring `queue`.
+    seen: FxHashSet<Triple>,
+    /// When the oldest pending retraction was enqueued (`None` when empty).
+    since: Option<Instant>,
+}
+
+/// Pending retractions awaiting a coalesced DRed run (see the module docs
+/// for the trigger semantics).
+pub(crate) struct MaintenanceScheduler {
+    inner: Mutex<Pending>,
+    /// Distinct-pending threshold that requests a coalesced run.
+    batch: usize,
+    /// Age of the oldest pending retraction after which the flusher thread
+    /// forces a run; `None` disables the deadline.
+    max_age: Option<Duration>,
+}
+
+impl MaintenanceScheduler {
+    /// An empty scheduler firing at `batch` distinct pending retractions
+    /// (clamped to ≥ 1) or after `max_age`.
+    pub(crate) fn new(batch: usize, max_age: Option<Duration>) -> Self {
+        MaintenanceScheduler {
+            inner: Mutex::new(Pending {
+                queue: Vec::new(),
+                seen: FxHashSet::default(),
+                since: None,
+            }),
+            batch: batch.max(1),
+            max_age,
+        }
+    }
+
+    /// Enqueues `triples` (duplicates of already-pending triples are
+    /// dropped). Returns `(newly_enqueued, threshold_reached)`; the caller
+    /// is responsible for flushing when the threshold is reported.
+    pub(crate) fn enqueue(&self, triples: &[Triple]) -> (usize, bool) {
+        let mut inner = self.inner.lock();
+        let before = inner.queue.len();
+        for &t in triples {
+            if inner.seen.insert(t) {
+                inner.queue.push(t);
+            }
+        }
+        let after = inner.queue.len();
+        if before == 0 && after > 0 {
+            inner.since = Some(Instant::now());
+        }
+        (after - before, after >= self.batch)
+    }
+
+    /// Takes the whole pending set (FIFO order), resetting the age clock.
+    pub(crate) fn drain(&self) -> Vec<Triple> {
+        let mut inner = self.inner.lock();
+        inner.seen.clear();
+        inner.since = None;
+        std::mem::take(&mut inner.queue)
+    }
+
+    /// Number of distinct retractions currently pending.
+    pub(crate) fn pending(&self) -> usize {
+        self.inner.lock().queue.len()
+    }
+
+    /// True if a max-age deadline is configured and the oldest pending
+    /// retraction has outlived it — the flusher thread's trigger.
+    pub(crate) fn is_stale(&self) -> bool {
+        let Some(max_age) = self.max_age else {
+            return false;
+        };
+        self.inner
+            .lock()
+            .since
+            .is_some_and(|since| since.elapsed() >= max_age)
+    }
+
+    /// True if a max-age deadline is configured (the flusher thread only
+    /// polls staleness when it is).
+    pub(crate) fn has_deadline(&self) -> bool {
+        self.max_age.is_some()
+    }
+}
+
+impl std::fmt::Debug for MaintenanceScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MaintenanceScheduler")
+            .field("pending", &self.pending())
+            .field("batch", &self.batch)
+            .field("max_age", &self.max_age)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slider_model::NodeId;
+
+    fn t(v: u64) -> Triple {
+        Triple::new(NodeId(v), NodeId(0), NodeId(v))
+    }
+
+    #[test]
+    fn enqueue_dedups_and_reports_threshold() {
+        let s = MaintenanceScheduler::new(3, None);
+        assert_eq!(s.enqueue(&[t(1), t(2), t(1)]), (2, false));
+        assert_eq!(s.pending(), 2);
+        // Already-pending triples do not re-enqueue…
+        assert_eq!(s.enqueue(&[t(2)]), (0, false));
+        // …and the threshold counts distinct triples.
+        assert_eq!(s.enqueue(&[t(3)]), (1, true));
+        assert_eq!(s.pending(), 3);
+    }
+
+    #[test]
+    fn drain_preserves_fifo_and_resets() {
+        let s = MaintenanceScheduler::new(100, None);
+        s.enqueue(&[t(2), t(1)]);
+        s.enqueue(&[t(3), t(2)]);
+        assert_eq!(s.drain(), vec![t(2), t(1), t(3)]);
+        assert_eq!(s.pending(), 0);
+        assert!(s.drain().is_empty());
+        // A drained triple may be deferred again.
+        assert_eq!(s.enqueue(&[t(1)]), (1, false));
+    }
+
+    #[test]
+    fn staleness_tracks_oldest_enqueue() {
+        let s = MaintenanceScheduler::new(100, Some(Duration::ZERO));
+        assert!(s.has_deadline());
+        assert!(!s.is_stale(), "empty queue is never stale");
+        s.enqueue(&[t(1)]);
+        assert!(s.is_stale(), "zero max-age is immediately stale");
+        s.drain();
+        assert!(!s.is_stale(), "drain resets the age clock");
+    }
+
+    #[test]
+    fn no_deadline_is_never_stale() {
+        let s = MaintenanceScheduler::new(1, None);
+        assert!(!s.has_deadline());
+        s.enqueue(&[t(1)]);
+        assert!(!s.is_stale());
+    }
+
+    #[test]
+    fn zero_batch_clamped_to_one() {
+        let s = MaintenanceScheduler::new(0, None);
+        assert_eq!(s.enqueue(&[t(1)]), (1, true));
+    }
+}

@@ -37,6 +37,12 @@ pub(crate) struct GlobalCounters {
     /// Overdeleted triples restored by the rederivation phase (they had an
     /// alternative derivation from surviving facts).
     pub rederived: AtomicU64,
+    /// Distinct retractions enqueued by `remove_deferred` (whether or not
+    /// they have been flushed yet).
+    pub deferred: AtomicU64,
+    /// Coalesced maintenance runs: flushes of the deferred queue that
+    /// drained at least one pending retraction into a single DRed pass.
+    pub coalesced_runs: AtomicU64,
 }
 
 #[inline]
@@ -96,6 +102,15 @@ pub struct StatsSnapshot {
     pub overdeleted: u64,
     /// Overdeleted triples restored by rederivation.
     pub rederived: u64,
+    /// Distinct retractions ever enqueued by `remove_deferred`.
+    pub deferred: u64,
+    /// Deferred retractions still pending (enqueued, not yet flushed).
+    pub pending_removals: usize,
+    /// Coalesced maintenance runs (non-empty `flush_maintenance` passes,
+    /// whether explicit, threshold- or deadline-triggered). Each coalesced
+    /// run also counts towards [`StatsSnapshot::removal_runs`] when it
+    /// retracted at least one explicit triple.
+    pub coalesced_runs: u64,
 }
 
 impl StatsSnapshot {
@@ -143,6 +158,13 @@ impl std::fmt::Display for StatsSnapshot {
                 self.removal_runs, self.retracted, self.overdeleted, self.rederived
             )?;
         }
+        if self.deferred > 0 {
+            writeln!(
+                f,
+                "deferred: {} enqueued, {} pending, {} coalesced runs",
+                self.deferred, self.pending_removals, self.coalesced_runs
+            )?;
+        }
         writeln!(
             f,
             "{:<10} {:>8} {:>8} {:>8} {:>10} {:>10} {:>10}",
@@ -187,6 +209,9 @@ mod tests {
             retracted: 0,
             overdeleted: 0,
             rederived: 0,
+            deferred: 0,
+            pending_removals: 0,
+            coalesced_runs: 0,
         }
     }
 
@@ -215,6 +240,13 @@ mod tests {
         with_removals.rederived = 1;
         let text = with_removals.to_string();
         assert!(text.contains("removals: 1 runs, 2 retracted, 3 overdeleted, 1 rederived"));
+        // Deferred line only appears once something was deferred.
+        assert!(!text.contains("deferred:"));
+        with_removals.deferred = 5;
+        with_removals.pending_removals = 2;
+        with_removals.coalesced_runs = 1;
+        let text = with_removals.to_string();
+        assert!(text.contains("deferred: 5 enqueued, 2 pending, 1 coalesced runs"));
     }
 
     #[test]

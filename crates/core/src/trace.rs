@@ -55,6 +55,20 @@ pub enum EventKind {
         /// Store size after maintenance.
         store_size: usize,
     },
+    /// A coalesced maintenance run: deferred retractions flushed as one
+    /// DRed pass (threshold-, deadline- or explicitly triggered).
+    CoalescedRemoval {
+        /// Distinct pending retractions drained into this run.
+        pending: usize,
+        /// Explicit triples actually retracted.
+        retracted: usize,
+        /// Derived triples deleted during overdeletion.
+        overdeleted: usize,
+        /// Overdeleted triples restored by rederivation.
+        rederived: usize,
+        /// Store size after maintenance.
+        store_size: usize,
+    },
     /// The reasoner reached quiescence.
     Idle {
         /// Store size at quiescence.
@@ -170,6 +184,18 @@ pub fn events_to_json(events: &[Event]) -> String {
                     r#"{{"at_us":{us},"type":"removal","requested":{requested},"retracted":{retracted},"overdeleted":{overdeleted},"rederived":{rederived},"store_size":{store_size}}}"#
                 );
             }
+            EventKind::CoalescedRemoval {
+                pending,
+                retracted,
+                overdeleted,
+                rederived,
+                store_size,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"at_us":{us},"type":"coalesced_removal","pending":{pending},"retracted":{retracted},"overdeleted":{overdeleted},"rederived":{rederived},"store_size":{store_size}}}"#
+                );
+            }
             EventKind::Idle { store_size } => {
                 let _ = write!(
                     out,
@@ -253,6 +279,13 @@ mod tests {
             rederived: 1,
             store_size: 2,
         });
+        log.record(EventKind::CoalescedRemoval {
+            pending: 7,
+            retracted: 6,
+            overdeleted: 9,
+            rederived: 2,
+            store_size: 4,
+        });
         log.record(EventKind::Idle { store_size: 5 });
         let json = events_to_json(&log.events());
         assert!(json.starts_with('['));
@@ -263,12 +296,13 @@ mod tests {
             r#""type":"timeout_flush","rule":3"#,
             r#""type":"rule_fired","rule":2,"delta":4,"derived":6,"fresh":1,"store_size":5"#,
             r#""type":"removal","requested":3,"retracted":2,"overdeleted":4,"rederived":1,"store_size":2"#,
+            r#""type":"coalesced_removal","pending":7,"retracted":6,"overdeleted":9,"rederived":2,"store_size":4"#,
             r#""type":"idle","store_size":5"#,
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
-        // 5 separators for 6 events.
-        assert_eq!(json.matches("},{").count(), 5);
+        // 6 separators for 7 events.
+        assert_eq!(json.matches("},{").count(), 6);
     }
 
     #[test]

@@ -220,14 +220,21 @@ impl<'a> Scanner<'a> {
         // N-Triples).
         while let Some(c) = self.peek() {
             if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' {
-                // '.' may not terminate a label; handle by lookahead below.
+                // '.' may not terminate a label; the grammar allows medial
+                // dots — including runs of them (`_:a..b`) — so keep a dot
+                // only if a label character follows the whole run.
                 if c == '.' {
-                    // Only keep the dot if another label char follows.
                     let mut iter = self.rest.chars();
-                    iter.next();
-                    match iter.next() {
-                        Some(n) if n.is_alphanumeric() || n == '_' || n == '-' => {}
-                        _ => break,
+                    iter.next(); // the current '.'
+                    let keeps = loop {
+                        match iter.next() {
+                            Some('.') => {}
+                            Some(n) if n.is_alphanumeric() || n == '_' || n == '-' => break true,
+                            _ => break false,
+                        }
+                    };
+                    if !keeps {
+                        break;
                     }
                 }
                 label.push(c);
@@ -370,6 +377,17 @@ mod tests {
         // No space before the dot: label must stop before '.'.
         let ts = parse_all("_:a <http://e/p> _:b.\n");
         assert_eq!(ts[0].2, Term::blank("b"));
+    }
+
+    #[test]
+    fn blank_node_label_with_consecutive_medial_dots() {
+        // Regression: `(PN_CHARS | '.')* PN_CHARS` allows dot runs inside a
+        // label; only a trailing dot terminates the statement.
+        let ts = parse_all("_:a..b <http://e/p> _:x.y..z .\n");
+        assert_eq!(ts[0].0, Term::blank("a..b"));
+        assert_eq!(ts[0].2, Term::blank("x.y..z"));
+        let ts = parse_all("_:s <http://e/p> _:e..f.\n");
+        assert_eq!(ts[0].2, Term::blank("e..f"));
     }
 
     #[test]

@@ -538,6 +538,24 @@ impl<R: BufRead> CharStream<R> {
             if c.is_alphanumeric() || c == '_' || c == '-' {
                 label.push(c);
                 self.bump()?;
+            } else if c == '.' {
+                // Medial dots — including runs (`_:a..b`) — are part of
+                // the label per BLANK_NODE_LABEL; a trailing dot is the
+                // statement terminator. Keep the dot only if a label
+                // character follows the whole run.
+                let mut k = 1usize;
+                let keeps = loop {
+                    match self.peek_at(k)? {
+                        Some('.') => k += 1,
+                        Some(n) if n.is_alphanumeric() || n == '_' || n == '-' => break true,
+                        _ => break false,
+                    }
+                };
+                if !keeps {
+                    break;
+                }
+                label.push(c);
+                self.bump()?;
             } else {
                 break;
             }
@@ -831,6 +849,17 @@ mod tests {
     fn trailing_semicolon_tolerated() {
         let ts = parse_all("@prefix ex: <http://e/> .\nex:s ex:p ex:o ; .\n");
         assert_eq!(ts.len(), 1);
+    }
+
+    #[test]
+    fn labelled_blank_node_with_medial_dots() {
+        // Regression: BLANK_NODE_LABEL allows medial dots (even runs); a
+        // trailing dot is the statement terminator.
+        let ts = parse_all("_:b1.c <http://e/p> _:x..y .\n");
+        assert_eq!(ts[0].0, Term::blank("b1.c"));
+        assert_eq!(ts[0].2, Term::blank("x..y"));
+        let ts = parse_all("_:s <http://e/p> _:e.f.\n");
+        assert_eq!(ts[0].2, Term::blank("e.f"));
     }
 
     #[test]

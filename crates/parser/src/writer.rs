@@ -252,4 +252,111 @@ mod tests {
         );
         assert!(encoded_to_ntriples_string(&[bogus], &dict).is_err());
     }
+
+    // ---------- writer ↔ parser round-trip property tests ------------------
+    //
+    // The writer's escaping must agree with BOTH parsers: the N-Triples
+    // parser (the canonical reader of its output) and the Turtle parser
+    // (N-Triples is a Turtle subset, and mixed pipelines reparse writer
+    // output as Turtle). Generated terms deliberately include every
+    // character class that needs escaping: IRI-forbidden characters
+    // (`<>"{}|^`\` and controls), literals with quotes/newlines/langtags,
+    // and blank labels with medial dots.
+
+    mod roundtrip_props {
+        use super::*;
+        use crate::turtle::TurtleParser;
+        use proptest::prelude::*;
+
+        /// Characters N-Triples forbids raw inside IRIREF — the writer
+        /// must `\u`-escape every one of them.
+        fn iri_hostile() -> impl Strategy<Value = String> {
+            prop_oneof![
+                Just("<"),
+                Just(">"),
+                Just("\""),
+                Just("{"),
+                Just("}"),
+                Just("|"),
+                Just("^"),
+                Just("`"),
+                Just("\\"),
+                Just(" "),
+                Just("\t"),
+                Just("\n"),
+                Just("\u{1}"),
+                Just("é"),
+                Just("😀"),
+            ]
+            .prop_map(str::to_owned)
+        }
+
+        fn iri() -> impl Strategy<Value = Term> {
+            (
+                "[a-zA-Z0-9/#.-]{0,8}",
+                iri_hostile(),
+                "[a-zA-Z0-9/#.-]{0,8}",
+                iri_hostile(),
+            )
+                .prop_map(|(a, h1, b, h2)| Term::iri(format!("http://e/{a}{h1}{b}{h2}")))
+        }
+
+        /// Blank labels including medial dots (valid per the W3C grammar:
+        /// `_:b1.c`, `_:a..b`), never leading or trailing.
+        fn blank() -> impl Strategy<Value = Term> {
+            prop_oneof![
+                "[A-Za-z0-9][A-Za-z0-9_-]{0,6}".prop_map(Term::blank),
+                ("[A-Za-z0-9]{1,4}", "[.]{1,2}", "[A-Za-z0-9]{1,4}")
+                    .prop_map(|(a, dots, b)| Term::blank(format!("{a}{dots}{b}"))),
+            ]
+        }
+
+        fn literal() -> impl Strategy<Value = Term> {
+            // `any::<String>()` includes control characters, quotes,
+            // backslashes and non-ASCII codepoints.
+            (any::<String>(), 0u8..3, "[a-zA-Z]{1,3}", "[a-z0-9]{1,4}").prop_map(
+                |(lexical, kind, tag, subtag)| {
+                    Term::Literal(match kind {
+                        0 => Literal::plain(lexical),
+                        1 => Literal::lang(lexical, format!("{tag}-{subtag}")),
+                        _ => Literal::typed(lexical, format!("http://e/dt#{subtag}")),
+                    })
+                },
+            )
+        }
+
+        fn subject() -> impl Strategy<Value = Term> {
+            prop_oneof![iri(), blank()]
+        }
+
+        fn object() -> impl Strategy<Value = Term> {
+            prop_oneof![iri(), blank(), literal()]
+        }
+
+        fn triple() -> impl Strategy<Value = TermTriple> {
+            (subject(), iri(), object())
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+            #[test]
+            fn ntriples_roundtrip(triples in prop::collection::vec(triple(), 1..4)) {
+                let doc = to_ntriples_string(&triples);
+                let reparsed: Vec<TermTriple> = NTriplesParser::new(doc.as_bytes())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| TestCaseError::fail(format!("{e} in {doc:?}")))?;
+                prop_assert_eq!(&reparsed, &triples, "document was {:?}", doc);
+            }
+
+            #[test]
+            fn turtle_roundtrip(triples in prop::collection::vec(triple(), 1..4)) {
+                let doc = to_ntriples_string(&triples);
+                let reparsed: Vec<TermTriple> = TurtleParser::new(doc.as_bytes())
+                    .collect::<Result<_, _>>()
+                    .map_err(|e| TestCaseError::fail(format!("{e} in {doc:?}")))?;
+                prop_assert_eq!(&reparsed, &triples, "document was {:?}", doc);
+            }
+        }
+    }
 }

@@ -10,7 +10,13 @@
 //!   (geometric gaps: back-to-back bursts with occasional long pauses);
 //! * [`SlidingWindow`] — a count-based window that pairs each arrival
 //!   batch with the batch expiring out of the window, feeding the
-//!   retraction path (`Slider::remove_terms`) instead of a rebuild.
+//!   retraction path (`Slider::remove_terms`) instead of a rebuild;
+//! * [`TimedWindow`] — a **time-based** window over a [`TimedStream`]:
+//!   every batch is stamped with its virtual arrival time (the cumulative
+//!   inter-arrival gaps) and expires by *timestamp*, not batch count, so a
+//!   bursty schedule expires several batches at once after a long pause —
+//!   the high-churn shape the coalesced maintenance scheduler
+//!   (`Slider::remove_deferred`) amortises.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -44,12 +50,11 @@ impl TimedStream {
         }
     }
 
-    /// A bursty schedule with geometric inter-arrival gaps: each batch
-    /// waits `k · tick` where `k ~ Geometric(continue_prob)`
-    /// (`P(k) = (1−p)·pᵏ`), so most batches arrive back-to-back (`k = 0`)
+    /// A bursty schedule with geometric inter-arrival gaps (see
+    /// [`bursty_gaps`]): most batches arrive back-to-back (`k = 0` ticks)
     /// with occasional long quiet stretches — the classic bursty-traffic
-    /// shape the uniform schedule can't exercise. The mean gap is
-    /// `tick · p/(1−p)`. Deterministic per `seed`.
+    /// shape the uniform schedule can't exercise. Deterministic per
+    /// `seed`.
     ///
     /// Panics unless `0.0 <= continue_prob < 1.0`.
     pub fn bursty(
@@ -59,27 +64,10 @@ impl TimedStream {
         continue_prob: f64,
         seed: u64,
     ) -> Self {
-        assert!(
-            (0.0..1.0).contains(&continue_prob),
-            "continue_prob must be in [0, 1)"
-        );
-        let mut rng = StdRng::seed_from_u64(seed);
-        // Geometric sampling by coin flips on a 2^-53-grained uniform.
-        let mut geometric = move || {
-            let mut k = 0u32;
-            loop {
-                let unit = rng.random_range(0u64..1 << 53) as f64 / (1u64 << 53) as f64;
-                if unit >= continue_prob {
-                    return k;
-                }
-                k += 1;
-            }
-        };
+        let batches = batches(triples, batch_size);
+        let gaps = bursty_gaps(batches.len(), tick, continue_prob, seed);
         TimedStream {
-            items: batches(triples, batch_size)
-                .into_iter()
-                .map(|b| (tick * geometric(), b))
-                .collect(),
+            items: gaps.into_iter().zip(batches).collect(),
         }
     }
 
@@ -196,6 +184,192 @@ impl SlidingWindow {
                 std::thread::sleep(self.gap);
             }
             deliver(step.arrival, step.expiring);
+        }
+    }
+}
+
+/// `n` bursty inter-arrival gaps: each is `k · tick` where
+/// `k ~ Geometric(continue_prob)` (`P(k) = (1−p)·pᵏ`, mean gap
+/// `tick · p/(1−p)`), sampled by coin flips on a 2⁻⁵³-grained uniform.
+/// The single source of the bursty shape — [`TimedStream::bursty`] and
+/// the `retraction` bench's virtual clock both draw from here, so they
+/// cannot drift apart. Deterministic per `seed`.
+///
+/// Panics unless `0.0 <= continue_prob < 1.0`.
+pub fn bursty_gaps(n: usize, tick: Duration, continue_prob: f64, seed: u64) -> Vec<Duration> {
+    assert!(
+        (0.0..1.0).contains(&continue_prob),
+        "continue_prob must be in [0, 1)"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut geometric = move || {
+        let mut k = 0u32;
+        loop {
+            let unit = rng.random_range(0u64..1 << 53) as f64 / (1u64 << 53) as f64;
+            if unit >= continue_prob {
+                return k;
+            }
+            k += 1;
+        }
+    };
+    (0..n).map(|_| tick * geometric()).collect()
+}
+
+/// Virtual-time expiry computation, shared by [`TimedWindow`] and the
+/// `retraction` bench: given each batch's virtual arrival time (monotone
+/// non-decreasing) and a window length, returns for each step the indices
+/// of the batches expiring at that step — batch `j` expires at the first
+/// step `i` with `times[j] + window <= times[i]`. A batch never expires at
+/// its own step (the window must be non-zero).
+///
+/// Panics if `window` is zero or `times` is not sorted.
+pub fn expirations(times: &[Duration], window: Duration) -> Vec<Vec<usize>> {
+    assert!(window > Duration::ZERO, "window must be non-zero");
+    assert!(
+        times.windows(2).all(|w| w[0] <= w[1]),
+        "virtual times must be monotone"
+    );
+    let mut cursor = 0usize; // first batch still live
+    times
+        .iter()
+        .enumerate()
+        .map(|(i, &now)| {
+            let mut expiring = Vec::new();
+            while cursor < i && times[cursor] + window <= now {
+                expiring.push(cursor);
+                cursor += 1;
+            }
+            expiring
+        })
+        .collect()
+}
+
+/// One step of a [`TimedWindow`]: the arrival, its virtual timestamp, and
+/// every batch whose timestamp has aged out of the window by then.
+#[derive(Debug, Clone)]
+pub struct TimedWindowStep<'a> {
+    /// Zero-based step index (= index of the arriving batch).
+    pub index: usize,
+    /// Virtual arrival time of this batch (cumulative inter-arrival gaps).
+    pub at: Duration,
+    /// Real inter-arrival gap before this batch (what [`TimedWindow::play`]
+    /// sleeps).
+    pub gap: Duration,
+    /// The batch entering the window.
+    pub arrival: &'a [TermTriple],
+    /// Every batch expiring at this step — empty most steps, several at
+    /// once after a long pause (none until the window first fills).
+    pub expiring: Vec<&'a [TermTriple]>,
+}
+
+/// A time-based sliding window over a [`TimedStream`].
+///
+/// Unlike [`SlidingWindow`] (count-based: step `i` expires batch
+/// `i − window`), a `TimedWindow` stamps every batch with its **virtual
+/// arrival time** — the cumulative inter-arrival gaps of the underlying
+/// stream — and expires batches whose timestamp is older than `window`
+/// before the current arrival. Composed with
+/// [`TimedStream::bursty`], this produces the bursty churn profile:
+/// back-to-back arrivals expire nothing, then one arrival after a long
+/// pause expires a whole run of batches at once. Streaming consumers feed
+/// those to `Slider::remove_terms_deferred` and let the maintenance
+/// scheduler coalesce them into a single DRed pass
+/// (`examples/streaming_sensor.rs` drives exactly this shape).
+#[derive(Debug, Clone)]
+pub struct TimedWindow {
+    /// `(virtual arrival time, real gap before arrival, batch)`.
+    items: Vec<(Duration, Duration, Vec<TermTriple>)>,
+    window: Duration,
+}
+
+impl TimedWindow {
+    /// Stamps each batch of `stream` with its virtual arrival time and
+    /// expires by timestamp with a window of `window`.
+    ///
+    /// Panics if `window` is zero (everything would expire on arrival).
+    pub fn from_stream(stream: &TimedStream, window: Duration) -> Self {
+        assert!(window > Duration::ZERO, "window must be non-zero");
+        let mut at = Duration::ZERO;
+        TimedWindow {
+            items: stream
+                .iter()
+                .map(|(gap, batch)| {
+                    at += *gap;
+                    (at, *gap, batch.clone())
+                })
+                .collect(),
+            window,
+        }
+    }
+
+    /// Uniform-schedule convenience: `batch_size` batches every `gap`,
+    /// expiring after `window`.
+    pub fn uniform(
+        triples: &[TermTriple],
+        batch_size: usize,
+        gap: Duration,
+        window: Duration,
+    ) -> Self {
+        TimedWindow::from_stream(&TimedStream::uniform(triples, batch_size, gap), window)
+    }
+
+    /// Number of steps (= number of arrival batches).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the stream has no batches.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Window length (virtual time).
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Iterates the steps: each arrival paired with every batch that ages
+    /// out of the window at that step.
+    pub fn steps(&self) -> impl Iterator<Item = TimedWindowStep<'_>> {
+        let times: Vec<Duration> = self.items.iter().map(|(at, _, _)| *at).collect();
+        let expiry = expirations(&times, self.window);
+        self.items
+            .iter()
+            .zip(expiry)
+            .enumerate()
+            .map(|(i, ((at, gap, batch), expiring))| TimedWindowStep {
+                index: i,
+                at: *at,
+                gap: *gap,
+                arrival: batch,
+                expiring: expiring
+                    .into_iter()
+                    .map(|j| self.items[j].2.as_slice())
+                    .collect(),
+            })
+    }
+
+    /// The batches still live after the last arrival: those within
+    /// `window` of the final virtual timestamp, in arrival order.
+    pub fn live_tail(&self) -> Vec<&[TermTriple]> {
+        let Some(&(last, _, _)) = self.items.last() else {
+            return Vec::new();
+        };
+        self.items
+            .iter()
+            .filter(|(at, _, _)| *at + self.window > last)
+            .map(|(_, _, batch)| batch.as_slice())
+            .collect()
+    }
+
+    /// Plays the window in real time: sleeps each gap, then hands the step
+    /// to `deliver`.
+    pub fn play(&self, mut deliver: impl FnMut(TimedWindowStep<'_>)) {
+        for step in self.steps() {
+            if !step.gap.is_zero() {
+                std::thread::sleep(step.gap);
+            }
+            deliver(step);
         }
     }
 }
@@ -346,5 +520,130 @@ mod tests {
     #[should_panic(expected = "window")]
     fn zero_window_rejected() {
         let _ = SlidingWindow::new(&data(2), 1, 0, Duration::ZERO);
+    }
+
+    #[test]
+    fn expirations_group_by_timestamp() {
+        let ms = Duration::from_millis;
+        // Arrivals at 0, 0, 1, 5, 5, 9 ms with a 4 ms window.
+        let times = [ms(0), ms(0), ms(1), ms(5), ms(5), ms(9)];
+        let expiry = expirations(&times, ms(4));
+        // Step 3 (t=5): batches 0, 1 (t=0, 0+4 ≤ 5) and 2 (1+4 ≤ 5) all
+        // expire at once; step 5 (t=9) expires 3 and 4 (5+4 ≤ 9).
+        assert_eq!(
+            expiry,
+            vec![vec![], vec![], vec![], vec![0, 1, 2], vec![], vec![3, 4]]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn expirations_reject_zero_window() {
+        let _ = expirations(&[Duration::ZERO], Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn expirations_reject_unsorted_times() {
+        let _ = expirations(
+            &[Duration::from_millis(2), Duration::from_millis(1)],
+            Duration::from_millis(1),
+        );
+    }
+
+    #[test]
+    fn timed_window_expires_by_timestamp_not_count() {
+        let d = data(12); // 6 batches of 2
+        let ms = Duration::from_millis;
+        let w = TimedWindow::uniform(&d, 2, ms(10), ms(25));
+        assert_eq!(w.len(), 6);
+        assert_eq!(w.window(), ms(25));
+        assert!(!w.is_empty());
+        let steps: Vec<_> = w.steps().collect();
+        // Uniform arrivals at 10, 20, …, 60 ms; batch j (at 10(j+1)) expires
+        // at the first step with 10(j+1) + 25 ≤ 10(i+1), i.e. i = j + 3.
+        for (i, step) in steps.iter().enumerate() {
+            assert_eq!(step.index, i);
+            assert_eq!(step.at, ms(10 * (i as u64 + 1)));
+            assert_eq!(step.gap, ms(10));
+            assert_eq!(step.arrival, &d[i * 2..i * 2 + 2]);
+            let expected: Vec<&[TermTriple]> = if i >= 3 {
+                vec![&d[(i - 3) * 2..(i - 3) * 2 + 2]]
+            } else {
+                Vec::new()
+            };
+            assert_eq!(step.expiring, expected, "step {i}");
+        }
+        // Live tail: batches within 25 ms of t=60 — arrivals at 40, 50, 60.
+        let tail: Vec<TermTriple> = w.live_tail().iter().flat_map(|b| b.to_vec()).collect();
+        assert_eq!(tail, d[6..].to_vec());
+    }
+
+    #[test]
+    fn timed_window_over_bursty_stream_expires_in_bulk() {
+        let d = data(64);
+        let tick = Duration::from_millis(2);
+        let stream = TimedStream::bursty(&d, 2, tick, 0.6, 7);
+        let w = TimedWindow::from_stream(&stream, tick * 3);
+        // Virtual times are the running sum of the stream's gaps.
+        let mut at = Duration::ZERO;
+        for (step, (gap, batch)) in w.steps().zip(stream.iter()) {
+            at += *gap;
+            assert_eq!(step.at, at);
+            assert_eq!(step.arrival, batch.as_slice());
+        }
+        // Every batch either expired exactly once or is in the live tail.
+        let expired: usize = w.steps().map(|s| s.expiring.len()).sum();
+        assert_eq!(expired + w.live_tail().len(), w.len());
+        // The bursty shape actually produced a multi-batch expiry.
+        assert!(
+            w.steps().any(|s| s.expiring.len() > 1),
+            "no bulk expiry — tune seed/window"
+        );
+        // Expiry is by timestamp: everything expiring at step i is at
+        // least `window` older than the arrival.
+        let times: Vec<Duration> = w.steps().map(|s| s.at).collect();
+        for step in w.steps() {
+            for gone in &step.expiring {
+                let j = w
+                    .steps()
+                    .position(|s| std::ptr::eq(s.arrival.as_ptr(), gone.as_ptr()))
+                    .unwrap();
+                assert!(times[j] + w.window() <= step.at);
+            }
+        }
+    }
+
+    #[test]
+    fn timed_window_play_maintains_live_set() {
+        let d = data(20); // 10 batches of 2
+        let stream = TimedStream::bursty(&d, 2, Duration::from_micros(200), 0.5, 11);
+        let w = TimedWindow::from_stream(&stream, Duration::from_micros(500));
+        let mut live: Vec<TermTriple> = Vec::new();
+        w.play(|step| {
+            live.extend_from_slice(step.arrival);
+            for gone in step.expiring {
+                for t in gone {
+                    let pos = live.iter().position(|x| x == t).expect("was live");
+                    live.remove(pos);
+                }
+            }
+        });
+        let tail: Vec<TermTriple> = w.live_tail().iter().flat_map(|b| b.to_vec()).collect();
+        assert_eq!(live, tail, "after the stream the live set is the tail");
+    }
+
+    #[test]
+    fn timed_window_empty_stream() {
+        let w = TimedWindow::uniform(&[], 4, Duration::from_millis(1), Duration::from_millis(5));
+        assert!(w.is_empty());
+        assert_eq!(w.steps().count(), 0);
+        assert!(w.live_tail().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn timed_window_rejects_zero_window() {
+        let _ = TimedWindow::uniform(&data(2), 1, Duration::from_millis(1), Duration::ZERO);
     }
 }

@@ -88,6 +88,19 @@ fn replay(events: &[Event], rule_names: &[&'static str], input_size: usize) {
                      {overdeleted} overdeleted, {rederived} rederived"
                 );
             }
+            EventKind::CoalescedRemoval {
+                pending,
+                retracted,
+                overdeleted,
+                rederived,
+                store_size: size,
+            } => {
+                store_size = *size;
+                println!(
+                    "[{step:>4} {ms:>8.2}ms] flush   {pending} deferred: {retracted} retracted, \
+                     {overdeleted} overdeleted, {rederived} rederived (coalesced)"
+                );
+            }
             EventKind::Idle { store_size: size } => {
                 store_size = *size;
                 println!("[{step:>4} {ms:>8.2}ms] idle    (closure complete)");

@@ -62,7 +62,11 @@
 //! the surviving explicit triples. Consequences:
 //!
 //! * removing a **derived-only** fact is a no-op — it is not an assertion,
-//!   and it would be rederived anyway;
+//!   and it would be rederived anyway; `Slider::remove_triples_outcome`
+//!   reports these distinctly (`RemovalOutcome::ignored_derived`) from
+//!   triples that were absent altogether (`RemovalOutcome::not_found`), so
+//!   callers can tell "you offered a consequence, not an assertion" apart
+//!   from "never heard of it";
 //! * removing an explicit fact that is *also* derivable (e.g. an asserted
 //!   `Cat ⊑ Animal` in a taxonomy that implies it) demotes it to derived:
 //!   it stays in the store but no longer survives on its own authority;
@@ -70,6 +74,20 @@
 //!   unknown terms is skipped;
 //! * `Slider::stats().store` reports the explicit/derived split, and the
 //!   `retracted`/`overdeleted`/`rederived` counters the maintenance runs.
+//!
+//! ## Deferred (coalesced) removal
+//!
+//! High-churn sliding windows retract a batch per arrival; paying one
+//! overdelete/rederive cycle per batch wastes the work the batches share.
+//! `Slider::remove_deferred`/`remove_terms_deferred` *enqueue* retractions
+//! on the maintenance scheduler instead, and one **coalesced** DRed run
+//! over the whole pending set fires when the pending count reaches
+//! `SliderConfig::maintenance_batch`, when the oldest pending retraction
+//! outlives `SliderConfig::maintenance_max_age`, or on an explicit
+//! `Slider::flush_maintenance`. A flush leaves the store exactly where the
+//! same removals applied eagerly would have; until it runs, queries still
+//! see the pre-retraction closure. Use eager `remove_triples` when
+//! retractions must be visible immediately.
 //!
 //! ## Crate map
 //!
@@ -97,7 +115,7 @@ pub use slider_workloads as workloads;
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use slider_baseline::{NaiveReasoner, SemiNaiveReasoner};
-    pub use slider_core::{Slider, SliderConfig};
+    pub use slider_core::{RemovalOutcome, Slider, SliderConfig};
     pub use slider_model::{Dictionary, Literal, NodeId, Term, TermTriple, Triple};
     pub use slider_parser::{NTriplesParser, TurtleParser};
     pub use slider_rules::{DependencyGraph, Fragment, Rule, Ruleset};

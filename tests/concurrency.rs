@@ -206,6 +206,75 @@ fn removals_race_insertions_without_corrupting_invariants() {
 }
 
 #[test]
+fn deferred_removals_race_insertions_and_flushes() {
+    // Plain (non-schema) predicates as above: the expected final store is
+    // exactly the surviving explicit set. Deferred removers race producers
+    // AND the threshold/explicit flush triggers: retractions land in
+    // whatever coalesced run wins, but the end state is exact.
+    let plain = |k: u64| Triple::new(NodeId(70_000 + k), NodeId(40_001), NodeId(80_000 + k));
+    let preloaded: Vec<Triple> = (0..600).map(plain).collect();
+    let added: Vec<Triple> = (600..1_200).map(plain).collect();
+    let (doomed, kept) = preloaded.split_at(300);
+
+    let dict = Arc::new(Dictionary::new());
+    // Small threshold: auto-flushes fire mid-race; no deadline so runs are
+    // driven by the racing threads themselves (plus the final flush).
+    let config = SliderConfig::default()
+        .with_maintenance_batch(64)
+        .with_maintenance_max_age(None);
+    let slider = Arc::new(Slider::new(Arc::clone(&dict), Ruleset::rho_df(), config));
+    slider.add_triples(&preloaded);
+    slider.wait_idle();
+
+    std::thread::scope(|scope| {
+        // 4 producers keep inserting fresh triples…
+        for producer in 0..4 {
+            let slider = Arc::clone(&slider);
+            let slice: Vec<Triple> = added.iter().copied().skip(producer).step_by(4).collect();
+            scope.spawn(move || {
+                for chunk in slice.chunks(16) {
+                    slider.add_triples(chunk);
+                }
+            });
+        }
+        // …while 2 deferred removers enqueue disjoint halves of the
+        // preload, and one of them interleaves explicit flushes.
+        for (remover, slice) in doomed.chunks(150).enumerate() {
+            let slider = Arc::clone(&slider);
+            let slice = slice.to_vec();
+            scope.spawn(move || {
+                let mut enqueued = 0usize;
+                for chunk in slice.chunks(25) {
+                    enqueued += slider.remove_deferred(chunk);
+                    if remover == 0 {
+                        slider.flush_maintenance();
+                    }
+                }
+                // Disjoint slices, each triple deferred once: every
+                // enqueue is fresh even under full racing.
+                assert_eq!(enqueued, 150, "remover {remover} lost deferrals");
+            });
+        }
+    });
+    // Apply whatever generation is still pending, then settle.
+    slider.flush_maintenance();
+    slider.wait_idle();
+
+    // Exact final contents: preload minus doomed plus added, each once.
+    let mut expected: Vec<Triple> = kept.iter().chain(added.iter()).copied().collect();
+    expected.sort_unstable();
+    let got = slider.store().to_sorted_vec();
+    assert_eq!(got, expected);
+    let stats = slider.stats();
+    assert_eq!(stats.store.explicit, expected.len());
+    assert_eq!(stats.store.derived, 0);
+    assert_eq!(stats.deferred, 300);
+    assert_eq!(stats.retracted, 300);
+    assert_eq!(stats.pending_removals, 0);
+    assert!(stats.coalesced_runs > 0);
+}
+
+#[test]
 fn drop_under_load_terminates() {
     for _ in 0..5 {
         let dict = Arc::new(Dictionary::new());

@@ -255,6 +255,174 @@ fn tiny_buffers_and_single_worker_still_maintain_correctly() {
     assert_matches_oracle(&slider, &oracle, "tiny buffers");
 }
 
+// ---------- coalesced (deferred) maintenance ---------------------------------
+
+/// A slider whose deferred queue only flushes explicitly (no threshold, no
+/// deadline) — the deterministic base for coalescing tests.
+fn manual_flush_slider() -> Slider {
+    rho_slider(
+        SliderConfig::default()
+            .with_maintenance_batch(usize::MAX)
+            .with_maintenance_max_age(None),
+    )
+}
+
+#[test]
+fn coalesced_flush_equals_eager_removals() {
+    // The coalescing invariant: one flush over N deferred batches lands
+    // exactly where N eager removals do.
+    let input = chain(20);
+    let removals = [vec![sco(4, 5)], vec![sco(9, 10)], vec![sco(15, 16)]];
+
+    let eager = rho_slider(SliderConfig::default());
+    eager.materialize(&input);
+    for batch in &removals {
+        eager.remove_triples(batch);
+    }
+
+    let deferred = manual_flush_slider();
+    deferred.materialize(&input);
+    for batch in &removals {
+        assert_eq!(deferred.remove_deferred(batch), batch.len());
+    }
+    // Nothing applied yet: the full closure is still visible.
+    assert_eq!(deferred.store().len(), 20 * 19 / 2);
+    assert_eq!(deferred.stats().pending_removals, 3);
+
+    let outcome = deferred.flush_maintenance();
+    assert_eq!(outcome.requested, 3);
+    assert_eq!(outcome.retracted, 3);
+    assert_eq!(
+        deferred.store().to_sorted_vec(),
+        eager.store().to_sorted_vec(),
+        "coalesced flush diverged from eager removals"
+    );
+
+    let stats = deferred.stats();
+    assert_eq!(stats.deferred, 3);
+    assert_eq!(stats.pending_removals, 0);
+    assert_eq!(stats.coalesced_runs, 1);
+    assert_eq!(stats.removal_runs, 1, "one DRed run covered all batches");
+    assert_eq!(eager.stats().removal_runs, 3);
+    // An empty flush is a no-op.
+    assert_eq!(deferred.flush_maintenance(), RemovalOutcome::default());
+    assert_eq!(deferred.stats().coalesced_runs, 1);
+}
+
+#[test]
+fn deferred_duplicates_coalesce_in_the_queue() {
+    let slider = manual_flush_slider();
+    slider.materialize(&chain(6));
+    assert_eq!(slider.remove_deferred(&[sco(2, 3), sco(2, 3)]), 1);
+    assert_eq!(slider.remove_deferred(&[sco(2, 3), sco(4, 5)]), 1);
+    assert_eq!(slider.stats().pending_removals, 2);
+    let outcome = slider.flush_maintenance();
+    assert_eq!(outcome.requested, 2);
+    assert_eq!(outcome.retracted, 2);
+    // Drained triples may be deferred (and flushed) again.
+    assert_eq!(slider.remove_deferred(&[sco(2, 3)]), 1);
+    assert_eq!(slider.flush_maintenance().retracted, 0, "already gone");
+}
+
+#[test]
+fn threshold_triggers_coalesced_flush() {
+    let slider = rho_slider(
+        SliderConfig::default()
+            .with_maintenance_batch(3)
+            .with_maintenance_max_age(None),
+    );
+    slider.materialize(&chain(10));
+    slider.remove_deferred(&[sco(2, 3)]);
+    slider.remove_deferred(&[sco(5, 6)]);
+    let stats = slider.stats();
+    assert_eq!(stats.pending_removals, 2, "below threshold: still pending");
+    assert_eq!(stats.coalesced_runs, 0);
+    // The third distinct retraction reaches the threshold and auto-flushes.
+    slider.remove_deferred(&[sco(8, 9)]);
+    let stats = slider.stats();
+    assert_eq!(stats.pending_removals, 0);
+    assert_eq!(stats.coalesced_runs, 1);
+    assert_eq!(stats.retracted, 3);
+    let mut oracle = RecomputeOracle::new(Ruleset::rho_df());
+    oracle.add(&chain(10));
+    oracle.remove(&[sco(2, 3), sco(5, 6), sco(8, 9)]);
+    assert_matches_oracle(&slider, &oracle, "threshold-triggered flush");
+}
+
+#[test]
+fn max_age_deadline_triggers_flush_from_the_flusher() {
+    let slider = rho_slider(
+        SliderConfig::default()
+            .with_maintenance_batch(usize::MAX)
+            .with_maintenance_max_age(Some(std::time::Duration::from_millis(5))),
+    );
+    slider.materialize(&chain(8));
+    slider.remove_deferred(&[sco(3, 4)]);
+    // No explicit flush: the flusher thread must apply it via the deadline.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while slider.stats().coalesced_runs == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "deadline flush never fired"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    slider.wait_idle();
+    assert_eq!(slider.stats().pending_removals, 0);
+    assert!(!slider.store().contains(sco(3, 4)));
+    let mut oracle = RecomputeOracle::new(Ruleset::rho_df());
+    oracle.add(&chain(8));
+    oracle.remove(&[sco(3, 4)]);
+    assert_matches_oracle(&slider, &oracle, "deadline-triggered flush");
+}
+
+#[test]
+fn coalesced_flush_emits_trace_event() {
+    let slider = rho_slider(
+        SliderConfig::default()
+            .with_trace(true)
+            .with_maintenance_batch(usize::MAX)
+            .with_maintenance_max_age(None),
+    );
+    slider.materialize(&chain(10));
+    slider.remove_deferred(&[sco(3, 4), sco(7, 8)]);
+    slider.flush_maintenance();
+    let events = slider.events().expect("tracing on");
+    let (pending, retracted, store_size) = events
+        .iter()
+        .find_map(|e| match e.kind {
+            EventKind::CoalescedRemoval {
+                pending,
+                retracted,
+                store_size,
+                ..
+            } => Some((pending, retracted, store_size)),
+            _ => None,
+        })
+        .expect("coalesced removal event recorded");
+    assert_eq!(pending, 2);
+    assert_eq!(retracted, 2);
+    assert_eq!(store_size, slider.store().len());
+    // No eager Removal event was logged for the coalesced run.
+    assert!(!events
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::Removal { .. })));
+    // The Display form mentions the deferred line.
+    assert!(slider.stats().to_string().contains("deferred: 2 enqueued"));
+}
+
+#[test]
+fn outcome_reports_ignored_derived_distinct_from_not_found() {
+    let slider = rho_slider(SliderConfig::default());
+    slider.materialize(&chain(6));
+    // sco(1,3) is derived-only, ty(9,9) absent, sco(2,3) explicit.
+    let outcome = slider.remove_triples_outcome(&[sco(1, 3), ty(9, 9), sco(2, 3)]);
+    assert_eq!(outcome.requested, 3);
+    assert_eq!(outcome.retracted, 1);
+    assert_eq!(outcome.ignored_derived, 1);
+    assert_eq!(outcome.not_found, 1);
+}
+
 // ---------- the property test -----------------------------------------------
 
 /// A pool of triples that keeps joins frequent: schema-heavy predicates
@@ -282,6 +450,29 @@ fn op() -> impl Strategy<Value = (bool, Vec<Triple>)> {
         prop_oneof![2 => Just(true), 1 => Just(false)],
         prop::collection::vec(pool_triple(), 1..8),
     )
+}
+
+/// One scripted operation of the deferred-maintenance property tests.
+#[derive(Debug, Clone)]
+enum DeferredOp {
+    /// Feed a batch to the input manager.
+    Add(Vec<Triple>),
+    /// Enqueue a batch on the maintenance scheduler.
+    Defer(Vec<Triple>),
+    /// Coalesced flush of everything pending.
+    Flush,
+}
+
+/// Bursty mix: adds and deferrals dominate, flushes are occasional — so
+/// pending retractions pile up across several operations before one
+/// coalesced run applies them.
+fn deferred_op() -> impl Strategy<Value = DeferredOp> {
+    let batch = || prop::collection::vec(pool_triple(), 1..8);
+    prop_oneof![
+        3 => batch().prop_map(DeferredOp::Add),
+        3 => batch().prop_map(DeferredOp::Defer),
+        1 => Just(DeferredOp::Flush),
+    ]
 }
 
 proptest! {
@@ -313,6 +504,113 @@ proptest! {
         }
         // Provenance bookkeeping stayed exact as well.
         prop_assert_eq!(slider.stats().store.explicit, oracle.explicit_len());
+    }
+
+    /// The coalescing acceptance property: ANY interleaving of
+    /// `add_triples`, `remove_deferred` and `flush_maintenance` (a bursty
+    /// shape: deferrals pile up, then one flush applies them all) leaves
+    /// the store equal to the from-scratch closure of the surviving
+    /// explicit triples — where "surviving" reflects the deferred
+    /// semantics: a retraction applies at its *flush*, so a triple
+    /// re-added while pending is retracted by the next flush.
+    #[test]
+    fn deferred_interleavings_match_recompute_oracle(
+        ops in prop::collection::vec(deferred_op(), 1..14),
+    ) {
+        let slider = rho_slider(
+            SliderConfig::default()
+                .with_maintenance_batch(usize::MAX)
+                .with_maintenance_max_age(None),
+        );
+        let mut oracle = RecomputeOracle::new(Ruleset::rho_df());
+        // The model of the scheduler: distinct pending retractions, FIFO.
+        let mut pending: Vec<Triple> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                DeferredOp::Add(batch) => {
+                    slider.add_triples(batch);
+                    oracle.add(batch);
+                }
+                DeferredOp::Defer(batch) => {
+                    slider.remove_deferred(batch);
+                    for &t in batch {
+                        if !pending.contains(&t) {
+                            pending.push(t);
+                        }
+                    }
+                }
+                DeferredOp::Flush => {
+                    let outcome = slider.flush_maintenance();
+                    prop_assert_eq!(outcome.requested, pending.len(), "op {}", i);
+                    oracle.remove(&pending);
+                    pending.clear();
+                }
+            }
+            slider.wait_idle();
+            prop_assert_eq!(slider.stats().pending_removals, pending.len());
+            prop_assert_eq!(
+                slider.store().to_sorted_vec(),
+                oracle.to_sorted_vec(),
+                "diverged after op {} of {:?}",
+                i,
+                ops
+            );
+        }
+        // Drain whatever is still pending; the end state must agree too.
+        slider.flush_maintenance();
+        oracle.remove(&pending);
+        prop_assert_eq!(slider.store().to_sorted_vec(), oracle.to_sorted_vec());
+        prop_assert_eq!(slider.stats().store.explicit, oracle.explicit_len());
+    }
+
+    /// Same property with the *threshold* trigger live: the model mirrors
+    /// the scheduler's rule (auto-flush once ≥ K distinct retractions are
+    /// pending after an enqueue).
+    #[test]
+    fn deferred_threshold_interleavings_match_oracle(
+        ops in prop::collection::vec(deferred_op(), 1..12),
+    ) {
+        const THRESHOLD: usize = 4;
+        let slider = rho_slider(
+            SliderConfig::default()
+                .with_maintenance_batch(THRESHOLD)
+                .with_maintenance_max_age(None),
+        );
+        let mut oracle = RecomputeOracle::new(Ruleset::rho_df());
+        let mut pending: Vec<Triple> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                DeferredOp::Add(batch) => {
+                    slider.add_triples(batch);
+                    oracle.add(batch);
+                }
+                DeferredOp::Defer(batch) => {
+                    slider.remove_deferred(batch);
+                    for &t in batch {
+                        if !pending.contains(&t) {
+                            pending.push(t);
+                        }
+                    }
+                    if pending.len() >= THRESHOLD {
+                        oracle.remove(&pending);
+                        pending.clear();
+                    }
+                }
+                DeferredOp::Flush => {
+                    slider.flush_maintenance();
+                    oracle.remove(&pending);
+                    pending.clear();
+                }
+            }
+            slider.wait_idle();
+            prop_assert_eq!(
+                slider.store().to_sorted_vec(),
+                oracle.to_sorted_vec(),
+                "diverged after op {} of {:?}",
+                i,
+                ops
+            );
+        }
     }
 
     /// Same property under pathological buffering and the conservative

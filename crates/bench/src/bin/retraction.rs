@@ -1,53 +1,55 @@
 //! The `retraction` benchmark: sliding-window streaming with incremental
-//! deletion (DRed) versus recompute-from-scratch, and **per-batch eager**
-//! versus **coalesced** maintenance under a bursty time-based window.
-//!
-//! A fixed class taxonomy (subClassOf chains) stays resident while typed
-//! instance batches stream through a sliding window on a *bursty* virtual
-//! clock (geometric inter-arrival gaps): most arrivals are back-to-back,
-//! and the arrival after a long pause expires a whole run of batches at
-//! once. Three maintainers process the identical schedule:
+//! deletion (DRed), comparing **four** maintainers on an identical bursty
+//! multi-predicate schedule:
 //!
 //! * **eager (per-batch DRed)** — every expiring batch pays its own
 //!   overdelete/rederive cycle (`Slider::remove_triples`), exactly what a
 //!   count-based window does per step;
-//! * **coalesced** — expiring batches are deferred
+//! * **coalesced (single pass)** — expiring batches are deferred
 //!   (`Slider::remove_deferred`) and each step with expiries ends in one
-//!   `Slider::flush_maintenance`: a single DRed pass over the union;
+//!   `Slider::flush_maintenance` running a single sequential DRed pass
+//!   over the union (PR 3's mode, pinned via
+//!   `SliderConfig::maintenance_partitioning(false)`);
+//! * **partitioned** — same deferrals, but the flush buckets the pending
+//!   set by dependency-graph partition and runs one DRed pass per
+//!   partition in parallel on the worker pool;
 //! * **recompute** — the closure of the surviving explicit set is rebuilt
-//!   from scratch every step (`slider_baseline::RecomputeOracle`), what a
-//!   monotone-additive reasoner is forced to do.
+//!   from scratch every step (`slider_baseline::RecomputeOracle`).
+//!
+//! The workload is built to have **disjoint downward closures**: several
+//! independent rule *families* (a [`Transitive`](slider_rules::Transitive)
+//! hierarchy plus a [`Subsumption`](slider_rules::Subsumption) membership
+//! rule per family, disjoint vocabularies — see [`slider_bench::family`]), so
+//! the dependency graph reports one maintenance partition per family and a
+//! flush spanning families fans out. Within each family, every live batch
+//! types the same shared subjects at its own per-batch leaf class, so
+//! expiring batches share a downward closure that coalescing amortises —
+//! the same shape PR 3's bench used, minus the universal `PRP-*` rules
+//! (which would collapse all partitions into one).
 //!
 //! ```text
 //! cargo run --release -p slider-bench --bin retraction            # full size
 //! cargo run --release -p slider-bench --bin retraction -- --smoke # CI smoke
 //! ```
 //!
-//! `--smoke` runs a tiny workload and additionally cross-checks the eager
-//! *and* coalesced stores against the oracle at every step — each
-//! coalesced flush must leave the store exactly where N eager removals
-//! would have — so CI both exercises the bench binary and re-verifies the
-//! coalescing invariant end to end.
+//! `--smoke` runs a tiny workload and additionally cross-checks all three
+//! incremental maintainers against the oracle **at every step** — and the
+//! schedule deliberately **re-asserts triples whose retraction is still
+//! pending** before some flushes, verifying the cancellation semantics
+//! (the re-asserted fact and its consequences must survive the flush) in
+//! eager, single-pass and partitioned modes alike.
 
 use slider_baseline::RecomputeOracle;
-use slider_core::{Slider, SliderConfig};
-use slider_model::vocab::{RDFS_DOMAIN, RDFS_SUB_CLASS_OF, RDF_TYPE};
-use slider_model::{Dictionary, NodeId, Triple};
-use slider_rules::Ruleset;
+use slider_bench::family::{self, FamilyParams};
+use slider_model::Triple;
 use slider_workloads::stream::{bursty_gaps, expirations};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 struct Params {
-    /// Depth of each subClassOf chain in the background taxonomy.
-    depth: u64,
-    /// Number of parallel chains.
-    chains: u64,
-    /// Instance-typing triples per stream batch.
-    batch: u64,
-    /// Shared subjects every batch observes (the overlapping downward
-    /// closure — see [`batch`]).
-    shared: u64,
+    /// Workload shape: families, chain depth, batch and shared-subject
+    /// sizes (see [`slider_bench::family`] — the same generators back the
+    /// criterion `retraction/partitioned_flush` group).
+    shape: FamilyParams,
     /// Window length, in bursty-clock ticks.
     window_ticks: u32,
     /// Stream steps to play.
@@ -57,22 +59,26 @@ struct Params {
 }
 
 const SMOKE: Params = Params {
-    depth: 8,
-    chains: 3,
-    batch: 40,
-    shared: 10,
+    shape: FamilyParams {
+        families: 3,
+        depth: 6,
+        batch: 15,
+        shared: 6,
+    },
     window_ticks: 4,
-    steps: 14,
+    steps: 12,
     verify: true,
 };
 
 const FULL: Params = Params {
-    depth: 24,
-    chains: 8,
-    batch: 300,
-    shared: 1_000,
+    shape: FamilyParams {
+        families: 8,
+        depth: 16,
+        batch: 120,
+        shared: 300,
+    },
     window_ticks: 8,
-    steps: 60,
+    steps: 48,
     verify: false,
 };
 
@@ -81,62 +87,8 @@ const CONTINUE_PROB: f64 = 0.6;
 /// Seed of the bursty virtual clock (deterministic runs).
 const SEED: u64 = 42;
 
-fn class(c: u64, d: u64) -> NodeId {
-    NodeId(10_000 + c * 1_000 + d)
-}
-
-/// Per-batch observation predicate (see [`batch`]).
-fn obs_pred(i: u64) -> NodeId {
-    NodeId(20_000 + i)
-}
-
-/// A subject observed by *every* batch.
-fn shared_subj(s: u64) -> NodeId {
-    NodeId(2_000_000 + s)
-}
-
-/// Background: `chains` subClassOf chains of `depth` classes each, plus a
-/// domain axiom per observation predicate pointing its subjects at the
-/// *same* leaf class — every live batch independently supports the shared
-/// subjects' type chain.
-fn taxonomy(p: &Params) -> Vec<Triple> {
-    (0..p.chains)
-        .flat_map(|c| {
-            (0..p.depth - 1)
-                .map(move |d| Triple::new(class(c, d), RDFS_SUB_CLASS_OF, class(c, d + 1)))
-        })
-        .chain((0..p.steps).map(|i| Triple::new(obs_pred(i), RDFS_DOMAIN, class(0, 0))))
-        .collect()
-}
-
-/// Stream batch `i`: instances typed with the *leaf* class of a chain
-/// (every arrival derives `depth − 1` superclass types per instance), plus
-/// one observation of each **shared** subject through the batch's own
-/// predicate. Via the domain axioms, every live batch independently
-/// derives the same `shared × depth` type triples — so retracting one
-/// batch overdeletes that *overlapping downward closure* and rederives it
-/// from the still-live batches. Per-batch eager DRed repeats that
-/// overdelete/rederive cycle for every expiring batch; one coalesced pass
-/// over the union pays it once — exactly the sharing the scheduler
-/// amortises.
-fn batch(p: &Params, i: u64) -> Vec<Triple> {
-    (0..p.batch)
-        .map(|k| {
-            let inst = NodeId(1_000_000 + i * p.batch + k);
-            Triple::new(inst, RDF_TYPE, class((i + k) % p.chains, 0))
-        })
-        .chain((0..p.shared).map(|s| {
-            Triple::new(
-                shared_subj(s),
-                obs_pred(i),
-                NodeId(3_000_000 + i * 10_000 + s),
-            )
-        }))
-        .collect()
-}
-
-/// Bursty virtual arrival times: the cumulative sum of
-/// [`bursty_gaps`] — the exact sampler behind `TimedStream::bursty`.
+/// Bursty virtual arrival times: the cumulative sum of [`bursty_gaps`] —
+/// the exact sampler behind `TimedStream::bursty`.
 fn bursty_times(steps: u64, continue_prob: f64, seed: u64) -> Vec<Duration> {
     let tick = Duration::from_millis(1);
     let mut at = Duration::ZERO;
@@ -149,17 +101,17 @@ fn bursty_times(steps: u64, continue_prob: f64, seed: u64) -> Vec<Duration> {
         .collect()
 }
 
-fn fmt_ms(d: Duration) -> String {
-    format!("{:8.2} ms", d.as_secs_f64() * 1e3)
+/// Triples of `from` re-asserted while their retraction is pending at step
+/// `i` (smoke only): a few instances of the batch's first family.
+fn re_assertions(p: &Params, from: &[Triple], i: u64) -> Vec<Triple> {
+    if !p.verify || i % 2 == 0 {
+        return Vec::new();
+    }
+    from.iter().copied().take(3).collect()
 }
 
-fn batch_slider() -> Slider {
-    // Deferred flushing is driven explicitly here; disable the deadline so
-    // timings measure the maintenance itself, not flusher scheduling.
-    let config = SliderConfig::batch()
-        .with_maintenance_batch(usize::MAX)
-        .with_maintenance_max_age(None);
-    Slider::new(Arc::new(Dictionary::new()), Ruleset::rho_df(), config)
+fn fmt_ms(d: Duration) -> String {
+    format!("{:8.2} ms", d.as_secs_f64() * 1e3)
 }
 
 fn main() {
@@ -171,8 +123,8 @@ fn main() {
     }
     let p = if smoke { SMOKE } else { FULL };
 
-    let schema = taxonomy(&p);
-    let batches: Vec<Vec<Triple>> = (0..p.steps).map(|i| batch(&p, i)).collect();
+    let schema = family::taxonomy(&p.shape);
+    let batches: Vec<Vec<Triple>> = (0..p.steps).map(|i| family::batch(&p.shape, i)).collect();
     // The bursty time-based window: per step, which batches expire.
     let times = bursty_times(p.steps, CONTINUE_PROB, SEED);
     let window = Duration::from_millis(p.window_ticks as u64);
@@ -181,58 +133,89 @@ fn main() {
     let bulk_steps = expiry.iter().filter(|e| e.len() > 1).count();
 
     println!(
-        "retraction bench: {} chains × depth {}, {} steps of {} instance triples, \
+        "retraction bench: {} families × depth {}, {} steps of {} membership triples/family, \
          {}-tick window over a bursty clock ({} expiries, {} bulk steps){}",
-        p.chains,
-        p.depth,
+        p.shape.families,
+        p.shape.depth,
         p.steps,
-        p.batch,
+        p.shape.batch + p.shape.shared,
         p.window_ticks,
         expired_total,
         bulk_steps,
-        if smoke { " [smoke]" } else { "" }
+        if smoke {
+            " [smoke + re-assertions]"
+        } else {
+            ""
+        }
     );
 
     // --- eager: one DRed run per expiring batch ------------------------
-    let eager = batch_slider();
+    let eager = family::deferred_slider(p.shape.families, false);
     eager.materialize(&schema);
-    // --- coalesced: defer expiring batches, one flush per step ---------
-    let coalesced = batch_slider();
+    // --- coalesced single pass (PR 3's mode) ---------------------------
+    let coalesced = family::deferred_slider(p.shape.families, false);
     coalesced.materialize(&schema);
+    // --- partitioned parallel flushes ----------------------------------
+    let partitioned = family::deferred_slider(p.shape.families, true);
+    partitioned.materialize(&schema);
+    assert_eq!(
+        partitioned.maintenance_partitions(),
+        p.shape.families as usize,
+        "one maintenance partition per family"
+    );
     // --- recompute baseline --------------------------------------------
-    let mut oracle = RecomputeOracle::new(Ruleset::rho_df());
+    let mut oracle = RecomputeOracle::new(family::ruleset(p.shape.families));
     oracle.add(&schema);
 
     let mut eager_elapsed = Duration::ZERO;
     let mut coalesced_elapsed = Duration::ZERO;
+    let mut partitioned_elapsed = Duration::ZERO;
     let mut oracle_elapsed = Duration::ZERO;
     for (i, arriving) in batches.iter().enumerate() {
         let expiring = &expiry[i];
+        // In smoke mode, some steps re-assert a few triples of the first
+        // expiring batch *while their retraction is pending* — the flush
+        // must leave them (and their consequences) in place.
+        let readd: Vec<Triple> = expiring
+            .first()
+            .map(|&j| re_assertions(&p, &batches[j], i as u64))
+            .unwrap_or_default();
 
         let start = Instant::now();
         eager.add_triples(arriving);
         for &j in expiring {
             eager.remove_triples(&batches[j]);
         }
+        // Eager equivalent of the cancellation: retract, then re-assert.
+        eager.add_triples(&readd);
         eager.wait_idle();
         eager_elapsed += start.elapsed();
 
-        let start = Instant::now();
-        coalesced.add_triples(arriving);
-        for &j in expiring {
-            coalesced.remove_deferred(&batches[j]);
+        for (slider, elapsed) in [
+            (&coalesced, &mut coalesced_elapsed),
+            (&partitioned, &mut partitioned_elapsed),
+        ] {
+            let start = Instant::now();
+            slider.add_triples(arriving);
+            for &j in expiring {
+                slider.remove_deferred(&batches[j]);
+            }
+            // The re-assertion lands while the retractions are pending and
+            // must cancel them.
+            slider.add_triples(&readd);
+            if !expiring.is_empty() {
+                slider.flush_maintenance();
+            }
+            slider.wait_idle();
+            *elapsed += start.elapsed();
         }
-        if !expiring.is_empty() {
-            coalesced.flush_maintenance();
-        }
-        coalesced.wait_idle();
-        coalesced_elapsed += start.elapsed();
 
         let start = Instant::now();
         oracle.add(arriving);
         for &j in expiring {
             oracle.remove(&batches[j]);
         }
+        oracle.add(&readd);
         let closure = oracle.closure();
         oracle_elapsed += start.elapsed();
 
@@ -243,49 +226,66 @@ fn main() {
                 expected,
                 "eager DRed diverged from recompute at step {i}"
             );
-            // The coalescing invariant: one flush over the union must land
-            // exactly where the per-batch runs did.
             assert_eq!(
                 coalesced.store().to_sorted_vec(),
                 expected,
-                "coalesced DRed diverged from recompute at step {i}"
+                "single-pass coalesced DRed diverged from recompute at step {i}"
+            );
+            assert_eq!(
+                partitioned.store().to_sorted_vec(),
+                expected,
+                "partitioned DRed diverged from recompute at step {i}"
             );
         }
     }
 
     let eager_stats = eager.stats();
     let co_stats = coalesced.stats();
+    let part_stats = partitioned.stats();
     println!(
-        "  eager (per-batch DRed): {} total, {} / step  ({} maintenance runs)",
+        "  eager (per-batch DRed):  {} total, {} / step  ({} maintenance runs)",
         fmt_ms(eager_elapsed),
         fmt_ms(eager_elapsed / p.steps as u32),
         eager_stats.removal_runs
     );
     println!(
-        "  coalesced DRed:         {} total, {} / step  ({} coalesced runs)",
+        "  coalesced (single pass): {} total, {} / step  ({} coalesced runs)",
         fmt_ms(coalesced_elapsed),
         fmt_ms(coalesced_elapsed / p.steps as u32),
         co_stats.coalesced_runs
     );
     println!(
-        "  recompute baseline:     {} total, {} / step",
+        "  partitioned flushes:     {} total, {} / step  ({} runs, {} partitioned)",
+        fmt_ms(partitioned_elapsed),
+        fmt_ms(partitioned_elapsed / p.steps as u32),
+        part_stats.coalesced_runs,
+        part_stats.partitioned_runs
+    );
+    println!(
+        "  recompute baseline:      {} total, {} / step",
         fmt_ms(oracle_elapsed),
         fmt_ms(oracle_elapsed / p.steps as u32)
     );
     println!(
-        "  coalesced vs eager: {:.2}x   coalesced vs recompute: {:.2}x   (store: {} triples, \
-         {} explicit; {} retracted, {} overdeleted, {} rederived)",
+        "  partitioned vs single-pass: {:.2}x   coalesced vs eager: {:.2}x   \
+         partitioned vs recompute: {:.2}x",
+        coalesced_elapsed.as_secs_f64() / partitioned_elapsed.as_secs_f64().max(1e-9),
         eager_elapsed.as_secs_f64() / coalesced_elapsed.as_secs_f64().max(1e-9),
-        oracle_elapsed.as_secs_f64() / coalesced_elapsed.as_secs_f64().max(1e-9),
-        co_stats.store_size,
-        co_stats.store.explicit,
-        co_stats.retracted,
-        co_stats.overdeleted,
-        co_stats.rederived
+        oracle_elapsed.as_secs_f64() / partitioned_elapsed.as_secs_f64().max(1e-9),
+    );
+    println!(
+        "  (store: {} triples, {} explicit; partitioned: {} retracted, {} overdeleted, \
+         {} rederived, {} cancelled)",
+        part_stats.store_size,
+        part_stats.store.explicit,
+        part_stats.retracted,
+        part_stats.overdeleted,
+        part_stats.rederived,
+        part_stats.cancelled_removals
     );
     assert_eq!(
-        eager_stats.retracted, co_stats.retracted,
-        "both maintainers retracted the same assertions"
+        co_stats.retracted, part_stats.retracted,
+        "both coalesced maintainers retracted the same assertions"
     );
     assert!(
         co_stats.coalesced_runs < eager_stats.removal_runs,
@@ -293,7 +293,23 @@ fn main() {
         co_stats.coalesced_runs,
         eager_stats.removal_runs
     );
+    assert!(
+        part_stats.partitioned_runs > 0,
+        "no flush split into partitions"
+    );
+    assert_eq!(
+        co_stats.partitioned_runs, 0,
+        "the single-pass maintainer must not partition"
+    );
     if p.verify {
-        println!("  verified: eager and coalesced stores == recompute closure at every step");
+        assert!(
+            part_stats.cancelled_removals > 0,
+            "the smoke schedule must exercise re-assertion-while-pending"
+        );
+        println!(
+            "  verified: eager, single-pass and partitioned stores == recompute closure at \
+             every step (incl. {} re-assertions cancelling pending retractions)",
+            part_stats.cancelled_removals
+        );
     }
 }

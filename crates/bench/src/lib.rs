@@ -16,9 +16,12 @@
 //! * `figure3` — the same data as inference-time series (Table 1 minus
 //!   BSBM_5M, as in the paper's figure), with an ASCII rendering and CSV;
 //! * `figure2` — the ρdf rules dependency graph as DOT;
-//! * `retraction` — sliding-window streaming with incremental deletion
-//!   (DRed) vs recompute-from-scratch; `--smoke` runs the tiny CI
-//!   configuration with per-step oracle verification.
+//! * `retraction` — sliding-window streaming with incremental deletion:
+//!   eager per-batch DRed vs single-pass coalesced vs partitioned parallel
+//!   flushes vs recompute-from-scratch, over the shared [`family`]
+//!   workload; `--smoke` runs the tiny CI configuration with per-step
+//!   oracle verification (including re-assertions that must cancel
+//!   pending retractions).
 //!
 //! Criterion benches: `table1` (scaled-down row set), `buffer_params`
 //! (buffer size / timeout sweeps — the demo's §4 parameters), `ablation`
@@ -297,6 +300,128 @@ pub fn render_csv(rows: &[TableRow]) -> String {
         }
     }
     s
+}
+
+/// The multi-family partitioned-maintenance workload, shared by the
+/// `retraction` bin and the criterion `retraction/partitioned_flush`
+/// group so the CI smoke gate and the microbenchmark measure the same
+/// thing.
+///
+/// Each *family* `f` is an independent rule pair — a
+/// [`Transitive`](slider_rules::Transitive) hierarchy over its own
+/// predicate plus a [`Subsumption`](slider_rules::Subsumption) membership
+/// rule — with a vocabulary disjoint from every other family, so the
+/// dependency graph reports one maintenance partition per family and a
+/// flush spanning families fans out into parallel DRed passes.
+pub mod family {
+    use slider_core::{Slider, SliderConfig};
+    use slider_model::{Dictionary, NodeId, Triple};
+    use slider_rules::{Ruleset, Subsumption, Transitive};
+    use std::sync::Arc;
+
+    /// Shape of the workload (stream scheduling stays with the caller).
+    #[derive(Debug, Clone, Copy)]
+    pub struct FamilyParams {
+        /// Independent rule families (= maintenance partitions); at most
+        /// [`MAX_FAMILIES`].
+        pub families: u64,
+        /// Depth of each family's resident class chain.
+        pub depth: u64,
+        /// Instance-membership triples per family per stream batch.
+        pub batch: u64,
+        /// Shared subjects every batch of a family re-types (the
+        /// overlapping downward closure within the family); 0 disables.
+        pub shared: u64,
+    }
+
+    /// Upper bound on `families` (rule names are `&'static`).
+    pub const MAX_FAMILIES: usize = 8;
+    const T_NAMES: [&str; MAX_FAMILIES] = ["T-0", "T-1", "T-2", "T-3", "T-4", "T-5", "T-6", "T-7"];
+    const S_NAMES: [&str; MAX_FAMILIES] = ["S-0", "S-1", "S-2", "S-3", "S-4", "S-5", "S-6", "S-7"];
+
+    /// Family `f`'s transitive hierarchy predicate.
+    pub fn trans_pred(f: u64) -> NodeId {
+        NodeId(50_000 + f * 100)
+    }
+    /// Family `f`'s membership predicate.
+    pub fn is_pred(f: u64) -> NodeId {
+        NodeId(50_001 + f * 100)
+    }
+    /// Class `d` of family `f`'s resident chain.
+    pub fn class(f: u64, d: u64) -> NodeId {
+        NodeId(10_000 + f * 1_000 + d)
+    }
+    /// Per-batch leaf class of family `f` (links into the resident chain).
+    pub fn batch_leaf(f: u64, i: u64) -> NodeId {
+        NodeId(100_000 + f * 10_000 + i)
+    }
+    /// Shared subject `s` of family `f`.
+    pub fn shared_subj(f: u64, s: u64) -> NodeId {
+        NodeId(2_000_000 + f * 100_000 + s)
+    }
+
+    /// The `families`-partition ruleset: one `Transitive` + `Subsumption`
+    /// pair per family, disjoint vocabularies.
+    pub fn ruleset(families: u64) -> Ruleset {
+        assert!(families as usize <= MAX_FAMILIES);
+        let mut rs = Ruleset::custom("families");
+        for f in 0..families {
+            rs.push(Transitive::new(T_NAMES[f as usize], trans_pred(f)));
+            rs.push(Subsumption::new(
+                S_NAMES[f as usize],
+                is_pred(f),
+                trans_pred(f),
+            ));
+        }
+        rs
+    }
+
+    /// Resident background: one class chain per family.
+    pub fn taxonomy(p: &FamilyParams) -> Vec<Triple> {
+        (0..p.families)
+            .flat_map(|f| {
+                (0..p.depth - 1)
+                    .map(move |d| Triple::new(class(f, d), trans_pred(f), class(f, d + 1)))
+            })
+            .collect()
+    }
+
+    /// Stream batch `i`: per family, a fresh leaf class linked into the
+    /// chain, `batch` instances and `shared` shared subjects typed at that
+    /// leaf. Each membership derives the whole chain of super-memberships;
+    /// the shared subjects' derived memberships are supported by *every*
+    /// live batch of the family, so retracting one batch overdeletes and
+    /// rederives that overlapping closure — per batch in eager mode, once
+    /// per flush in the coalesced modes, and once per family-partition
+    /// (in parallel) in partitioned mode.
+    pub fn batch(p: &FamilyParams, i: u64) -> Vec<Triple> {
+        (0..p.families)
+            .flat_map(move |f| {
+                let leaf = batch_leaf(f, i);
+                std::iter::once(Triple::new(leaf, trans_pred(f), class(f, 0)))
+                    .chain((0..p.batch).map(move |k| {
+                        let inst = NodeId(1_000_000 + f * 100_000 + i * p.batch + k);
+                        Triple::new(inst, is_pred(f), leaf)
+                    }))
+                    .chain(
+                        (0..p.shared)
+                            .map(move |s| Triple::new(shared_subj(f, s), is_pred(f), leaf)),
+                    )
+            })
+            .collect()
+    }
+
+    /// A family-ruleset reasoner whose deferred queue only flushes
+    /// explicitly (no threshold, no deadline — timings measure the
+    /// maintenance itself, not flusher scheduling), with partitioned
+    /// flushes on or off.
+    pub fn deferred_slider(families: u64, partitioning: bool) -> Slider {
+        let config = SliderConfig::batch()
+            .with_maintenance_batch(usize::MAX)
+            .with_maintenance_max_age(None)
+            .with_maintenance_partitioning(partitioning);
+        Slider::new(Arc::new(Dictionary::new()), ruleset(families), config)
+    }
 }
 
 /// Reads the benchmark scale factor from `SLIDER_SCALE` (default

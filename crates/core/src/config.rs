@@ -57,6 +57,20 @@ pub struct SliderConfig {
     /// [`Slider::flush_maintenance`](crate::Slider::flush_maintenance).
     /// Default: 100 ms.
     pub maintenance_max_age: Option<Duration>,
+    /// Partitioned coalesced flushes: when a coalesced run's pending
+    /// retractions fall into several independent maintenance partitions of
+    /// the rules dependency graph (disjoint
+    /// overdeletion/rederivation footprints — see
+    /// [`DependencyGraph::component_of`](slider_rules::DependencyGraph::component_of)),
+    /// run one DRed pass per partition **in parallel on the worker pool**
+    /// instead of a single sequential pass. Falls back to the single pass
+    /// automatically when the pending set maps to one partition, a
+    /// partition owns every predicate (universal rules — ρdf/RDFS always
+    /// do), a rule involved lacks a backward matcher, or
+    /// [`full_rederive`](SliderConfig::full_rederive) is set. The two
+    /// modes land on the same store. On by default; the switch exists as
+    /// an ablation/cross-check.
+    pub maintenance_partitioning: bool,
 }
 
 impl Default for SliderConfig {
@@ -71,6 +85,7 @@ impl Default for SliderConfig {
             full_rederive: false,
             maintenance_batch: 1024,
             maintenance_max_age: Some(Duration::from_millis(100)),
+            maintenance_partitioning: true,
         }
     }
 }
@@ -144,6 +159,12 @@ impl SliderConfig {
         self.maintenance_max_age = max_age;
         self
     }
+
+    /// Builder-style partitioned-flush switch (ablation/cross-check).
+    pub fn with_maintenance_partitioning(mut self, partitioning: bool) -> Self {
+        self.maintenance_partitioning = partitioning;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +183,7 @@ mod tests {
         assert!(!c.full_rederive);
         assert!(c.maintenance_batch >= 1);
         assert!(c.maintenance_max_age.is_some());
+        assert!(c.maintenance_partitioning);
     }
 
     #[test]
@@ -197,9 +219,11 @@ mod tests {
     fn maintenance_builders() {
         let c = SliderConfig::default()
             .with_maintenance_batch(7)
-            .with_maintenance_max_age(None);
+            .with_maintenance_max_age(None)
+            .with_maintenance_partitioning(false);
         assert_eq!(c.maintenance_batch, 7);
         assert!(c.maintenance_max_age.is_none());
+        assert!(!c.maintenance_partitioning);
     }
 
     #[test]

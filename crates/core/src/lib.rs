@@ -46,7 +46,13 @@
 //!   maintenance scheduler instead; one *coalesced* DRed run over the
 //!   whole pending set fires on a pending-count threshold, a max-age
 //!   deadline (serviced by the flusher thread), or an explicit flush —
-//!   amortising maintenance for high-churn windows.
+//!   amortising maintenance for high-churn windows. Re-asserting a triple
+//!   while its retraction is pending **cancels** the retraction, so a
+//!   flush always lands on the closure of the surviving explicit set;
+//!   [`Slider::pending_staleness`] bounds how stale pre-flush queries may
+//!   be. A flush whose pending set spans several independent
+//!   dependency-graph partitions splits the store into shards and runs
+//!   one DRed pass per partition **in parallel on the worker pool**.
 //!
 //! Termination is guaranteed because every dispatched triple was new to the
 //! store and rules never invent new term ids, so the reachable closure is

@@ -17,9 +17,17 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// A unit of pool work: one rule instance over one buffered batch.
+/// A unit of pool work: one rule instance over one buffered batch, or one
+/// partition pass of a partitioned coalesced flush.
 enum Job {
-    Run { rule: usize, delta: Vec<Triple> },
+    Run {
+        rule: usize,
+        delta: Vec<Triple>,
+    },
+    /// A self-contained DRed pass over a split-off store shard (see
+    /// [`Engine::run_partitions`]); the closure owns the shard and reports
+    /// it back on a per-flush channel.
+    Partition(Box<dyn FnOnce() + Send>),
     Stop,
 }
 
@@ -43,7 +51,8 @@ struct Engine {
     dict: Arc<Dictionary>,
     store: ConcurrentStore,
     modules: Vec<Module>,
-    graph: DependencyGraph,
+    /// Shared with partition-pass jobs, which run DRed off-thread.
+    graph: Arc<DependencyGraph>,
     job_tx: Sender<Job>,
     inflight: Inflight,
     globals: GlobalCounters,
@@ -55,9 +64,27 @@ struct Engine {
     maintenance: Mutex<()>,
     /// Conservative-maintenance switch (see `SliderConfig::full_rederive`).
     full_rederive: bool,
+    /// Partitioned-flush switch (see
+    /// `SliderConfig::maintenance_partitioning`).
+    partitioning: bool,
+    /// Per rule: whether `Rule::derives` answered on an empty-store probe —
+    /// a backward matcher exists. Partitioned flushes require one for every
+    /// involved rule (the heuristic is conservative at worst: a partition
+    /// pass that still hits `derives → None` at run time falls back to the
+    /// forward pass *over its own shard*, which holds the partition's full
+    /// footprint, so it stays sound either way).
+    backward: Vec<bool>,
     /// Deferred retractions awaiting a coalesced DRed run (see
     /// [`Slider::remove_deferred`]).
     scheduler: MaintenanceScheduler,
+}
+
+/// One bucket of a partitioned coalesced flush: the pending retractions
+/// that map to one maintenance partition, plus the predicates whose tables
+/// that partition's DRed pass may touch (split off as a store shard).
+struct PendingGroup {
+    preds: Vec<slider_model::NodeId>,
+    triples: Vec<Triple>,
 }
 
 impl Engine {
@@ -231,12 +258,49 @@ impl Engine {
         }
     }
 
+    /// Runs `f` on the quiescent store: drains all in-flight derivations,
+    /// then re-checks quiescence *under the write lock* — an `add_triples`
+    /// that slipped in after `wait_idle` still holds its inflight token
+    /// until its routing (and pending-retraction cancellation) is done, so
+    /// a clean check here means no rule instance can be holding stale
+    /// premises and no assertion is midway through cancelling a pending
+    /// retraction. Blocked adders (waiting on this write lock) proceed
+    /// after `f` and join against the post-maintenance store — sound
+    /// either way. Returns `f`'s result and the store size captured under
+    /// the guard (racing adders blocked on the lock must not leak into
+    /// "store size after maintenance" reported by the trace events).
+    fn with_quiescent_store<R>(&self, f: impl FnOnce(&mut VerticalStore) -> R) -> (R, usize) {
+        let mut f = Some(f);
+        loop {
+            self.wait_idle();
+            let mut store = self.store.write();
+            if self.inflight.current() == 0 && self.buffers_empty() {
+                let result = (f.take().expect("quiescence loop runs f once"))(&mut store);
+                break (result, store.len());
+            }
+        }
+    }
+
+    /// Records a completed maintenance run in the global counters.
+    fn bump_removal_counters(&self, outcome: &RemovalOutcome) {
+        if outcome.retracted > 0 {
+            bump(&self.globals.removal_runs, 1);
+            bump(&self.globals.retracted, outcome.retracted as u64);
+            bump(&self.globals.overdeleted, outcome.overdeleted as u64);
+            bump(&self.globals.rederived, outcome.rederived as u64);
+        }
+    }
+
     /// One serialised DRed run over `triples` (see
     /// [`Slider::remove_triples`] for the linearisation contract).
     fn remove_eager(&self, triples: &[Triple]) -> RemovalOutcome {
         // One maintenance run at a time; concurrent removers queue here.
         let _serial = self.maintenance.lock();
-        let (outcome, store_size) = self.remove_locked(triples);
+        let rules: Vec<Arc<dyn Rule>> = self.modules.iter().map(|m| Arc::clone(&m.rule)).collect();
+        let (outcome, store_size) = self.with_quiescent_store(|store| {
+            maintenance::dred(store, &rules, &self.graph, triples, self.full_rederive)
+        });
+        self.bump_removal_counters(&outcome);
         if let Some(log) = &self.log {
             log.record(EventKind::Removal {
                 requested: outcome.requested,
@@ -249,63 +313,181 @@ impl Engine {
         outcome
     }
 
-    /// Drains the deferred-retraction queue and runs one coalesced DRed
-    /// pass over the union (see [`Slider::flush_maintenance`]).
+    /// Drains the deferred-retraction queue and applies it: one DRed pass
+    /// over the union, or — when the pending set spans several independent
+    /// maintenance partitions — one pass per partition, in parallel on the
+    /// worker pool (see [`Slider::flush_maintenance`]).
     fn flush_maintenance(&self) -> RemovalOutcome {
+        // One maintenance run at a time, so two racing flushes (threshold
+        // vs deadline vs explicit) cannot split one pending generation
+        // across two runs.
         let _serial = self.maintenance.lock();
-        // Drained under the maintenance mutex, so two racing flushes
-        // (threshold vs deadline vs explicit) cannot split one pending
-        // generation across two runs.
-        let pending = self.scheduler.drain();
-        if pending.is_empty() {
+        if self.scheduler.pending() == 0 {
             return RemovalOutcome::default();
         }
-        let (outcome, store_size) = self.remove_locked(&pending);
+        let rules: Vec<Arc<dyn Rule>> = self.modules.iter().map(|m| Arc::clone(&m.rule)).collect();
+        let ((outcome, pending_len, partitions), store_size) = self.with_quiescent_store(|store| {
+            // Drain *under the write lock, after the quiescence
+            // re-check*: this is the flush's linearisation point. Any
+            // assertion either completed earlier (its re-assertion
+            // already cancelled the matching pending retraction) or is
+            // blocked on this write lock and lands after the flush —
+            // a pending retraction can never be applied over a
+            // concurrent re-assertion it should have cancelled.
+            let pending = self.scheduler.drain();
+            if pending.is_empty() {
+                return (RemovalOutcome::default(), 0, 0);
+            }
+            let (outcome, partitions) = match self.plan_flush(&pending) {
+                Some(groups) => {
+                    let n = groups.len();
+                    (self.run_partitions(store, &rules, groups), n)
+                }
+                None => (
+                    maintenance::dred(store, &rules, &self.graph, &pending, self.full_rederive),
+                    1,
+                ),
+            };
+            (outcome, pending.len(), partitions)
+        });
+        if pending_len == 0 {
+            return outcome;
+        }
+        self.bump_removal_counters(&outcome);
         bump(&self.globals.coalesced_runs, 1);
+        if partitions > 1 {
+            bump(&self.globals.partitioned_runs, 1);
+        }
         if let Some(log) = &self.log {
-            log.record(EventKind::CoalescedRemoval {
-                pending: pending.len(),
-                retracted: outcome.retracted,
-                overdeleted: outcome.overdeleted,
-                rederived: outcome.rederived,
-                store_size,
-            });
+            if partitions > 1 {
+                log.record(EventKind::PartitionedRemoval {
+                    pending: pending_len,
+                    partitions,
+                    retracted: outcome.retracted,
+                    overdeleted: outcome.overdeleted,
+                    rederived: outcome.rederived,
+                    store_size,
+                });
+            } else {
+                log.record(EventKind::CoalescedRemoval {
+                    pending: pending_len,
+                    retracted: outcome.retracted,
+                    overdeleted: outcome.overdeleted,
+                    rederived: outcome.rederived,
+                    store_size,
+                });
+            }
         }
         outcome
     }
 
-    /// The shared DRed body: waits for quiescence, runs maintenance under
-    /// the write lock, updates the global counters. The caller must hold
-    /// the maintenance mutex. Returns the outcome and the store size
-    /// captured under the write guard.
-    fn remove_locked(&self, triples: &[Triple]) -> (RemovalOutcome, usize) {
-        let rules: Vec<Arc<dyn Rule>> = self.modules.iter().map(|m| Arc::clone(&m.rule)).collect();
-        let (outcome, store_size) = loop {
-            // Drain all in-flight derivations, then re-check quiescence
-            // *under the write lock*: an `add_triples` that slipped in
-            // after `wait_idle` still holds its inflight token until its
-            // routing is done, so a clean check here means no rule
-            // instance can be holding stale premises. Blocked adders
-            // (waiting on this write lock) proceed after maintenance and
-            // join against the post-removal store — sound either way.
-            self.wait_idle();
-            let mut store = self.store.write();
-            if self.inflight.current() == 0 && self.buffers_empty() {
-                let outcome =
-                    maintenance::dred(&mut store, &rules, &self.graph, triples, self.full_rederive);
-                // Size captured under the guard: racing adders blocked on
-                // the lock must not leak into "store size after
-                // maintenance" reported by the trace event.
-                break (outcome, store.len());
-            }
-        };
-        if outcome.retracted > 0 {
-            bump(&self.globals.removal_runs, 1);
-            bump(&self.globals.retracted, outcome.retracted as u64);
-            bump(&self.globals.overdeleted, outcome.overdeleted as u64);
-            bump(&self.globals.rederived, outcome.rederived as u64);
+    /// Buckets `pending` by maintenance partition
+    /// ([`DependencyGraph::component_of_predicate`]). Returns `None` when
+    /// the flush must stay single-pass: partitioning disabled,
+    /// conservative (`full_rederive`) mode, fewer than two buckets, a
+    /// bucket whose partition owns every predicate (universal rules), or
+    /// an involved rule without a backward matcher.
+    fn plan_flush(&self, pending: &[Triple]) -> Option<Vec<PendingGroup>> {
+        use slider_model::{FxHashMap, NodeId};
+        if !self.partitioning || self.full_rederive {
+            return None;
         }
-        (outcome, store_size)
+        let mut pred_comp: FxHashMap<NodeId, Option<usize>> = FxHashMap::default();
+        let mut by_comp: FxHashMap<Option<usize>, Vec<Triple>> = FxHashMap::default();
+        for &t in pending {
+            let comp = *pred_comp
+                .entry(t.p)
+                .or_insert_with(|| self.graph.component_of_predicate(t.p));
+            by_comp.entry(comp).or_default().push(t);
+        }
+        if by_comp.len() < 2 {
+            return None;
+        }
+        // Deterministic order: components ascending, the inert bucket (no
+        // rule consumes or emits its predicates — plain deletes) last.
+        let mut buckets: Vec<(Option<usize>, Vec<Triple>)> = by_comp.into_iter().collect();
+        buckets.sort_by_key(|(comp, _)| (comp.is_none(), comp.unwrap_or(0)));
+        let mut groups = Vec::with_capacity(buckets.len());
+        for (comp, triples) in buckets {
+            let preds = match comp {
+                Some(c) => {
+                    if (0..self.graph.len())
+                        .any(|i| self.graph.component_of(i) == c && !self.backward[i])
+                    {
+                        return None;
+                    }
+                    self.graph.component_predicates(c)?.to_vec()
+                }
+                None => {
+                    let mut preds: Vec<NodeId> = triples.iter().map(|t| t.p).collect();
+                    preds.sort_unstable();
+                    preds.dedup();
+                    preds
+                }
+            };
+            groups.push(PendingGroup { preds, triples });
+        }
+        Some(groups)
+    }
+
+    /// Executes one partitioned coalesced flush: every group after the
+    /// first has its footprint split off the store as a self-contained
+    /// shard (tables move wholesale, provenance flags included) and runs
+    /// its own DRed pass as a [`Job::Partition`] on the worker pool; the
+    /// calling thread runs the first group directly on the main store
+    /// (its pass only touches its own partition's tables) and absorbs the
+    /// shards back as they complete. Sound because the groups' footprints
+    /// are disjoint by construction: no pass reads a triple another pass
+    /// writes. The caller holds the store write lock and the maintenance
+    /// mutex; the pool is quiescent, so partition jobs are the only work.
+    fn run_partitions(
+        &self,
+        store: &mut VerticalStore,
+        rules: &[Arc<dyn Rule>],
+        groups: Vec<PendingGroup>,
+    ) -> RemovalOutcome {
+        let (tx, rx) = unbounded();
+        let mut iter = groups.into_iter();
+        let first = iter.next().expect("plan_flush returns ≥ 2 groups");
+        let mut expected = 0usize;
+        for group in iter {
+            let sub = store.split_off(&group.preds);
+            let rules = rules.to_vec();
+            let graph = Arc::clone(&self.graph);
+            let tx = tx.clone();
+            let task: Box<dyn FnOnce() + Send> = Box::new(move || {
+                let mut sub = sub;
+                let outcome = maintenance::dred(&mut sub, &rules, &graph, &group.triples, false);
+                // Receiver outliving the flush is guaranteed: the
+                // coordinator below collects exactly this many results.
+                let _ = tx.send((sub, outcome));
+            });
+            expected += 1;
+            if let Err(err) = self.job_tx.send(Job::Partition(task)) {
+                // All receivers gone means teardown stopped the workers —
+                // unreachable from the public API (Drop flushes before
+                // stopping them), but never lose a shard: run inline.
+                match err.0 {
+                    Job::Partition(task) => task(),
+                    _ => unreachable!("the failed send returns the partition job"),
+                }
+            }
+        }
+        // Drop the coordinator's sender: once every dispatched pass has
+        // either sent or been dropped (a worker panic drops its clone
+        // without sending), the channel disconnects — so a lost shard
+        // surfaces as the `expect` below instead of a recv() that blocks
+        // forever while holding the store write lock.
+        drop(tx);
+        let mut total = maintenance::dred(store, rules, &self.graph, &first.triples, false);
+        for _ in 0..expected {
+            let (sub, outcome) = rx
+                .recv()
+                .expect("partition shard lost — a worker panicked mid-pass");
+            store.absorb(sub);
+            total.merge(outcome);
+        }
+        total
     }
 }
 
@@ -316,6 +498,10 @@ fn worker_loop(engine: Arc<Engine>, rx: Receiver<Job>) {
                 engine.run_job(rule, delta);
                 engine.inflight.dec();
             }
+            // Partition passes carry no inflight token: they only exist
+            // while the flush coordinator holds the store write lock, and
+            // it collects every pass before releasing it.
+            Job::Partition(task) => task(),
             Job::Stop => break,
         }
     }
@@ -421,11 +607,24 @@ impl Slider {
             ConcurrentStore::from_store(VerticalStore::without_object_index())
         };
         let (job_tx, job_rx) = unbounded();
+        // Probe each rule's backward matcher once (an empty store answers
+        // `Some(false)` from any implementation, `None` from the default):
+        // partitioned flushes are gated on every involved rule having one.
+        let probe_store = VerticalStore::new();
+        let probe = Triple::new(
+            slider_model::NodeId(0),
+            slider_model::NodeId(0),
+            slider_model::NodeId(0),
+        );
+        let backward: Vec<bool> = modules
+            .iter()
+            .map(|m| m.rule.derives(&probe_store, probe).is_some())
+            .collect();
         let engine = Arc::new(Engine {
             dict,
             store,
             modules,
-            graph,
+            graph: Arc::new(graph),
             job_tx,
             inflight: Inflight::new(),
             globals: GlobalCounters::default(),
@@ -436,6 +635,8 @@ impl Slider {
                 .then(|| (base_capacity, base_capacity.saturating_mul(64))),
             maintenance: Mutex::new(()),
             full_rederive: config.full_rederive,
+            partitioning: config.maintenance_partitioning,
+            backward,
             scheduler: MaintenanceScheduler::new(
                 config.maintenance_batch,
                 config.maintenance_max_age,
@@ -486,15 +687,31 @@ impl Slider {
     /// the new triples enter the store immediately (marked **explicit** —
     /// asserted, as opposed to rule-derived) and are routed to the rule
     /// buffers. Returns how many were new.
+    ///
+    /// Asserting a triple whose **deferred retraction is still pending**
+    /// ([`Slider::remove_deferred`]) cancels that retraction: the
+    /// assertion is the newer fact, so the next coalesced flush leaves it
+    /// (and its consequences) in place. Without the cancellation the flush
+    /// would silently retract a fact the caller just asserted — the store
+    /// would diverge from the closure of the surviving explicit set.
     pub fn add_triples(&self, triples: &[Triple]) -> usize {
         let engine = &self.engine;
-        // Token covers the push-and-route window so `wait_idle` on another
-        // thread cannot observe a false quiescence mid-call.
+        // Token covers the push-cancel-route window so `wait_idle` on
+        // another thread cannot observe a false quiescence mid-call — and
+        // so a coalesced flush (which drains the pending set only at
+        // verified quiescence, under the store write lock) can never
+        // interleave between this call's insert and its cancellation.
         engine.inflight.inc();
         let mut fresh = Vec::with_capacity(triples.len());
         engine.store.insert_batch_explicit(triples, &mut fresh);
         bump(&engine.globals.input_received, triples.len() as u64);
         bump(&engine.globals.input_fresh, fresh.len() as u64);
+        // Re-assertion cancels a pending retraction (lock-free no-op when
+        // nothing is pending — the hot additive path stays hot).
+        let cancelled = engine.scheduler.cancel(triples);
+        if cancelled > 0 {
+            bump(&engine.globals.cancelled, cancelled as u64);
+        }
         if let Some(log) = &engine.log {
             log.record(EventKind::Input {
                 received: triples.len(),
@@ -569,16 +786,28 @@ impl Slider {
     /// [`Slider::flush_maintenance`] is called. Returns how many triples
     /// were newly enqueued (already-pending duplicates are dropped).
     ///
-    /// The coalescing invariant: a flush leaves the store exactly where
-    /// the same retractions applied eagerly one batch at a time would have
-    /// — both end at the closure of the surviving explicit triples — while
-    /// paying the overdelete/rederive machinery once instead of N times.
-    /// The trade-off is staleness: until the flush, queries still see the
-    /// pre-retraction closure, and a triple re-asserted while pending is
-    /// retracted by the next flush all the same. Use the eager
-    /// [`Slider::remove_triples`] when retractions must be visible
-    /// immediately. Pending retractions die with the reasoner: call
-    /// [`Slider::flush_maintenance`] before dropping if they must apply.
+    /// The coalescing invariant: a flush leaves the store exactly at the
+    /// closure of the explicit set that survived the interleaving — as if
+    /// the surviving retractions had been applied eagerly — while paying
+    /// the overdelete/rederive machinery once instead of N times. A triple
+    /// **re-asserted while its retraction is pending** is *not* retracted:
+    /// the assertion cancels the pending retraction (see
+    /// [`Slider::add_triples`]; [`StatsSnapshot::cancelled_removals`]
+    /// counts these).
+    ///
+    /// The trade-off is staleness: until a trigger fires, queries still
+    /// see the pre-retraction closure. [`Slider::pending_staleness`]
+    /// bounds how stale — the age of the oldest pending retraction. Use
+    /// the eager [`Slider::remove_triples`] when retractions must be
+    /// visible immediately. On drop, pending retractions are flushed (one
+    /// final coalesced run), mirroring how buffered triples drain.
+    ///
+    /// When the pending set spans several independent partitions of the
+    /// rules dependency graph, the flush runs one DRed pass per partition
+    /// in parallel on the worker pool (see
+    /// [`SliderConfig::maintenance_partitioning`](crate::SliderConfig::maintenance_partitioning)).
+    ///
+    /// [`StatsSnapshot::cancelled_removals`]: crate::StatsSnapshot::cancelled_removals
     pub fn remove_deferred(&self, triples: &[Triple]) -> usize {
         let engine = &self.engine;
         let (fresh, threshold_hit) = engine.scheduler.enqueue(triples);
@@ -597,13 +826,26 @@ impl Slider {
     }
 
     /// Flushes the deferred-retraction queue now: drains every pending
-    /// retraction and runs one coalesced DRed pass over the union (see
-    /// [`Slider::remove_deferred`]). A no-op returning an empty outcome
-    /// when nothing is pending. The outcome's
+    /// retraction and runs one coalesced DRed pass over the union — or,
+    /// when the pending set spans several independent dependency-graph
+    /// partitions, one pass per partition in parallel on the worker pool
+    /// (see [`Slider::remove_deferred`]). A no-op returning an empty
+    /// outcome when nothing is pending. The outcome's
     /// [`requested`](RemovalOutcome::requested) equals the number of
     /// distinct pending retractions drained.
     pub fn flush_maintenance(&self) -> RemovalOutcome {
         self.engine.flush_maintenance()
+    }
+
+    /// The staleness bound of deferred maintenance: the age of the oldest
+    /// pending retraction ([`Slider::remove_deferred`]), or `None` when
+    /// nothing is pending. Every query answered now reflects a closure at
+    /// most this much behind the retraction stream; with
+    /// [`SliderConfig::maintenance_max_age`](crate::SliderConfig::maintenance_max_age)
+    /// configured, the bound itself is bounded by roughly 1.5 × that
+    /// deadline (the flusher's scan granularity).
+    pub fn pending_staleness(&self) -> Option<Duration> {
+        self.engine.scheduler.oldest_age()
     }
 
     /// Retracts one encoded triple; returns `true` if it was an explicit
@@ -673,6 +915,13 @@ impl Slider {
         &self.engine.graph
     }
 
+    /// Number of independent maintenance partitions of the loaded ruleset
+    /// (see [`DependencyGraph::partition_count`]): an upper bound on how
+    /// many parallel DRed passes one coalesced flush can split into.
+    pub fn maintenance_partitions(&self) -> usize {
+        self.engine.graph.partition_count()
+    }
+
     /// Name of the loaded ruleset ("rho-df", "RDFS", custom).
     pub fn ruleset_name(&self) -> &str {
         &self.engine.ruleset_name
@@ -712,8 +961,11 @@ impl Slider {
             overdeleted: engine.globals.overdeleted.load(Ordering::Relaxed),
             rederived: engine.globals.rederived.load(Ordering::Relaxed),
             deferred: engine.globals.deferred.load(Ordering::Relaxed),
+            cancelled_removals: engine.globals.cancelled.load(Ordering::Relaxed),
             pending_removals: engine.scheduler.pending(),
             coalesced_runs: engine.globals.coalesced_runs.load(Ordering::Relaxed),
+            partitioned_runs: engine.globals.partitioned_runs.load(Ordering::Relaxed),
+            oldest_pending_age: engine.scheduler.oldest_age(),
         }
     }
 
@@ -726,6 +978,14 @@ impl Slider {
 impl Drop for Slider {
     fn drop(&mut self) {
         self.shutdown.store(true, Ordering::Relaxed);
+        // Pending deferred retractions must not be silently discarded:
+        // apply them in one final coalesced flush, mirroring how buffered
+        // triples drain at quiescence. This must happen while the workers
+        // are still alive — the flush waits for quiescence (and may farm
+        // partition passes out to the pool).
+        if self.engine.scheduler.pending() > 0 {
+            self.engine.flush_maintenance();
+        }
         // Join the flusher *before* stopping the workers: a deadline-
         // triggered `flush_maintenance` may be waiting for quiescence,
         // which only the still-running workers can provide — stopping them
@@ -1113,6 +1373,176 @@ mod tests {
         for r in &slider.stats().rules {
             assert_eq!(r.buffer_capacity, 77, "{}", r.name);
         }
+    }
+
+    /// Regression (silently discarded retractions): dropping a `Slider`
+    /// with a non-empty pending set must flush it — pending retractions
+    /// apply on teardown, mirroring the buffer drain — not discard it.
+    #[test]
+    fn drop_flushes_pending_retractions() {
+        // Batch mode: no flusher thread, threshold unreachable — nothing
+        // but the drop path can apply the deferral.
+        let slider = rho_slider(SliderConfig::batch().with_maintenance_batch(usize::MAX));
+        slider.materialize(&chain(10));
+        slider.remove_deferred(&[sco(5, 6)]);
+        assert_eq!(slider.stats().pending_removals, 1);
+        let engine = Arc::clone(&slider.engine);
+        drop(slider);
+        let survivors: Vec<Triple> = chain(10).into_iter().filter(|&t| t != sco(5, 6)).collect();
+        assert_eq!(
+            engine.store.to_sorted_vec(),
+            closure(Ruleset::rho_df(), &survivors).to_sorted_vec(),
+            "pending retraction was discarded on drop"
+        );
+        assert_eq!(engine.globals.coalesced_runs.load(Ordering::Relaxed), 1);
+    }
+
+    /// Regression (lost re-assertion): a triple re-asserted while its
+    /// deferred retraction is pending must survive the next flush — the
+    /// assertion cancels the retraction.
+    #[test]
+    fn re_assertion_cancels_pending_retraction() {
+        let slider = rho_slider(
+            SliderConfig::batch()
+                .with_maintenance_batch(usize::MAX)
+                .with_trace(true),
+        );
+        let input = chain(10);
+        slider.materialize(&input);
+        let full = slider.store().to_sorted_vec();
+        slider.remove_deferred(&[sco(4, 5), sco(7, 8)]);
+        // Re-assert one of the two while both are pending.
+        slider.add_triples(&[sco(4, 5)]);
+        assert_eq!(slider.stats().pending_removals, 1, "one cancelled");
+        assert_eq!(slider.stats().cancelled_removals, 1);
+        let outcome = slider.flush_maintenance();
+        slider.wait_idle();
+        // Only the surviving retraction applied.
+        assert_eq!(outcome.requested, 1);
+        assert!(slider.store().contains(sco(4, 5)), "re-assertion lost");
+        assert!(!slider.store().contains(sco(7, 8)));
+        let survivors: Vec<Triple> = input.into_iter().filter(|&t| t != sco(7, 8)).collect();
+        assert_eq!(
+            slider.store().to_sorted_vec(),
+            closure(Ruleset::rho_df(), &survivors).to_sorted_vec()
+        );
+        assert_ne!(slider.store().to_sorted_vec(), full);
+    }
+
+    /// A pending set spanning two independent rule families splits into a
+    /// partitioned flush: parallel DRed passes, same final store.
+    #[test]
+    fn partitioned_flush_runs_independent_partitions() {
+        use slider_rules::{Subsumption, Transitive};
+        let p = |v: u64| NodeId(5_000 + v);
+        let ruleset = Ruleset::custom("two-families")
+            .with(Transitive::new("T-A", p(0)))
+            .with(Subsumption::new("S-A", p(1), p(0)))
+            .with(Transitive::new("T-B", p(10)))
+            .with(Subsumption::new("S-B", p(11), p(10)));
+        let config = SliderConfig::batch()
+            .with_maintenance_batch(usize::MAX)
+            .with_trace(true);
+        let slider = Slider::new(Arc::new(Dictionary::new()), ruleset.clone(), config);
+        assert_eq!(slider.maintenance_partitions(), 2);
+
+        // Two chains, one per family, plus memberships at the chain heads;
+        // an inert (rule-free) predicate rides along as a third bucket.
+        let chain_a: Vec<Triple> = (1..6).map(|i| Triple::new(n(i), p(0), n(i + 1))).collect();
+        let chain_b: Vec<Triple> = (1..6).map(|i| Triple::new(n(i), p(10), n(i + 1))).collect();
+        let members = [
+            Triple::new(n(100), p(1), n(1)),
+            Triple::new(n(100), p(11), n(1)),
+        ];
+        let inert = Triple::new(n(200), NodeId(9_999), n(201));
+        slider.materialize(&chain_a);
+        slider.materialize(&chain_b);
+        slider.materialize(&members);
+        slider.materialize(&[inert]);
+
+        // Defer one link from each family plus the inert triple, flush.
+        slider.remove_deferred(&[chain_a[2], chain_b[2], inert]);
+        let outcome = slider.flush_maintenance();
+        assert_eq!(outcome.requested, 3);
+        assert_eq!(outcome.retracted, 3);
+
+        let stats = slider.stats();
+        assert_eq!(stats.partitioned_runs, 1, "flush did not partition");
+        assert_eq!(stats.coalesced_runs, 1);
+        let events = slider.events().expect("tracing on");
+        let partitions = events
+            .iter()
+            .find_map(|e| match e.kind {
+                EventKind::PartitionedRemoval { partitions, .. } => Some(partitions),
+                _ => None,
+            })
+            .expect("partitioned removal event");
+        assert_eq!(partitions, 3, "family A + family B + inert bucket");
+
+        // The store equals the closure of the surviving explicit set.
+        let survivors: Vec<Triple> = chain_a
+            .iter()
+            .chain(chain_b.iter())
+            .chain(members.iter())
+            .copied()
+            .filter(|&t| t != chain_a[2] && t != chain_b[2])
+            .collect();
+        assert_eq!(
+            slider.store().to_sorted_vec(),
+            closure(ruleset, &survivors).to_sorted_vec()
+        );
+    }
+
+    /// The partitioning ablation switch forces the single-pass path; both
+    /// modes land on the same store.
+    #[test]
+    fn partitioning_ablation_agrees_with_single_pass() {
+        use slider_rules::Transitive;
+        let p = |v: u64| NodeId(5_000 + v);
+        let build = |partitioning: bool| {
+            let ruleset = Ruleset::custom("two-chains")
+                .with(Transitive::new("T-A", p(0)))
+                .with(Transitive::new("T-B", p(10)));
+            let config = SliderConfig::batch()
+                .with_maintenance_batch(usize::MAX)
+                .with_maintenance_partitioning(partitioning);
+            let slider = Slider::new(Arc::new(Dictionary::new()), ruleset, config);
+            for base in [0, 10] {
+                let links: Vec<Triple> = (1..8)
+                    .map(|i| Triple::new(n(i), p(base), n(i + 1)))
+                    .collect();
+                slider.materialize(&links);
+            }
+            slider.remove_deferred(&[
+                Triple::new(n(3), p(0), n(4)),
+                Triple::new(n(5), p(10), n(6)),
+            ]);
+            slider.flush_maintenance();
+            slider
+        };
+        let partitioned = build(true);
+        let single = build(false);
+        assert_eq!(
+            partitioned.store().to_sorted_vec(),
+            single.store().to_sorted_vec()
+        );
+        assert_eq!(partitioned.stats().partitioned_runs, 1);
+        assert_eq!(single.stats().partitioned_runs, 0);
+        assert_eq!(single.stats().coalesced_runs, 1);
+    }
+
+    #[test]
+    fn pending_staleness_reports_oldest_age() {
+        let slider = rho_slider(SliderConfig::batch().with_maintenance_batch(usize::MAX));
+        slider.materialize(&chain(5));
+        assert_eq!(slider.pending_staleness(), None);
+        slider.remove_deferred(&[sco(2, 3)]);
+        std::thread::sleep(Duration::from_millis(2));
+        let age = slider.pending_staleness().expect("one pending");
+        assert!(age >= Duration::from_millis(2));
+        assert!(slider.stats().oldest_pending_age.is_some());
+        slider.flush_maintenance();
+        assert_eq!(slider.pending_staleness(), None);
     }
 
     /// Regression (adaptive shrink stall): when a retune lowers a module's

@@ -25,30 +25,38 @@
 //!
 //! The coalescing invariant (pinned against the recompute oracle in
 //! `tests/retraction.rs`): a coalesced flush leaves the store exactly where
-//! N eager removals would have — both end at the closure of the surviving
-//! explicit triples. Between enqueue and flush the retractions are simply
-//! *not applied yet*: queries see the pre-retraction closure, and a triple
-//! re-asserted while pending is still retracted by the next flush.
+//! retracting the *surviving* pending set eagerly would have — the closure
+//! of the surviving explicit triples. Between enqueue and flush the
+//! retractions are simply *not applied yet*: queries see the
+//! pre-retraction closure (bounded by
+//! [`Slider::pending_staleness`](crate::Slider::pending_staleness)), and a
+//! triple **re-asserted while its retraction is pending cancels the
+//! retraction** (`MaintenanceScheduler::cancel`, driven by the add
+//! path) — the flush must land on the closure of the explicit set that
+//! actually survived the interleaving.
 
 use parking_lot::Mutex;
 use slider_model::{FxHashSet, Triple};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// The deferred-retraction queue: distinct pending triples in FIFO order,
-/// plus the age of the oldest one.
+/// each stamped with its enqueue time.
 struct Pending {
-    /// Distinct pending retractions, in first-enqueue order.
-    queue: Vec<Triple>,
+    /// Distinct pending retractions with enqueue times, in first-enqueue
+    /// order (the head is the oldest).
+    queue: Vec<(Triple, Instant)>,
     /// Dedup set mirroring `queue`.
     seen: FxHashSet<Triple>,
-    /// When the oldest pending retraction was enqueued (`None` when empty).
-    since: Option<Instant>,
 }
 
 /// Pending retractions awaiting a coalesced DRed run (see the module docs
 /// for the trigger semantics).
 pub(crate) struct MaintenanceScheduler {
     inner: Mutex<Pending>,
+    /// Mirror of `queue.len()`, maintained under the lock — the add path's
+    /// lock-free fast check that there is nothing to cancel.
+    count: AtomicUsize,
     /// Distinct-pending threshold that requests a coalesced run.
     batch: usize,
     /// Age of the oldest pending retraction after which the flusher thread
@@ -64,8 +72,8 @@ impl MaintenanceScheduler {
             inner: Mutex::new(Pending {
                 queue: Vec::new(),
                 seen: FxHashSet::default(),
-                since: None,
             }),
+            count: AtomicUsize::new(0),
             batch: batch.max(1),
             max_age,
         }
@@ -77,29 +85,68 @@ impl MaintenanceScheduler {
     pub(crate) fn enqueue(&self, triples: &[Triple]) -> (usize, bool) {
         let mut inner = self.inner.lock();
         let before = inner.queue.len();
+        let now = Instant::now();
         for &t in triples {
             if inner.seen.insert(t) {
-                inner.queue.push(t);
+                inner.queue.push((t, now));
             }
         }
         let after = inner.queue.len();
-        if before == 0 && after > 0 {
-            inner.since = Some(Instant::now());
-        }
+        self.count.store(after, Ordering::Relaxed);
         (after - before, after >= self.batch)
+    }
+
+    /// Cancels the pending retraction of every triple in `triples` that is
+    /// pending (the rest are ignored); returns how many were cancelled.
+    /// The add path calls this on every asserted batch, restoring the
+    /// invariant that a flush lands on the closure of the explicit set
+    /// that survived the add/remove interleaving.
+    pub(crate) fn cancel(&self, triples: &[Triple]) -> usize {
+        // Lock-free fast path: with nothing pending (the common case for
+        // the hot additive path) there is nothing to cancel.
+        if self.count.load(Ordering::Relaxed) == 0 {
+            return 0;
+        }
+        let mut inner = self.inner.lock();
+        let before = inner.queue.len();
+        let mut hit = false;
+        for t in triples {
+            hit |= inner.seen.remove(t);
+        }
+        if !hit {
+            return 0;
+        }
+        // `seen` mirrors `queue`; dropping the no-longer-seen entries keeps
+        // FIFO order (and the head as the oldest survivor).
+        let seen = std::mem::take(&mut inner.seen);
+        inner.queue.retain(|(t, _)| seen.contains(t));
+        inner.seen = seen;
+        let after = inner.queue.len();
+        self.count.store(after, Ordering::Relaxed);
+        before - after
     }
 
     /// Takes the whole pending set (FIFO order), resetting the age clock.
     pub(crate) fn drain(&self) -> Vec<Triple> {
         let mut inner = self.inner.lock();
         inner.seen.clear();
-        inner.since = None;
+        self.count.store(0, Ordering::Relaxed);
         std::mem::take(&mut inner.queue)
+            .into_iter()
+            .map(|(t, _)| t)
+            .collect()
     }
 
     /// Number of distinct retractions currently pending.
     pub(crate) fn pending(&self) -> usize {
-        self.inner.lock().queue.len()
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Age of the oldest pending retraction — the staleness bound: every
+    /// pending retraction has been invisible to queries for at most this
+    /// long. `None` when nothing is pending.
+    pub(crate) fn oldest_age(&self) -> Option<Duration> {
+        self.inner.lock().queue.first().map(|(_, at)| at.elapsed())
     }
 
     /// True if a max-age deadline is configured and the oldest pending
@@ -108,10 +155,7 @@ impl MaintenanceScheduler {
         let Some(max_age) = self.max_age else {
             return false;
         };
-        self.inner
-            .lock()
-            .since
-            .is_some_and(|since| since.elapsed() >= max_age)
+        self.oldest_age().is_some_and(|age| age >= max_age)
     }
 
     /// True if a max-age deadline is configured (the flusher thread only
@@ -165,14 +209,47 @@ mod tests {
     }
 
     #[test]
+    fn cancel_removes_pending_retractions() {
+        let s = MaintenanceScheduler::new(100, None);
+        s.enqueue(&[t(1), t(2), t(3)]);
+        // Cancelling a mix of pending and unknown triples counts the hits.
+        assert_eq!(s.cancel(&[t(2), t(9), t(2)]), 1);
+        assert_eq!(s.pending(), 2);
+        assert_eq!(s.cancel(&[t(9)]), 0, "nothing pending matches");
+        // FIFO order of the survivors is preserved.
+        assert_eq!(s.drain(), vec![t(1), t(3)]);
+        // Cancel on an empty queue takes the lock-free fast path.
+        assert_eq!(s.cancel(&[t(1)]), 0);
+        // A cancelled triple can be deferred again later.
+        s.enqueue(&[t(2)]);
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
     fn staleness_tracks_oldest_enqueue() {
         let s = MaintenanceScheduler::new(100, Some(Duration::ZERO));
         assert!(s.has_deadline());
         assert!(!s.is_stale(), "empty queue is never stale");
+        assert_eq!(s.oldest_age(), None);
         s.enqueue(&[t(1)]);
         assert!(s.is_stale(), "zero max-age is immediately stale");
+        assert!(s.oldest_age().is_some());
         s.drain();
         assert!(!s.is_stale(), "drain resets the age clock");
+        assert_eq!(s.oldest_age(), None);
+    }
+
+    #[test]
+    fn cancel_of_oldest_advances_the_age_clock() {
+        let s = MaintenanceScheduler::new(100, None);
+        s.enqueue(&[t(1)]);
+        std::thread::sleep(Duration::from_millis(5));
+        s.enqueue(&[t(2)]);
+        let oldest = s.oldest_age().unwrap();
+        assert!(oldest >= Duration::from_millis(5));
+        // Cancelling the head makes the younger survivor the oldest.
+        s.cancel(&[t(1)]);
+        assert!(s.oldest_age().unwrap() < oldest);
     }
 
     #[test]

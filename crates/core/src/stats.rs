@@ -40,9 +40,15 @@ pub(crate) struct GlobalCounters {
     /// Distinct retractions enqueued by `remove_deferred` (whether or not
     /// they have been flushed yet).
     pub deferred: AtomicU64,
+    /// Pending retractions cancelled because the triple was re-asserted
+    /// while its retraction was still pending.
+    pub cancelled: AtomicU64,
     /// Coalesced maintenance runs: flushes of the deferred queue that
-    /// drained at least one pending retraction into a single DRed pass.
+    /// drained at least one pending retraction (single-pass or
+    /// partitioned).
     pub coalesced_runs: AtomicU64,
+    /// Coalesced runs that split into ≥ 2 parallel partition passes.
+    pub partitioned_runs: AtomicU64,
 }
 
 #[inline]
@@ -104,6 +110,10 @@ pub struct StatsSnapshot {
     pub rederived: u64,
     /// Distinct retractions ever enqueued by `remove_deferred`.
     pub deferred: u64,
+    /// Pending retractions cancelled by re-assertion: the triple was
+    /// `add_*`ed again while its deferred retraction was still pending, so
+    /// the retraction was dropped instead of applied at the next flush.
+    pub cancelled_removals: u64,
     /// Deferred retractions still pending (enqueued, not yet flushed).
     pub pending_removals: usize,
     /// Coalesced maintenance runs (non-empty `flush_maintenance` passes,
@@ -111,6 +121,16 @@ pub struct StatsSnapshot {
     /// run also counts towards [`StatsSnapshot::removal_runs`] when it
     /// retracted at least one explicit triple.
     pub coalesced_runs: u64,
+    /// Coalesced runs that split into ≥ 2 independent partition passes
+    /// executed in parallel on the worker pool (see
+    /// [`SliderConfig::maintenance_partitioning`](crate::SliderConfig::maintenance_partitioning)).
+    pub partitioned_runs: u64,
+    /// Age of the oldest pending retraction at snapshot time — the
+    /// **staleness bound**: every query answered now reflects a closure at
+    /// most this much older than the retraction stream. `None` when
+    /// nothing is pending. Also available without a full snapshot as
+    /// [`Slider::pending_staleness`](crate::Slider::pending_staleness).
+    pub oldest_pending_age: Option<std::time::Duration>,
 }
 
 impl StatsSnapshot {
@@ -159,11 +179,20 @@ impl std::fmt::Display for StatsSnapshot {
             )?;
         }
         if self.deferred > 0 {
-            writeln!(
+            write!(
                 f,
-                "deferred: {} enqueued, {} pending, {} coalesced runs",
-                self.deferred, self.pending_removals, self.coalesced_runs
+                "deferred: {} enqueued, {} pending, {} coalesced runs, {} partitioned, \
+                 {} cancelled",
+                self.deferred,
+                self.pending_removals,
+                self.coalesced_runs,
+                self.partitioned_runs,
+                self.cancelled_removals
             )?;
+            if let Some(age) = self.oldest_pending_age {
+                write!(f, ", oldest pending {:.1} ms", age.as_secs_f64() * 1e3)?;
+            }
+            writeln!(f)?;
         }
         writeln!(
             f,
@@ -210,8 +239,11 @@ mod tests {
             overdeleted: 0,
             rederived: 0,
             deferred: 0,
+            cancelled_removals: 0,
             pending_removals: 0,
             coalesced_runs: 0,
+            partitioned_runs: 0,
+            oldest_pending_age: None,
         }
     }
 
@@ -245,8 +277,16 @@ mod tests {
         with_removals.deferred = 5;
         with_removals.pending_removals = 2;
         with_removals.coalesced_runs = 1;
+        with_removals.partitioned_runs = 1;
+        with_removals.cancelled_removals = 3;
         let text = with_removals.to_string();
-        assert!(text.contains("deferred: 5 enqueued, 2 pending, 1 coalesced runs"));
+        assert!(text.contains(
+            "deferred: 5 enqueued, 2 pending, 1 coalesced runs, 1 partitioned, 3 cancelled"
+        ));
+        // The staleness bound only renders while something is pending.
+        assert!(!text.contains("oldest pending"));
+        with_removals.oldest_pending_age = Some(std::time::Duration::from_millis(4));
+        assert!(with_removals.to_string().contains("oldest pending 4.0 ms"));
     }
 
     #[test]

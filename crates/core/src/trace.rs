@@ -69,6 +69,23 @@ pub enum EventKind {
         /// Store size after maintenance.
         store_size: usize,
     },
+    /// A coalesced maintenance run that split into independent partition
+    /// passes executed in parallel on the worker pool (pending retractions
+    /// fell into ≥ 2 disjoint dependency-graph partitions).
+    PartitionedRemoval {
+        /// Distinct pending retractions drained into this run.
+        pending: usize,
+        /// Independent DRed passes the run split into.
+        partitions: usize,
+        /// Explicit triples actually retracted (all partitions).
+        retracted: usize,
+        /// Derived triples deleted during overdeletion (all partitions).
+        overdeleted: usize,
+        /// Overdeleted triples restored by rederivation (all partitions).
+        rederived: usize,
+        /// Store size after maintenance.
+        store_size: usize,
+    },
     /// The reasoner reached quiescence.
     Idle {
         /// Store size at quiescence.
@@ -196,6 +213,19 @@ pub fn events_to_json(events: &[Event]) -> String {
                     r#"{{"at_us":{us},"type":"coalesced_removal","pending":{pending},"retracted":{retracted},"overdeleted":{overdeleted},"rederived":{rederived},"store_size":{store_size}}}"#
                 );
             }
+            EventKind::PartitionedRemoval {
+                pending,
+                partitions,
+                retracted,
+                overdeleted,
+                rederived,
+                store_size,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"at_us":{us},"type":"partitioned_removal","pending":{pending},"partitions":{partitions},"retracted":{retracted},"overdeleted":{overdeleted},"rederived":{rederived},"store_size":{store_size}}}"#
+                );
+            }
             EventKind::Idle { store_size } => {
                 let _ = write!(
                     out,
@@ -286,6 +316,14 @@ mod tests {
             rederived: 2,
             store_size: 4,
         });
+        log.record(EventKind::PartitionedRemoval {
+            pending: 8,
+            partitions: 3,
+            retracted: 7,
+            overdeleted: 5,
+            rederived: 1,
+            store_size: 9,
+        });
         log.record(EventKind::Idle { store_size: 5 });
         let json = events_to_json(&log.events());
         assert!(json.starts_with('['));
@@ -297,12 +335,13 @@ mod tests {
             r#""type":"rule_fired","rule":2,"delta":4,"derived":6,"fresh":1,"store_size":5"#,
             r#""type":"removal","requested":3,"retracted":2,"overdeleted":4,"rederived":1,"store_size":2"#,
             r#""type":"coalesced_removal","pending":7,"retracted":6,"overdeleted":9,"rederived":2,"store_size":4"#,
+            r#""type":"partitioned_removal","pending":8,"partitions":3,"retracted":7,"overdeleted":5,"rederived":1,"store_size":9"#,
             r#""type":"idle","store_size":5"#,
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
-        // 6 separators for 7 events.
-        assert_eq!(json.matches("},{").count(), 6);
+        // 7 separators for 8 events.
+        assert_eq!(json.matches("},{").count(), 7);
     }
 
     #[test]

@@ -19,6 +19,12 @@ pub struct PropertyTable {
     /// `None` when the object index is disabled.
     by_o: Option<FxHashMap<NodeId, FxHashSet<NodeId>>>,
     len: usize,
+    /// The explicitly asserted subset of this partition (`explicit ⊆
+    /// pairs`; [`PropertyTable::remove`] clears the flag). Keeping the
+    /// provenance flag *inside* the partition makes a table a
+    /// self-contained shard: moving it between stores (see
+    /// `VerticalStore::split_off`) carries the flags along for free.
+    explicit: FxHashSet<(NodeId, NodeId)>,
 }
 
 impl Default for PropertyTable {
@@ -34,6 +40,7 @@ impl PropertyTable {
             by_s: FxHashMap::default(),
             by_o: Some(FxHashMap::default()),
             len: 0,
+            explicit: FxHashSet::default(),
         }
     }
 
@@ -43,6 +50,7 @@ impl PropertyTable {
             by_s: FxHashMap::default(),
             by_o: None,
             len: 0,
+            explicit: FxHashSet::default(),
         }
     }
 
@@ -80,8 +88,39 @@ impl PropertyTable {
                 }
             }
         }
+        self.explicit.remove(&(s, o));
         self.len -= 1;
         true
+    }
+
+    /// Flags a *present* pair as explicitly asserted; returns `true` if the
+    /// flag was newly set. Callers must only mark pairs they have
+    /// [`add`](PropertyTable::add)ed — the `explicit ⊆ pairs` invariant is
+    /// theirs to keep.
+    pub fn mark_explicit(&mut self, s: NodeId, o: NodeId) -> bool {
+        debug_assert!(self.contains(s, o), "marking an absent pair explicit");
+        self.explicit.insert((s, o))
+    }
+
+    /// Clears the explicit flag without removing the pair; returns `true`
+    /// if the flag was set.
+    pub fn unmark_explicit(&mut self, s: NodeId, o: NodeId) -> bool {
+        self.explicit.remove(&(s, o))
+    }
+
+    /// True if the pair is present and explicitly asserted.
+    pub fn is_explicit(&self, s: NodeId, o: NodeId) -> bool {
+        self.explicit.contains(&(s, o))
+    }
+
+    /// Number of explicitly asserted pairs.
+    pub fn explicit_len(&self) -> usize {
+        self.explicit.len()
+    }
+
+    /// The explicitly asserted `(s, o)` pairs (no ordering guarantee).
+    pub fn explicit_pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.explicit.iter().copied()
     }
 
     /// True if the pair is present.
@@ -249,6 +288,27 @@ mod tests {
         assert!(t.is_empty());
         assert_eq!(t.subject_keys().count(), 0);
         assert!(t.object_keys().is_empty());
+    }
+
+    #[test]
+    fn explicit_flags_live_with_the_pair() {
+        let mut t = PropertyTable::new();
+        t.add(n(1), n(2));
+        t.add(n(3), n(4));
+        assert!(t.mark_explicit(n(1), n(2)));
+        assert!(!t.mark_explicit(n(1), n(2)), "already flagged");
+        assert!(t.is_explicit(n(1), n(2)));
+        assert!(!t.is_explicit(n(3), n(4)));
+        assert_eq!(t.explicit_len(), 1);
+        assert_eq!(t.explicit_pairs().collect::<Vec<_>>(), vec![(n(1), n(2))]);
+        // Unmark demotes without removing.
+        assert!(t.unmark_explicit(n(1), n(2)));
+        assert!(!t.unmark_explicit(n(1), n(2)));
+        assert!(t.contains(n(1), n(2)));
+        // Removal clears the flag.
+        t.mark_explicit(n(1), n(2));
+        assert!(t.remove(n(1), n(2)));
+        assert_eq!(t.explicit_len(), 0);
     }
 
     #[test]

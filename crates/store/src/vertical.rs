@@ -2,7 +2,7 @@
 
 use crate::pattern::TriplePattern;
 use crate::table::PropertyTable;
-use slider_model::{FxHashMap, FxHashSet, NodeId, Triple};
+use slider_model::{FxHashMap, NodeId, Triple};
 
 /// An in-memory triple store, vertically partitioned by predicate.
 ///
@@ -24,9 +24,12 @@ pub struct VerticalStore {
     tables: FxHashMap<NodeId, PropertyTable>,
     len: usize,
     object_index: bool,
-    /// The explicitly asserted subset (`explicit ⊆ store` always holds:
-    /// removal clears the flag, and marking inserts the triple).
-    explicit: FxHashSet<Triple>,
+    /// Number of explicitly asserted triples. The flags themselves live in
+    /// the per-predicate tables (`explicit ⊆ store` always holds: removal
+    /// clears the flag, and marking inserts the triple), so moving a table
+    /// between stores — [`VerticalStore::split_off`] /
+    /// [`VerticalStore::absorb`] — carries provenance with it.
+    explicit_len: usize,
 }
 
 impl Default for VerticalStore {
@@ -61,7 +64,7 @@ impl VerticalStore {
             tables: FxHashMap::default(),
             len: 0,
             object_index: true,
-            explicit: FxHashSet::default(),
+            explicit_len: 0,
         }
     }
 
@@ -72,7 +75,7 @@ impl VerticalStore {
             tables: FxHashMap::default(),
             len: 0,
             object_index: false,
-            explicit: FxHashSet::default(),
+            explicit_len: 0,
         }
     }
 
@@ -113,7 +116,16 @@ impl VerticalStore {
     /// derived is *not* new (it changes provenance only).
     pub fn insert_explicit(&mut self, t: Triple) -> bool {
         let inserted = self.insert(t);
-        self.explicit.insert(t);
+        // The table exists after `insert` even when the triple was a
+        // duplicate.
+        if self
+            .tables
+            .get_mut(&t.p)
+            .expect("insert created the partition")
+            .mark_explicit(t.s, t.o)
+        {
+            self.explicit_len += 1;
+        }
         inserted
     }
 
@@ -136,6 +148,7 @@ impl VerticalStore {
         let Some(tab) = self.tables.get_mut(&t.p) else {
             return false;
         };
+        let was_explicit = tab.is_explicit(t.s, t.o);
         if !tab.remove(t.s, t.o) {
             return false;
         }
@@ -143,7 +156,9 @@ impl VerticalStore {
             self.tables.remove(&t.p);
         }
         self.len -= 1;
-        self.explicit.remove(&t);
+        if was_explicit {
+            self.explicit_len -= 1;
+        }
         true
     }
 
@@ -161,7 +176,9 @@ impl VerticalStore {
 
     /// True if `t` is present *and* explicitly asserted.
     pub fn is_explicit(&self, t: Triple) -> bool {
-        self.explicit.contains(&t)
+        self.tables
+            .get(&t.p)
+            .is_some_and(|tab| tab.is_explicit(t.s, t.o))
     }
 
     /// Clears the explicit flag of `t` without removing the triple
@@ -169,23 +186,75 @@ impl VerticalStore {
     /// flag was set. Truth maintenance uses this as the first step of a
     /// retraction: the triple then lives or dies by rederivability alone.
     pub fn unmark_explicit(&mut self, t: Triple) -> bool {
-        self.explicit.remove(&t)
+        let unmarked = self
+            .tables
+            .get_mut(&t.p)
+            .is_some_and(|tab| tab.unmark_explicit(t.s, t.o));
+        if unmarked {
+            self.explicit_len -= 1;
+        }
+        unmarked
     }
 
     /// Number of explicitly asserted triples.
     pub fn explicit_count(&self) -> usize {
-        self.explicit.len()
+        self.explicit_len
     }
 
     /// Number of derived (non-explicit) triples.
     pub fn derived_count(&self) -> usize {
-        self.len - self.explicit.len()
+        self.len - self.explicit_len
     }
 
     /// Iterates over the explicitly asserted triples (no ordering
     /// guarantee).
     pub fn explicit_iter(&self) -> impl Iterator<Item = Triple> + '_ {
-        self.explicit.iter().copied()
+        self.tables
+            .iter()
+            .flat_map(|(&p, tab)| tab.explicit_pairs().map(move |(s, o)| Triple::new(s, p, o)))
+    }
+
+    /// Moves the partitions of `preds` out into a new store (same indexing
+    /// mode), per-triple explicit flags included. Predicates with no
+    /// triples are skipped. O(#preds) — the tables move wholesale, which
+    /// is what lets a partitioned maintenance pass hand disjoint shards of
+    /// one store to parallel workers and [`absorb`](VerticalStore::absorb)
+    /// them back.
+    pub fn split_off(&mut self, preds: &[NodeId]) -> VerticalStore {
+        let mut split = if self.object_index {
+            VerticalStore::new()
+        } else {
+            VerticalStore::without_object_index()
+        };
+        for &p in preds {
+            let Some(tab) = self.tables.remove(&p) else {
+                continue;
+            };
+            self.len -= tab.len();
+            self.explicit_len -= tab.explicit_len();
+            split.len += tab.len();
+            split.explicit_len += tab.explicit_len();
+            split.tables.insert(p, tab);
+        }
+        split
+    }
+
+    /// Moves every partition of `other` into this store — the inverse of
+    /// [`VerticalStore::split_off`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a predicate is present in both stores: absorb re-attaches
+    /// *disjoint* shards, it does not merge overlapping ones.
+    pub fn absorb(&mut self, other: VerticalStore) {
+        for (p, tab) in other.tables {
+            self.len += tab.len();
+            self.explicit_len += tab.explicit_len();
+            assert!(
+                self.tables.insert(p, tab).is_none(),
+                "absorb: predicate {p:?} present in both stores"
+            );
+        }
     }
 
     /// True if `t` is present.
@@ -284,8 +353,8 @@ impl VerticalStore {
     pub fn stats(&self) -> StoreStats {
         StoreStats {
             triples: self.len,
-            explicit: self.explicit.len(),
-            derived: self.len - self.explicit.len(),
+            explicit: self.explicit_len,
+            derived: self.len - self.explicit_len,
             predicates: self.tables.len(),
             largest_partition: self
                 .tables
@@ -494,6 +563,64 @@ mod tests {
         assert!(st.remove(t(4, 5, 6)));
         assert!(!st.is_explicit(t(4, 5, 6)));
         assert_eq!(st.explicit_iter().count(), 0);
+    }
+
+    #[test]
+    fn split_off_and_absorb_round_trip_with_provenance() {
+        let mut st = VerticalStore::new();
+        st.insert_explicit(t(1, 10, 2));
+        st.insert(t(3, 10, 4));
+        st.insert_explicit(t(5, 20, 6));
+        st.insert(t(7, 30, 8));
+        let before = st.to_sorted_vec();
+
+        // Split two of the three partitions (plus an absent predicate).
+        let split = st.split_off(&[NodeId(10), NodeId(30), NodeId(99)]);
+        assert_eq!(split.len(), 3);
+        assert_eq!(split.explicit_count(), 1);
+        assert!(split.is_explicit(t(1, 10, 2)));
+        assert!(!split.is_explicit(t(3, 10, 4)));
+        assert_eq!(st.len(), 1);
+        assert_eq!(st.explicit_count(), 1);
+        assert!(!st.contains(t(1, 10, 2)));
+        assert!(st.is_explicit(t(5, 20, 6)));
+        assert_eq!(st.predicates().count(), 1);
+
+        // The shard is a fully functional store.
+        let mut split = split;
+        assert!(split.remove(t(3, 10, 4)));
+        assert!(split.insert(t(3, 10, 4)));
+
+        st.absorb(split);
+        assert_eq!(st.to_sorted_vec(), before);
+        assert_eq!(st.explicit_count(), 2);
+        assert!(st.is_explicit(t(1, 10, 2)));
+        assert_eq!(st.stats().predicates, 3);
+    }
+
+    #[test]
+    fn split_off_preserves_indexing_mode() {
+        let mut st = VerticalStore::without_object_index();
+        st.insert(t(1, 10, 2));
+        let split = st.split_off(&[NodeId(10)]);
+        // A store without the object index splits into one without it too:
+        // subjects() falls back to the scan path, which still answers.
+        assert_eq!(
+            split
+                .subjects_with(NodeId(10), NodeId(2))
+                .collect::<Vec<_>>(),
+            vec![NodeId(1)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "present in both stores")]
+    fn absorb_rejects_overlapping_partitions() {
+        let mut a = VerticalStore::new();
+        a.insert(t(1, 10, 2));
+        let mut b = VerticalStore::new();
+        b.insert(t(3, 10, 4));
+        a.absorb(b);
     }
 
     #[test]

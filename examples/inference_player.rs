@@ -101,6 +101,21 @@ fn replay(events: &[Event], rule_names: &[&'static str], input_size: usize) {
                      {overdeleted} overdeleted, {rederived} rederived (coalesced)"
                 );
             }
+            EventKind::PartitionedRemoval {
+                pending,
+                partitions,
+                retracted,
+                overdeleted,
+                rederived,
+                store_size: size,
+            } => {
+                store_size = *size;
+                println!(
+                    "[{step:>4} {ms:>8.2}ms] flush   {pending} deferred: {retracted} retracted, \
+                     {overdeleted} overdeleted, {rederived} rederived \
+                     ({partitions} parallel partitions)"
+                );
+            }
             EventKind::Idle { store_size: size } => {
                 store_size = *size;
                 println!("[{step:>4} {ms:>8.2}ms] idle    (closure complete)");
@@ -166,4 +181,15 @@ fn main() {
 
     let events = slider.events().expect("tracing was enabled");
     replay(&events, &rule_names, encoded.len());
+
+    // The scheduler-aware staleness bound (queries reflect a closure at
+    // most this far behind the retraction stream).
+    match slider.pending_staleness() {
+        Some(age) => println!(
+            "staleness bound: oldest pending retraction {:.1} ms ({} pending)",
+            age.as_secs_f64() * 1e3,
+            slider.stats().pending_removals
+        ),
+        None => println!("staleness bound: no pending retractions (queries are exact)"),
+    }
 }

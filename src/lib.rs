@@ -84,10 +84,26 @@
 //! over the whole pending set fires when the pending count reaches
 //! `SliderConfig::maintenance_batch`, when the oldest pending retraction
 //! outlives `SliderConfig::maintenance_max_age`, or on an explicit
-//! `Slider::flush_maintenance`. A flush leaves the store exactly where the
-//! same removals applied eagerly would have; until it runs, queries still
-//! see the pre-retraction closure. Use eager `remove_triples` when
-//! retractions must be visible immediately.
+//! `Slider::flush_maintenance`. The deferred semantics:
+//!
+//! * a flush leaves the store at the closure of the explicit set that
+//!   **survived the interleaving** — in particular, *re-asserting a
+//!   triple while its retraction is pending cancels the retraction*
+//!   (the assertion is newer; `StatsSnapshot::cancelled_removals`
+//!   counts these);
+//! * until a trigger fires, queries see the pre-retraction closure;
+//!   `Slider::pending_staleness()` bounds how stale (the age of the
+//!   oldest pending retraction);
+//! * dropping the reasoner flushes the pending set — retractions apply
+//!   on teardown rather than being discarded;
+//! * when the pending set spans several independent dependency-graph
+//!   partitions (disjoint rule families — see
+//!   `DependencyGraph::component_of`), the flush runs one DRed pass per
+//!   partition in parallel on the worker pool
+//!   (`SliderConfig::maintenance_partitioning`).
+//!
+//! Use eager `remove_triples` when retractions must be visible
+//! immediately.
 //!
 //! ## Crate map
 //!

@@ -275,6 +275,103 @@ fn deferred_removals_race_insertions_and_flushes() {
 }
 
 #[test]
+fn producers_race_parallel_partition_flushes() {
+    // Two independent rule families (disjoint vocabularies → two
+    // maintenance partitions) plus an inert predicate. Producers keep
+    // asserting chain links in both families while deferred removers
+    // retract earlier links and force flushes whose pending sets span the
+    // partitions — every such flush runs as parallel DRed passes that
+    // split the store, maintain the shards concurrently and merge them
+    // back, racing the blocked producers.
+    use slider::rules::{Subsumption, Transitive};
+    let trans_a = NodeId(90_000);
+    let is_a = NodeId(90_001);
+    let trans_b = NodeId(90_010);
+    let inert = NodeId(90_666);
+    let ruleset = Ruleset::custom("race-families")
+        .with(Transitive::new("T-A", trans_a))
+        .with(Subsumption::new("S-A", is_a, trans_a))
+        .with(Transitive::new("T-B", trans_b));
+
+    // Spaced chains: links (2k)→(2k+1) never concatenate, so each family's
+    // closure is exactly its explicit links — the expected final store is
+    // enumerable even under full racing — while retractions still exercise
+    // the real DRed machinery per partition.
+    let link = |p: NodeId, k: u64| Triple::new(NodeId(100_000 + 2 * k), p, NodeId(100_001 + 2 * k));
+    let preload: Vec<Triple> = (0..200)
+        .flat_map(|k| [link(trans_a, k), link(trans_b, k)])
+        .chain((0..100).map(|k| Triple::new(NodeId(200_000 + k), inert, NodeId(200_500 + k))))
+        .collect();
+    let added: Vec<Triple> = (200..400)
+        .flat_map(|k| [link(trans_a, k), link(trans_b, k)])
+        .collect();
+    // Doomed: the first 100 links of each family plus half the inert set.
+    let doomed: Vec<Triple> = (0..100)
+        .flat_map(|k| [link(trans_a, k), link(trans_b, k)])
+        .chain((0..50).map(|k| Triple::new(NodeId(200_000 + k), inert, NodeId(200_500 + k))))
+        .collect();
+
+    let dict = Arc::new(Dictionary::new());
+    let config = SliderConfig::default()
+        .with_maintenance_batch(48) // threshold flushes fire mid-race
+        .with_maintenance_max_age(None);
+    let slider = Arc::new(Slider::new(Arc::clone(&dict), ruleset, config));
+    slider.add_triples(&preload);
+    slider.wait_idle();
+    assert_eq!(slider.maintenance_partitions(), 2);
+
+    std::thread::scope(|scope| {
+        // 3 producers keep inserting fresh links in both families…
+        for producer in 0..3 {
+            let slider = Arc::clone(&slider);
+            let slice: Vec<Triple> = added.iter().copied().skip(producer).step_by(3).collect();
+            scope.spawn(move || {
+                for chunk in slice.chunks(16) {
+                    slider.add_triples(chunk);
+                }
+            });
+        }
+        // …while 2 deferred removers enqueue cross-partition retractions;
+        // one interleaves explicit flushes on top of the threshold ones.
+        for (remover, slice) in doomed.chunks(125).enumerate() {
+            let slider = Arc::clone(&slider);
+            let slice = slice.to_vec();
+            scope.spawn(move || {
+                for chunk in slice.chunks(25) {
+                    slider.remove_deferred(chunk);
+                    if remover == 0 {
+                        slider.flush_maintenance();
+                    }
+                }
+            });
+        }
+    });
+    slider.flush_maintenance();
+    slider.wait_idle();
+
+    // Exact final contents: preload minus doomed plus added, each once.
+    let mut expected: Vec<Triple> = preload
+        .iter()
+        .filter(|t| !doomed.contains(t))
+        .chain(added.iter())
+        .copied()
+        .collect();
+    expected.sort_unstable();
+    let got = slider.store().to_sorted_vec();
+    assert_eq!(got, expected);
+    let stats = slider.stats();
+    assert_eq!(stats.store.explicit, expected.len());
+    assert_eq!(stats.deferred, 250);
+    assert_eq!(stats.retracted, 250);
+    assert_eq!(stats.pending_removals, 0);
+    assert!(stats.coalesced_runs > 0);
+    assert!(
+        stats.partitioned_runs > 0,
+        "no flush spanned both partitions\n{stats}"
+    );
+}
+
+#[test]
 fn drop_under_load_terminates() {
     for _ in 0..5 {
         let dict = Arc::new(Dictionary::new());

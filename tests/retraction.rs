@@ -411,6 +411,60 @@ fn coalesced_flush_emits_trace_event() {
     assert!(slider.stats().to_string().contains("deferred: 2 enqueued"));
 }
 
+/// Regression (the PR 4 headline bugfix): re-asserting a triple while its
+/// deferred retraction is pending must CANCEL the retraction. The
+/// previously *documented* behaviour — "a triple re-asserted while pending
+/// is still retracted by the next flush" — let the store diverge from the
+/// closure of the surviving explicit set; that behaviour is the bug.
+#[test]
+fn re_asserting_while_pending_keeps_the_assertion() {
+    let slider = manual_flush_slider();
+    let input = chain(12);
+    slider.materialize(&input);
+    let full = slider.store().to_sorted_vec();
+    let mut oracle = RecomputeOracle::new(Ruleset::rho_df());
+    oracle.add(&input);
+
+    // Defer two retractions, then re-assert one of them before any flush.
+    slider.remove_deferred(&[sco(5, 6), sco(9, 10)]);
+    slider.add_triples(&[sco(5, 6)]);
+    slider.wait_idle();
+    let stats = slider.stats();
+    assert_eq!(stats.pending_removals, 1, "sco(5,6) should be cancelled");
+    assert_eq!(stats.cancelled_removals, 1);
+
+    let outcome = slider.flush_maintenance();
+    assert_eq!(outcome.requested, 1, "only the surviving retraction ran");
+    oracle.remove(&[sco(9, 10)]);
+    assert_matches_oracle(&slider, &oracle, "flush after re-assertion");
+    assert!(slider.store().contains(sco(5, 6)), "re-assertion lost");
+    assert!(
+        slider.store().contains(sco(1, 6)),
+        "its closure survives too"
+    );
+    assert_ne!(slider.store().to_sorted_vec(), full, "sco(9,10) did go");
+
+    // A cancelled triple can be retracted again later, for real.
+    slider.remove_deferred(&[sco(5, 6)]);
+    slider.flush_maintenance();
+    oracle.remove(&[sco(5, 6)]);
+    assert_matches_oracle(&slider, &oracle, "second, un-cancelled deferral");
+}
+
+/// Re-assertion of a triple that is *not* pending changes nothing about
+/// the pending set (and an add racing nothing pending is free).
+#[test]
+fn unrelated_assertions_do_not_touch_the_pending_set() {
+    let slider = manual_flush_slider();
+    slider.materialize(&chain(8));
+    slider.remove_deferred(&[sco(3, 4)]);
+    slider.add_triples(&[ty(50, 1), sco(20, 21)]);
+    slider.wait_idle();
+    let stats = slider.stats();
+    assert_eq!(stats.pending_removals, 1);
+    assert_eq!(stats.cancelled_removals, 0);
+}
+
 #[test]
 fn outcome_reports_ignored_derived_distinct_from_not_found() {
     let slider = rho_slider(SliderConfig::default());
@@ -421,6 +475,126 @@ fn outcome_reports_ignored_derived_distinct_from_not_found() {
     assert_eq!(outcome.retracted, 1);
     assert_eq!(outcome.ignored_derived, 1);
     assert_eq!(outcome.not_found, 1);
+}
+
+// ---------- partitioned coalesced flushes ------------------------------------
+
+use slider::rules::{Subsumption, Transitive};
+
+/// Predicates of two independent rule families plus an inert one.
+const TRANS_A: NodeId = NodeId(600);
+const IS_A: NodeId = NodeId(601);
+const TRANS_B: NodeId = NodeId(610);
+const IS_B: NodeId = NodeId(611);
+const INERT: NodeId = NodeId(666);
+
+/// Two transitive-hierarchy families with disjoint vocabularies — the
+/// dependency graph splits them into two maintenance partitions.
+fn family_ruleset() -> Ruleset {
+    Ruleset::custom("two-families")
+        .with(Transitive::new("T-A", TRANS_A))
+        .with(Subsumption::new("S-A", IS_A, TRANS_A))
+        .with(Transitive::new("T-B", TRANS_B))
+        .with(Subsumption::new("S-B", IS_B, TRANS_B))
+}
+
+fn family_slider(config: SliderConfig) -> Slider {
+    Slider::new(Arc::new(Dictionary::new()), family_ruleset(), config)
+}
+
+fn family_input() -> Vec<Triple> {
+    let mut input = Vec::new();
+    for (trans, is) in [(TRANS_A, IS_A), (TRANS_B, IS_B)] {
+        input.extend((1..8).map(|i| Triple::new(n(i), trans, n(i + 1))));
+        input.push(Triple::new(n(100), is, n(1)));
+        input.push(Triple::new(n(101), is, n(3)));
+    }
+    input.push(Triple::new(n(200), INERT, n(201)));
+    input
+}
+
+/// Eager-equality for partitioned flushes: a flush whose pending set spans
+/// both families (and the inert predicate) runs as parallel partition
+/// passes and lands exactly where eager removals do.
+#[test]
+fn partitioned_flush_equals_eager_removals() {
+    let input = family_input();
+    let removals = [
+        Triple::new(n(3), TRANS_A, n(4)),
+        Triple::new(n(100), IS_B, n(1)),
+        Triple::new(n(5), TRANS_B, n(6)),
+        Triple::new(n(200), INERT, n(201)),
+    ];
+
+    let eager = family_slider(SliderConfig::default());
+    eager.materialize(&input);
+    for &t in &removals {
+        eager.remove_triples(&[t]);
+    }
+
+    let deferred = family_slider(
+        SliderConfig::default()
+            .with_maintenance_batch(usize::MAX)
+            .with_maintenance_max_age(None),
+    );
+    deferred.materialize(&input);
+    deferred.remove_deferred(&removals);
+    let outcome = deferred.flush_maintenance();
+    assert_eq!(outcome.requested, 4);
+    assert_eq!(outcome.retracted, 4);
+
+    assert_eq!(
+        deferred.store().to_sorted_vec(),
+        eager.store().to_sorted_vec(),
+        "partitioned flush diverged from eager removals"
+    );
+    let stats = deferred.stats();
+    assert_eq!(stats.partitioned_runs, 1, "pending set spanned partitions");
+    assert_eq!(stats.coalesced_runs, 1);
+    assert_eq!(
+        stats.store.explicit,
+        eager.stats().store.explicit,
+        "provenance survived the split/absorb round trip"
+    );
+}
+
+/// A single-family pending set must NOT partition (nothing to parallelise)
+/// and still agrees with the oracle.
+#[test]
+fn single_family_pending_set_stays_single_pass() {
+    let deferred = family_slider(
+        SliderConfig::default()
+            .with_maintenance_batch(usize::MAX)
+            .with_maintenance_max_age(None),
+    );
+    deferred.materialize(&family_input());
+    deferred.remove_deferred(&[
+        Triple::new(n(3), TRANS_A, n(4)),
+        Triple::new(n(100), IS_A, n(1)),
+    ]);
+    deferred.flush_maintenance();
+    let stats = deferred.stats();
+    assert_eq!(stats.coalesced_runs, 1);
+    assert_eq!(stats.partitioned_runs, 0);
+    let mut oracle = RecomputeOracle::new(family_ruleset());
+    oracle.add(&family_input());
+    oracle.remove(&[
+        Triple::new(n(3), TRANS_A, n(4)),
+        Triple::new(n(100), IS_A, n(1)),
+    ]);
+    assert_matches_oracle(&deferred, &oracle, "single-partition flush");
+}
+
+/// ρdf's universal rules collapse to one partition: partitioned mode can
+/// never trigger there, whatever the pending set.
+#[test]
+fn universal_rulesets_never_partition() {
+    let slider = manual_flush_slider();
+    slider.materialize(&chain(10));
+    assert_eq!(slider.maintenance_partitions(), 1);
+    slider.remove_deferred(&[sco(2, 3), sco(7, 8), ty(9, 9)]);
+    slider.flush_maintenance();
+    assert_eq!(slider.stats().partitioned_runs, 0);
 }
 
 // ---------- the property test -----------------------------------------------
@@ -475,6 +649,34 @@ fn deferred_op() -> impl Strategy<Value = DeferredOp> {
     ]
 }
 
+/// Triples over the two independent families' vocabularies plus the inert
+/// predicate — deferrals bucket into up to three maintenance partitions.
+fn family_triple() -> impl Strategy<Value = Triple> {
+    let node = || (0u64..8).prop_map(n);
+    (
+        node(),
+        prop_oneof![
+            2 => Just(TRANS_A),
+            2 => Just(IS_A),
+            2 => Just(TRANS_B),
+            2 => Just(IS_B),
+            1 => Just(INERT),
+        ],
+        node(),
+    )
+        .prop_map(|(s, p, o)| Triple::new(s, p, o))
+}
+
+/// The deferred-op mix over the partitioned families' pool.
+fn family_op() -> impl Strategy<Value = DeferredOp> {
+    let batch = || prop::collection::vec(family_triple(), 1..8);
+    prop_oneof![
+        3 => batch().prop_map(DeferredOp::Add),
+        3 => batch().prop_map(DeferredOp::Defer),
+        1 => Just(DeferredOp::Flush),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
 
@@ -511,8 +713,10 @@ proptest! {
     /// shape: deferrals pile up, then one flush applies them all) leaves
     /// the store equal to the from-scratch closure of the surviving
     /// explicit triples — where "surviving" reflects the deferred
-    /// semantics: a retraction applies at its *flush*, so a triple
-    /// re-added while pending is retracted by the next flush.
+    /// semantics: a retraction applies at its *flush*, and a triple
+    /// re-added while pending **cancels** the pending retraction (the
+    /// pre-PR-4 behaviour — retract it anyway — silently lost the
+    /// re-assertion and diverged from the surviving explicit set).
     #[test]
     fn deferred_interleavings_match_recompute_oracle(
         ops in prop::collection::vec(deferred_op(), 1..14),
@@ -523,13 +727,16 @@ proptest! {
                 .with_maintenance_max_age(None),
         );
         let mut oracle = RecomputeOracle::new(Ruleset::rho_df());
-        // The model of the scheduler: distinct pending retractions, FIFO.
+        // The model of the scheduler: distinct pending retractions, FIFO,
+        // with re-assertion cancelling.
         let mut pending: Vec<Triple> = Vec::new();
         for (i, op) in ops.iter().enumerate() {
             match op {
                 DeferredOp::Add(batch) => {
                     slider.add_triples(batch);
                     oracle.add(batch);
+                    // Asserting a pending triple cancels its retraction.
+                    pending.retain(|t| !batch.contains(t));
                 }
                 DeferredOp::Defer(batch) => {
                     slider.remove_deferred(batch);
@@ -583,6 +790,8 @@ proptest! {
                 DeferredOp::Add(batch) => {
                     slider.add_triples(batch);
                     oracle.add(batch);
+                    // Re-assertion cancels a pending retraction.
+                    pending.retain(|t| !batch.contains(t));
                 }
                 DeferredOp::Defer(batch) => {
                     slider.remove_deferred(batch);
@@ -611,6 +820,60 @@ proptest! {
                 ops
             );
         }
+    }
+
+    /// The partitioned acceptance property: over a ruleset with several
+    /// maintenance partitions, ANY interleaving of adds, deferrals and
+    /// flushes — including re-assertions of pending triples — leaves the
+    /// store at the from-scratch closure of the surviving explicit set.
+    /// The triple pool spans both families plus an inert predicate, so
+    /// flushes routinely split into 2–3 parallel partition passes.
+    #[test]
+    fn partitioned_deferred_interleavings_match_oracle(
+        ops in prop::collection::vec(family_op(), 1..14),
+    ) {
+        let slider = family_slider(
+            SliderConfig::default()
+                .with_maintenance_batch(usize::MAX)
+                .with_maintenance_max_age(None),
+        );
+        let mut oracle = RecomputeOracle::new(family_ruleset());
+        let mut pending: Vec<Triple> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                DeferredOp::Add(batch) => {
+                    slider.add_triples(batch);
+                    oracle.add(batch);
+                    pending.retain(|t| !batch.contains(t));
+                }
+                DeferredOp::Defer(batch) => {
+                    slider.remove_deferred(batch);
+                    for &t in batch {
+                        if !pending.contains(&t) {
+                            pending.push(t);
+                        }
+                    }
+                }
+                DeferredOp::Flush => {
+                    let outcome = slider.flush_maintenance();
+                    prop_assert_eq!(outcome.requested, pending.len(), "op {}", i);
+                    oracle.remove(&pending);
+                    pending.clear();
+                }
+            }
+            slider.wait_idle();
+            prop_assert_eq!(
+                slider.store().to_sorted_vec(),
+                oracle.to_sorted_vec(),
+                "diverged after op {} of {:?}",
+                i,
+                ops
+            );
+        }
+        slider.flush_maintenance();
+        oracle.remove(&pending);
+        prop_assert_eq!(slider.store().to_sorted_vec(), oracle.to_sorted_vec());
+        prop_assert_eq!(slider.stats().store.explicit, oracle.explicit_len());
     }
 
     /// Same property under pathological buffering and the conservative

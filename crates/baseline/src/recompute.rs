@@ -60,7 +60,7 @@ impl RecomputeOracle {
     }
 
     /// Sorted closure, for direct comparison with
-    /// `ConcurrentStore::to_sorted_vec`.
+    /// `ShardedStore::to_sorted_vec`.
     pub fn to_sorted_vec(&self) -> Vec<Triple> {
         self.closure().to_sorted_vec()
     }

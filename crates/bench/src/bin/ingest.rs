@@ -1,0 +1,278 @@
+//! The `ingest` benchmark: multi-producer ingest + materialise throughput
+//! under the two-level sharded store lock vs the paper's global lock.
+//!
+//! The workload is the shared [`family`] shape:
+//! several independent rule families (a `Transitive` hierarchy plus a
+//! `Subsumption` membership rule per family, disjoint vocabularies), so
+//! every producer feeds — and every rule's distributor writes back into —
+//! its own predicate family. Under the old global `RwLock` every one of
+//! those writes serialises on a single writer lock; under the sharded
+//! store ([`SliderConfig::with_store_shards`]) disjoint families hash to
+//! disjoint shards and proceed concurrently. `shards = 1` *is* the global
+//! lock (one shard behind the same gate), so the comparison isolates
+//! exactly the locking change.
+//!
+//! ```text
+//! cargo run --release -p slider-bench --bin ingest            # full size
+//! cargo run --release -p slider-bench --bin ingest -- --smoke # CI smoke
+//! ```
+//!
+//! `--smoke` runs a tiny workload and verifies the final store of **every**
+//! (shards × workers) cell against the `RecomputeOracle` closure.
+
+use slider_baseline::RecomputeOracle;
+use slider_bench::family;
+use slider_core::{Slider, SliderConfig};
+use slider_model::{Dictionary, NodeId, Triple};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Params {
+    /// Independent rule families (= disjoint predicate shards, with high
+    /// probability at 16 shards).
+    families: u64,
+    /// Depth of each family's resident class chain.
+    depth: u64,
+    /// Membership batches per family.
+    batches: u64,
+    /// Instance-membership triples per batch.
+    members: u64,
+    /// Producer/worker counts to sweep.
+    workers: &'static [usize],
+    /// Verify every cell against the oracle closure.
+    verify: bool,
+}
+
+const SMOKE: Params = Params {
+    families: 4,
+    depth: 5,
+    batches: 6,
+    members: 5,
+    workers: &[1, 2],
+    verify: true,
+};
+
+const FULL: Params = Params {
+    families: 8,
+    depth: 14,
+    batches: 80,
+    members: 50,
+    workers: &[1, 2, 4],
+    verify: false,
+};
+
+/// Shard counts compared: 1 = the global-lock baseline, 16 = the default
+/// sharded store.
+const SHARD_POINTS: [(&str, usize); 2] = [("global", 1), ("sharded", 16)];
+
+/// Everything one producer feeds for family `f`: the resident chain, then
+/// per batch a fresh leaf linked into the chain plus its members. Uses the
+/// shared [`family`] vocabulary helpers so the rules wire up identically
+/// to the retraction bench.
+fn family_feed(f: u64, p: &Params) -> Vec<Triple> {
+    let mut feed: Vec<Triple> = (0..p.depth - 1)
+        .map(|d| {
+            Triple::new(
+                family::class(f, d),
+                family::trans_pred(f),
+                family::class(f, d + 1),
+            )
+        })
+        .collect();
+    for i in 0..p.batches {
+        let leaf = family::batch_leaf(f, i);
+        feed.push(Triple::new(
+            leaf,
+            family::trans_pred(f),
+            family::class(f, 0),
+        ));
+        for k in 0..p.members {
+            let inst = NodeId(1_000_000 + f * 100_000 + i * p.members + k);
+            feed.push(Triple::new(inst, family::is_pred(f), leaf));
+        }
+    }
+    feed
+}
+
+/// One timed **raw store** cell: `producers` threads concurrently
+/// `insert_batch` their families' feeds straight into a `ShardedStore`
+/// (no reasoner) — the isolated locking comparison. Returns the elapsed
+/// time and the store for verification.
+fn run_store_cell(
+    feeds: &[Vec<Triple>],
+    shards: usize,
+    producers: usize,
+) -> (Duration, slider_store::ShardedStore) {
+    let store = slider_store::ShardedStore::with_shards(shards);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for tid in 0..producers {
+            let store = &store;
+            let mine: Vec<&[Triple]> = feeds
+                .iter()
+                .enumerate()
+                .filter(|(f, _)| f % producers == tid)
+                .map(|(_, feed)| feed.as_slice())
+                .collect();
+            scope.spawn(move || {
+                let mut fresh = Vec::new();
+                for feed in mine {
+                    for chunk in feed.chunks(32) {
+                        fresh.clear();
+                        store.insert_batch(chunk, &mut fresh);
+                    }
+                }
+            });
+        }
+    });
+    (start.elapsed(), store)
+}
+
+/// One timed cell: `producers` threads concurrently feed their families
+/// (family `f` belongs to producer `f % producers`) into a reasoner with
+/// `shards` store shards and `producers` pool workers, then settle.
+fn run_cell(p: &Params, shards: usize, producers: usize) -> (Duration, Slider) {
+    let config = SliderConfig::batch()
+        .with_workers(producers)
+        .with_buffer_capacity(64)
+        .with_store_shards(shards);
+    let slider = Arc::new(Slider::new(
+        Arc::new(Dictionary::new()),
+        family::ruleset(p.families),
+        config,
+    ));
+    let feeds: Vec<Vec<Triple>> = (0..p.families).map(|f| family_feed(f, p)).collect();
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for tid in 0..producers {
+            let slider = Arc::clone(&slider);
+            let mine: Vec<&[Triple]> = feeds
+                .iter()
+                .enumerate()
+                .filter(|(f, _)| f % producers == tid)
+                .map(|(_, feed)| feed.as_slice())
+                .collect();
+            scope.spawn(move || {
+                for feed in mine {
+                    for chunk in feed.chunks(32) {
+                        slider.add_triples(chunk);
+                    }
+                }
+            });
+        }
+    });
+    slider.wait_idle();
+    let elapsed = start.elapsed();
+    let slider = Arc::into_inner(slider).expect("producers joined");
+    (elapsed, slider)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    if args.iter().any(|a| a != "--smoke") {
+        eprintln!("usage: ingest [--smoke]");
+        std::process::exit(2);
+    }
+    let p = if smoke { SMOKE } else { FULL };
+
+    let input: usize = (0..p.families).map(|f| family_feed(f, &p).len()).sum();
+    println!(
+        "ingest bench: {} families × depth {}, {} batches × {} members — {} input triples{}",
+        p.families,
+        p.depth,
+        p.batches,
+        p.members,
+        input,
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    // The oracle closure of the whole feed (same for every cell).
+    let expected: Option<Vec<Triple>> = p.verify.then(|| {
+        let mut oracle = RecomputeOracle::new(family::ruleset(p.families));
+        for f in 0..p.families {
+            oracle.add(&family_feed(f, &p));
+        }
+        oracle.to_sorted_vec()
+    });
+
+    // Untimed warm-up (allocator, page cache, thread spin-up) so the first
+    // measured cell is not penalised; then best-of-N per cell to damp
+    // scheduler noise.
+    let _ = run_cell(&p, 1, p.workers[0]);
+    let runs = if smoke { 1 } else { 3 };
+
+    // --- phase 1: raw store ingest (locking isolated, no reasoner) -----
+    println!(
+        "raw store ingest ({} producers × disjoint families):",
+        p.workers.last().unwrap()
+    );
+    let feeds: Vec<Vec<Triple>> = (0..p.families).map(|f| family_feed(f, &p)).collect();
+    for &workers in p.workers {
+        let mut elapsed = [Duration::ZERO; SHARD_POINTS.len()];
+        for (cell, &(label, shards)) in SHARD_POINTS.iter().enumerate() {
+            let (mut took, mut store) = run_store_cell(&feeds, shards, workers);
+            for _ in 1..runs {
+                let (t, s) = run_store_cell(&feeds, shards, workers);
+                if t < took {
+                    (took, store) = (t, s);
+                }
+            }
+            elapsed[cell] = took;
+            println!(
+                "  {workers} producer(s), {label:>7}: {:>9.2} ms, {:>10.0} triples/s \
+                 ({} shard write conflicts)",
+                took.as_secs_f64() * 1e3,
+                input as f64 / took.as_secs_f64().max(1e-9),
+                store.shard_write_conflicts(),
+            );
+            if p.verify {
+                let mut want: Vec<Triple> = feeds.iter().flatten().copied().collect();
+                want.sort_unstable();
+                want.dedup();
+                assert_eq!(store.to_sorted_vec(), want, "{label} store lost triples");
+            }
+        }
+        println!(
+            "  {workers} producer(s): sharded is {:.2}x the global-lock baseline",
+            elapsed[0].as_secs_f64() / elapsed[1].as_secs_f64().max(1e-9)
+        );
+    }
+
+    println!("end-to-end ingest + materialise:");
+
+    for &workers in p.workers {
+        let mut elapsed = [Duration::ZERO; SHARD_POINTS.len()];
+        for (cell, &(label, shards)) in SHARD_POINTS.iter().enumerate() {
+            let (mut took, mut slider) = run_cell(&p, shards, workers);
+            for _ in 1..runs {
+                let (t, s) = run_cell(&p, shards, workers);
+                if t < took {
+                    (took, slider) = (t, s);
+                }
+            }
+            elapsed[cell] = took;
+            let stats = slider.stats();
+            println!(
+                "  {workers} worker(s), {label:>7} ({shards:>2} shard{}): {:>9.2} ms, \
+                 {:>9.0} triples/s  ({} shard write conflicts)",
+                if shards == 1 { "" } else { "s" },
+                took.as_secs_f64() * 1e3,
+                input as f64 / took.as_secs_f64().max(1e-9),
+                stats.shard_write_conflicts,
+            );
+            if let Some(expected) = &expected {
+                assert_eq!(
+                    &slider.store().to_sorted_vec(),
+                    expected,
+                    "{label} store at {workers} worker(s) diverged from the oracle closure"
+                );
+                println!("    ✓ store matches the RecomputeOracle closure");
+            }
+        }
+        println!(
+            "  {workers} worker(s): sharded is {:.2}x the global-lock baseline",
+            elapsed[0].as_secs_f64() / elapsed[1].as_secs_f64().max(1e-9)
+        );
+    }
+}

@@ -71,6 +71,14 @@ pub struct SliderConfig {
     /// modes land on the same store. On by default; the switch exists as
     /// an ablation/cross-check.
     pub maintenance_partitioning: bool,
+    /// Shards of the two-level-locked store (rounded up to a power of two,
+    /// minimum 1): rule joins and distributor writes touching disjoint
+    /// predicate families lock disjoint shards and run concurrently, while
+    /// maintenance still gets full exclusivity through the store's global
+    /// gate. `1` degenerates to the paper's single global readers-writer
+    /// lock (the `ingest` benchmark's baseline). Default:
+    /// [`DEFAULT_SHARDS`](slider_store::DEFAULT_SHARDS).
+    pub store_shards: usize,
 }
 
 impl Default for SliderConfig {
@@ -86,6 +94,7 @@ impl Default for SliderConfig {
             maintenance_batch: 1024,
             maintenance_max_age: Some(Duration::from_millis(100)),
             maintenance_partitioning: true,
+            store_shards: slider_store::DEFAULT_SHARDS,
         }
     }
 }
@@ -165,6 +174,13 @@ impl SliderConfig {
         self.maintenance_partitioning = partitioning;
         self
     }
+
+    /// Builder-style store shard count (min 1, rounded up to a power of
+    /// two by the store; `1` = the global-lock baseline).
+    pub fn with_store_shards(mut self, shards: usize) -> Self {
+        self.store_shards = shards.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +200,13 @@ mod tests {
         assert!(c.maintenance_batch >= 1);
         assert!(c.maintenance_max_age.is_some());
         assert!(c.maintenance_partitioning);
+        assert_eq!(c.store_shards, slider_store::DEFAULT_SHARDS);
+    }
+
+    #[test]
+    fn store_shards_builder_clamps() {
+        assert_eq!(SliderConfig::default().with_store_shards(0).store_shards, 1);
+        assert_eq!(SliderConfig::default().with_store_shards(8).store_shards, 8);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //!
 //! ```text
 //!             ┌────────────────────────────────────────────────┐
-//!  evolving   │              TRIPLE STORE (RW-locked)          │
+//!  evolving   │   TRIPLE STORE (gate + per-predicate shards)   │
 //!  data ──►   └─▲──▲──────────────▲──────────────▲─────────────┘
 //!   input       │  │ read         │ read         │ write (dedup)
 //!  manager ──► [Buffer R1] ─► (rule instance on thread pool) ─► [Distributor R1]
@@ -14,7 +14,7 @@
 //!               │  ▲───────────── fresh triples routed ◄───────────┘
 //!               │        (rules dependency graph, Figure 2)
 //!  retractions ─┴─► [DRed maintenance: overdelete ▸ rederive]
-//!               (write-locked; explicit/derived provenance flags)
+//!               (gate-exclusive; explicit/derived provenance flags)
 //! ```
 //!
 //! * The **input manager** ([`Slider::add_triples`], [`Slider::add_terms`])
@@ -25,18 +25,22 @@
 //! * Each rule module owns a **buffer**; when it reaches
 //!   [`SliderConfig::buffer_capacity`] triples — or sits idle longer than
 //!   [`SliderConfig::timeout`] — its content becomes a *rule instance*: a
-//!   job on the **thread pool** that joins the batch against the
-//!   (read-locked) store, per paper Algorithm 1.
+//!   job on the **thread pool** that joins the batch against a read
+//!   snapshot scoped to the rule's declared read set (only those
+//!   predicates' shard locks — see `slider_store::ShardedStore`), per
+//!   paper Algorithm 1.
 //! * The rule instance's **distributor** inserts the conclusions into the
-//!   store under one write lock; only the triples that were *actually new*
+//!   store, locking one predicate shard at a time (writes on disjoint
+//!   shards run concurrently); only the triples that were *actually new*
 //!   are dispatched onward, to the buffers selected by the **rules
 //!   dependency graph** — the paper's duplicate-limitation mechanism.
 //! * [`Slider::wait_idle`] detects quiescence (all buffers empty, no
 //!   in-flight work): the closure is complete. Streaming callers instead
 //!   just keep feeding triples; timeouts keep buffers moving.
 //! * **Retractions** ([`Slider::remove_triples`], [`Slider::remove_terms`])
-//!   run the [`maintenance`] module's DRed algorithm under the store's
-//!   write lock: overdelete the downward closure of the retracted facts
+//!   run the [`maintenance`] module's DRed algorithm with the store held
+//!   exclusively (the maintenance gate in write mode): overdelete the
+//!   downward closure of the retracted facts
 //!   through the dependency graph, then rederive the survivors via the
 //!   same rule modules. Afterwards the store equals the closure of the
 //!   surviving explicit triples — sliding-window streams retract expiring

@@ -154,7 +154,7 @@ pub(crate) fn dred(
     while !delta.is_empty() {
         out.clear();
         for &i in &over_rules {
-            rules[i].apply(store, &delta, &mut out);
+            rules[i].apply(&store.view(), &delta, &mut out);
         }
         for &t in &delta {
             store.remove(t);
@@ -196,7 +196,7 @@ pub(crate) fn dred(
             let mut restored: Vec<Triple> = Vec::new();
             candidates.retain(|&t| {
                 for &i in &rederive_rules {
-                    match rules[i].derives(store, t) {
+                    match rules[i].derives(&store.view(), t) {
                         Some(true) => {
                             restored.push(t);
                             return false;
@@ -225,7 +225,7 @@ pub(crate) fn dred(
             loop {
                 out.clear();
                 for &i in &rederive_rules {
-                    rules[i].apply(store, &delta, &mut out);
+                    rules[i].apply(&store.view(), &delta, &mut out);
                 }
                 fresh.clear();
                 store.insert_batch(&out, &mut fresh);

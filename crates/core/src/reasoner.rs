@@ -11,7 +11,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 use slider_model::{Dictionary, TermTriple, Triple};
 use slider_rules::{DependencyGraph, Fragment, InputFilter, Rule, Ruleset};
-use slider_store::{ConcurrentStore, VerticalStore};
+use slider_store::{ShardedStore, VerticalStore};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -36,6 +36,10 @@ enum Job {
 struct Module {
     rule: Arc<dyn Rule>,
     filter: InputFilter,
+    /// The rule's declared static read set ([`Rule::read_predicates`]),
+    /// pre-planned against the store's shard layout: `Some` lets a join
+    /// pin only those predicates' shards, `None` means a full snapshot.
+    read_plan: Option<slider_store::ReadSet>,
     buffer: Buffer,
     /// Rules whose buffers receive this module's fresh conclusions —
     /// `successors` in the dependency graph.
@@ -49,7 +53,7 @@ struct Module {
 /// Shared state between the public handle, the workers and the flusher.
 struct Engine {
     dict: Arc<Dictionary>,
-    store: ConcurrentStore,
+    store: ShardedStore,
     modules: Vec<Module>,
     /// Shared with partition-pass jobs, which run DRed off-thread.
     graph: Arc<DependencyGraph>,
@@ -154,11 +158,19 @@ impl Engine {
         let module = &self.modules[rule];
         let mut out = Vec::new();
         {
-            // One read lock per instance, as in the paper's design: the
-            // store may grow concurrently, which is sound (monotone) —
-            // extra visible triples only produce conclusions earlier.
-            let guard = self.store.read();
-            module.rule.apply(&guard, &delta, &mut out);
+            // One read snapshot per instance, scoped to the rule's
+            // declared read set (gate read + the read locks of exactly
+            // those predicates' shards, pinned in index order), as in the
+            // paper's one-lock-per-join design — except a declared-read
+            // rule only blocks writers on the shards it actually reads,
+            // so distributor writes on unrelated predicate families keep
+            // flowing (universal rules fall back to a full snapshot).
+            // The store may grow concurrently, which is sound (monotone)
+            // — extra visible triples only produce conclusions earlier;
+            // deletion cannot interleave, it requires the gate in write
+            // mode.
+            let snapshot = self.store.read_for(module.read_plan.as_ref());
+            module.rule.apply(&snapshot.view(), &delta, &mut out);
         }
         bump(&module.counters.fired, 1);
         bump(&module.counters.derived, out.len() as u64);
@@ -259,21 +271,29 @@ impl Engine {
     }
 
     /// Runs `f` on the quiescent store: drains all in-flight derivations,
-    /// then re-checks quiescence *under the write lock* — an `add_triples`
-    /// that slipped in after `wait_idle` still holds its inflight token
-    /// until its routing (and pending-retraction cancellation) is done, so
-    /// a clean check here means no rule instance can be holding stale
-    /// premises and no assertion is midway through cancelling a pending
-    /// retraction. Blocked adders (waiting on this write lock) proceed
-    /// after `f` and join against the post-maintenance store — sound
-    /// either way. Returns `f`'s result and the store size captured under
-    /// the guard (racing adders blocked on the lock must not leak into
-    /// "store size after maintenance" reported by the trace events).
+    /// then re-checks quiescence *under the store's maintenance gate,
+    /// held in write mode* — an `add_triples` that slipped in after
+    /// `wait_idle` still holds its inflight token until its routing (and
+    /// pending-retraction cancellation) is done, so a clean check here
+    /// means no rule instance can be holding stale premises and no
+    /// assertion is midway through cancelling a pending retraction.
+    /// Blocked adders (waiting on the gate in read mode) proceed after
+    /// `f` and join against the post-maintenance store — sound either
+    /// way. The gate is the *only* exclusive lock: normal reads and
+    /// writes never take it in write mode, they serialise on per-shard
+    /// locks instead ([`ShardedStore::exclusive`] merges the shards into
+    /// one [`VerticalStore`] for `f` and re-scatters them on release —
+    /// tables move wholesale, so both directions are O(#predicates)).
+    /// This preserves PR 4's linearisation contract verbatim: `f` sees a
+    /// store no concurrent operation can touch. Returns `f`'s result and
+    /// the store size captured under the gate (racing adders blocked on
+    /// it must not leak into "store size after maintenance" reported by
+    /// the trace events).
     fn with_quiescent_store<R>(&self, f: impl FnOnce(&mut VerticalStore) -> R) -> (R, usize) {
         let mut f = Some(f);
         loop {
             self.wait_idle();
-            let mut store = self.store.write();
+            let mut store = self.store.exclusive();
             if self.inflight.current() == 0 && self.buffers_empty() {
                 let result = (f.take().expect("quiescence loop runs f once"))(&mut store);
                 break (result, store.len());
@@ -327,18 +347,18 @@ impl Engine {
         }
         let rules: Vec<Arc<dyn Rule>> = self.modules.iter().map(|m| Arc::clone(&m.rule)).collect();
         let ((outcome, pending_len, partitions), store_size) = self.with_quiescent_store(|store| {
-            // Drain *under the write lock, after the quiescence
+            // Drain *under the maintenance gate (write mode), after the quiescence
             // re-check*: this is the flush's linearisation point. Any
             // assertion either completed earlier (its re-assertion
             // already cancelled the matching pending retraction) or is
-            // blocked on this write lock and lands after the flush —
+            // blocked on the gate and lands after the flush —
             // a pending retraction can never be applied over a
             // concurrent re-assertion it should have cancelled.
             let pending = self.scheduler.drain();
             if pending.is_empty() {
                 return (RemovalOutcome::default(), 0, 0);
             }
-            let (outcome, partitions) = match self.plan_flush(&pending) {
+            let (outcome, partitions) = match self.plan_flush(store, &pending) {
                 Some(groups) => {
                     let n = groups.len();
                     (self.run_partitions(store, &rules, groups), n)
@@ -387,7 +407,16 @@ impl Engine {
     /// conservative (`full_rederive`) mode, fewer than two buckets, a
     /// bucket whose partition owns every predicate (universal rules), or
     /// an involved rule without a backward matcher.
-    fn plan_flush(&self, pending: &[Triple]) -> Option<Vec<PendingGroup>> {
+    ///
+    /// The returned groups are **size-ordered, largest footprint first**
+    /// (a bucket's footprint is the store population of the predicates
+    /// its DRed pass owns): [`Engine::run_partitions`] runs the first
+    /// group on the coordinator thread while the rest execute on the
+    /// pool, so the group most likely to dominate the flush's critical
+    /// path never waits behind a busy worker queue. Ties break on
+    /// component id, the inert bucket last, keeping the plan
+    /// deterministic.
+    fn plan_flush(&self, store: &VerticalStore, pending: &[Triple]) -> Option<Vec<PendingGroup>> {
         use slider_model::{FxHashMap, NodeId};
         if !self.partitioning || self.full_rederive {
             return None;
@@ -403,9 +432,9 @@ impl Engine {
         if by_comp.len() < 2 {
             return None;
         }
-        // Deterministic order: components ascending, the inert bucket (no
-        // rule consumes or emits its predicates — plain deletes) last.
         let mut buckets: Vec<(Option<usize>, Vec<Triple>)> = by_comp.into_iter().collect();
+        // Pre-sort for determinism before weighing (hash-map order is
+        // arbitrary); the weight sort below is stable.
         buckets.sort_by_key(|(comp, _)| (comp.is_none(), comp.unwrap_or(0)));
         let mut groups = Vec::with_capacity(buckets.len());
         for (comp, triples) in buckets {
@@ -425,21 +454,25 @@ impl Engine {
                     preds
                 }
             };
-            groups.push(PendingGroup { preds, triples });
+            let weight: usize = preds.iter().map(|&p| store.count_with_p(p)).sum();
+            groups.push((weight, PendingGroup { preds, triples }));
         }
-        Some(groups)
+        groups.sort_by_key(|&(weight, _)| std::cmp::Reverse(weight));
+        Some(groups.into_iter().map(|(_, g)| g).collect())
     }
 
     /// Executes one partitioned coalesced flush: every group after the
     /// first has its footprint split off the store as a self-contained
     /// shard (tables move wholesale, provenance flags included) and runs
     /// its own DRed pass as a [`Job::Partition`] on the worker pool; the
-    /// calling thread runs the first group directly on the main store
-    /// (its pass only touches its own partition's tables) and absorbs the
+    /// calling thread runs the first — **largest-footprint** (see
+    /// [`Engine::plan_flush`]) — group directly on the main store (its
+    /// pass only touches its own partition's tables) and absorbs the
     /// shards back as they complete. Sound because the groups' footprints
     /// are disjoint by construction: no pass reads a triple another pass
-    /// writes. The caller holds the store write lock and the maintenance
-    /// mutex; the pool is quiescent, so partition jobs are the only work.
+    /// writes. The caller holds the store's maintenance gate in write
+    /// mode and the maintenance mutex; the pool is quiescent, so
+    /// partition jobs are the only work.
     fn run_partitions(
         &self,
         store: &mut VerticalStore,
@@ -477,7 +510,7 @@ impl Engine {
         // either sent or been dropped (a worker panic drops its clone
         // without sending), the channel disconnects — so a lost shard
         // surfaces as the `expect` below instead of a recv() that blocks
-        // forever while holding the store write lock.
+        // forever while holding the store exclusively.
         drop(tx);
         let mut total = maintenance::dred(store, rules, &self.graph, &first.triples, false);
         for _ in 0..expected {
@@ -495,11 +528,26 @@ fn worker_loop(engine: Arc<Engine>, rx: Receiver<Job>) {
     while let Ok(job) = rx.recv() {
         match job {
             Job::Run { rule, delta } => {
-                engine.run_job(rule, delta);
+                // A panicking rule instance (e.g. a custom rule violating
+                // its declared read set) must not wedge the engine: the
+                // inflight token is released either way — leaking it
+                // would hang every wait_idle/flush/Drop forever — and the
+                // worker survives to run the remaining jobs. The panic
+                // itself already printed via the default hook; add which
+                // rule died.
+                let instance = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    engine.run_job(rule, delta);
+                }));
                 engine.inflight.dec();
+                if instance.is_err() {
+                    eprintln!(
+                        "slider: rule instance for {:?} panicked; its conclusions are lost",
+                        engine.modules[rule].rule.name()
+                    );
+                }
             }
             // Partition passes carry no inflight token: they only exist
-            // while the flush coordinator holds the store write lock, and
+            // while the flush coordinator holds the store exclusively, and
             // it collects every pass before releasing it.
             Job::Partition(task) => task(),
             Job::Stop => break,
@@ -588,6 +636,16 @@ impl Slider {
     pub fn new(dict: Arc<Dictionary>, ruleset: Ruleset, config: SliderConfig) -> Self {
         let graph = DependencyGraph::build(&ruleset);
         let base_capacity = config.buffer_capacity.max(1);
+        // The store comes first: each module's declared read set is
+        // planned against its shard layout once, not per rule instance.
+        let store = ShardedStore::from_store_sharded(
+            if config.object_index {
+                VerticalStore::new()
+            } else {
+                VerticalStore::without_object_index()
+            },
+            config.store_shards,
+        );
         let modules: Vec<Module> = ruleset
             .rules()
             .iter()
@@ -595,17 +653,13 @@ impl Slider {
             .map(|(i, rule)| Module {
                 rule: Arc::clone(rule),
                 filter: rule.input_filter(),
+                read_plan: rule.read_predicates().map(|preds| store.plan_read(&preds)),
                 buffer: Buffer::new(base_capacity),
                 successors: graph.successors(i).to_vec(),
                 counters: RuleCounters::default(),
                 capacity: std::sync::atomic::AtomicUsize::new(base_capacity),
             })
             .collect();
-        let store = if config.object_index {
-            ConcurrentStore::new()
-        } else {
-            ConcurrentStore::from_store(VerticalStore::without_object_index())
-        };
         let (job_tx, job_rx) = unbounded();
         // Probe each rule's backward matcher once (an empty store answers
         // `Some(false)` from any implementation, `None` from the default):
@@ -618,7 +672,7 @@ impl Slider {
         );
         let backward: Vec<bool> = modules
             .iter()
-            .map(|m| m.rule.derives(&probe_store, probe).is_some())
+            .map(|m| m.rule.derives(&probe_store.view(), probe).is_some())
             .collect();
         let engine = Arc::new(Engine {
             dict,
@@ -699,7 +753,7 @@ impl Slider {
         // Token covers the push-cancel-route window so `wait_idle` on
         // another thread cannot observe a false quiescence mid-call — and
         // so a coalesced flush (which drains the pending set only at
-        // verified quiescence, under the store write lock) can never
+        // verified quiescence, with the store held exclusively) can never
         // interleave between this call's insert and its cancellation.
         engine.inflight.inc();
         let mut fresh = Vec::with_capacity(triples.len());
@@ -906,7 +960,7 @@ impl Slider {
     }
 
     /// The triple store (explicit + inferred triples).
-    pub fn store(&self) -> &ConcurrentStore {
+    pub fn store(&self) -> &ShardedStore {
         &self.engine.store
     }
 
@@ -966,6 +1020,8 @@ impl Slider {
             coalesced_runs: engine.globals.coalesced_runs.load(Ordering::Relaxed),
             partitioned_runs: engine.globals.partitioned_runs.load(Ordering::Relaxed),
             oldest_pending_age: engine.scheduler.oldest_age(),
+            gate_write_acquisitions: engine.store.gate_write_acquisitions(),
+            shard_write_conflicts: engine.store.shard_write_conflicts(),
         }
     }
 
@@ -1529,6 +1585,181 @@ mod tests {
         assert_eq!(partitioned.stats().partitioned_runs, 1);
         assert_eq!(single.stats().partitioned_runs, 0);
         assert_eq!(single.stats().coalesced_runs, 1);
+    }
+
+    /// Size-aware bucket ordering: the bucket with the largest store
+    /// footprint must come first in the plan — it runs on the flush
+    /// coordinator while the rest are dispatched to the pool.
+    #[test]
+    fn plan_flush_puts_largest_bucket_on_the_coordinator() {
+        use slider_rules::Transitive;
+        let p = |v: u64| NodeId(5_000 + v);
+        let links = |base: u64, count: u64| -> Vec<Triple> {
+            (1..=count)
+                .map(|i| Triple::new(n(100 * base + i), p(base), n(100 * base + i + 1)))
+                .collect()
+        };
+        for (small, big) in [(0u64, 10u64), (10, 0)] {
+            let ruleset = Ruleset::custom("two-sizes")
+                .with(Transitive::new("T-A", p(0)))
+                .with(Transitive::new("T-B", p(10)));
+            let slider = Slider::new(
+                Arc::new(Dictionary::new()),
+                ruleset,
+                SliderConfig::batch().with_maintenance_batch(usize::MAX),
+            );
+            // One family dwarfs the other; which one varies per iteration,
+            // so the assertion cannot pass by accident of component ids.
+            slider.materialize(&links(small, 3));
+            slider.materialize(&links(big, 14));
+            let pending = vec![links(small, 3)[0], links(big, 14)[0]];
+            let engine = &slider.engine;
+            let store = engine.store.exclusive();
+            let groups = engine.plan_flush(&store, &pending).expect("two buckets");
+            assert_eq!(groups.len(), 2);
+            let weight = |g: &PendingGroup| -> usize {
+                g.preds.iter().map(|&q| store.count_with_p(q)).sum()
+            };
+            assert!(
+                groups[0].preds.contains(&p(big)),
+                "largest family must be first (coordinator-run)"
+            );
+            assert!(weight(&groups[0]) > weight(&groups[1]));
+        }
+    }
+
+    /// Satellite check for partitioned-flush accounting: the merged
+    /// [`RemovalOutcome`] of a partitioned flush must equal, counter for
+    /// counter, the single-pass outcome on the same workload — including
+    /// the no-op classifications.
+    #[test]
+    fn partitioned_outcome_counters_match_single_pass() {
+        use slider_rules::Transitive;
+        let p = |v: u64| NodeId(5_000 + v);
+        let build = |partitioning: bool| -> (Slider, RemovalOutcome) {
+            let ruleset = Ruleset::custom("two-chains")
+                .with(Transitive::new("T-A", p(0)))
+                .with(Transitive::new("T-B", p(10)));
+            let config = SliderConfig::batch()
+                .with_maintenance_batch(usize::MAX)
+                .with_maintenance_partitioning(partitioning);
+            let slider = Slider::new(Arc::new(Dictionary::new()), ruleset, config);
+            for base in [0, 10] {
+                let links: Vec<Triple> = (1..8)
+                    .map(|i| Triple::new(n(i), p(base), n(i + 1)))
+                    .collect();
+                slider.materialize(&links);
+            }
+            // Mix genuine retractions with the two no-op flavours (a
+            // derived-only triple and an absent one) across both
+            // partitions, so every counter is exercised per bucket.
+            slider.remove_deferred(&[
+                Triple::new(n(3), p(0), n(4)),
+                Triple::new(n(5), p(10), n(6)),
+                Triple::new(n(1), p(0), n(3)), // derived-only (chain hop)
+                Triple::new(n(90), p(10), n(91)), // absent
+            ]);
+            let outcome = slider.flush_maintenance();
+            (slider, outcome)
+        };
+        let (partitioned, merged) = build(true);
+        let (single, single_pass) = build(false);
+        assert_eq!(partitioned.stats().partitioned_runs, 1);
+        assert_eq!(single.stats().partitioned_runs, 0);
+        assert_eq!(
+            partitioned.store().to_sorted_vec(),
+            single.store().to_sorted_vec()
+        );
+        // Counter-for-counter equality: requested, retracted,
+        // ignored_derived, not_found, overdeleted, rederived.
+        assert_eq!(merged, single_pass, "partitioned outcome merge drifted");
+        assert_eq!(merged.retracted, 2);
+        assert_eq!(merged.ignored_derived, 1);
+        assert_eq!(merged.not_found, 1);
+    }
+
+    /// The two-level locking pin at the engine level: while one predicate
+    /// family's shard is write-locked, ingest into a different family
+    /// completes — writes on disjoint shards no longer serialise on a
+    /// store-wide writer lock.
+    #[test]
+    fn ingest_proceeds_while_another_shard_is_write_locked() {
+        // Empty ruleset: no rule instances, so the test isolates the
+        // input-manager write path.
+        let slider = Arc::new(Slider::new(
+            Arc::new(Dictionary::new()),
+            Ruleset::custom("none"),
+            SliderConfig::batch(),
+        ));
+        let store = slider.store();
+        let p1 = NodeId(10);
+        let p2 = (11..200)
+            .map(NodeId)
+            .find(|&q| store.shard_of(q) != store.shard_of(p1))
+            .expect("another shard exists");
+
+        let guard = store.write_shard(p1);
+        let slider2 = Arc::clone(&slider);
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let added = slider2.add_triples(&[Triple::new(n(1), p2, n(2))]);
+            let _ = tx.send(added);
+        });
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(10)),
+            Ok(1),
+            "ingest into a disjoint shard serialised on the held shard lock"
+        );
+        drop(guard);
+        slider.wait_idle();
+        assert!(slider.store().contains(Triple::new(n(1), p2, n(2))));
+    }
+
+    /// A custom rule whose `apply` violates its declared read set must
+    /// fail loudly — the instance panics and its conclusions are lost —
+    /// without wedging the engine: the worker releases the inflight
+    /// token either way, so `wait_idle` returns and the reasoner keeps
+    /// serving.
+    #[test]
+    fn read_set_violation_fails_loudly_without_wedging_the_engine() {
+        use slider_rules::OutputSignature;
+        use slider_store::StoreView;
+        struct Lying;
+        impl Rule for Lying {
+            fn name(&self) -> &'static str {
+                "LIAR"
+            }
+            fn definition(&self) -> &'static str {
+                "declares an empty read set, then reads the store"
+            }
+            fn input_filter(&self) -> InputFilter {
+                InputFilter::Universal
+            }
+            fn output_signature(&self) -> OutputSignature {
+                OutputSignature::Predicates(Vec::new())
+            }
+            fn read_predicates(&self) -> Option<Vec<NodeId>> {
+                Some(Vec::new())
+            }
+            fn apply(&self, store: &StoreView, delta: &[Triple], _out: &mut Vec<Triple>) {
+                for &t in delta {
+                    let _ = store.contains(t); // outside the declared set
+                }
+            }
+        }
+        let ruleset = Ruleset::custom("liar").with(Lying);
+        let slider = Slider::new(
+            Arc::new(Dictionary::new()),
+            ruleset,
+            SliderConfig::batch().with_workers(1),
+        );
+        slider.add_triples(&[sco(1, 2)]);
+        slider.wait_idle(); // must return despite the panicking instance
+        assert!(slider.store().contains(sco(1, 2)));
+        // The engine still ingests and settles afterwards.
+        slider.add_triples(&[sco(2, 3)]);
+        slider.wait_idle();
+        assert_eq!(slider.store().len(), 2);
     }
 
     #[test]

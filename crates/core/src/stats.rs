@@ -131,6 +131,18 @@ pub struct StatsSnapshot {
     /// nothing is pending. Also available without a full snapshot as
     /// [`Slider::pending_staleness`](crate::Slider::pending_staleness).
     pub oldest_pending_age: Option<std::time::Duration>,
+    /// Times the store's maintenance gate was taken in write mode — every
+    /// DRed run / quiescent-store section is one acquisition. Normal
+    /// reads and writes only ever hold the gate in read mode (see
+    /// [`ShardedStore`](slider_store::ShardedStore)).
+    pub gate_write_acquisitions: u64,
+    /// Times a shard write lock was contended: a distributor or input
+    /// write found its predicate shard held by another writer or a
+    /// snapshot. High values relative to write volume mean hot predicate
+    /// families are colliding — more shards or predicate renumbering would
+    /// help; zero under multi-worker load means the sharding is doing its
+    /// job.
+    pub shard_write_conflicts: u64,
 }
 
 impl StatsSnapshot {
@@ -196,6 +208,11 @@ impl std::fmt::Display for StatsSnapshot {
         }
         writeln!(
             f,
+            "locking: {} gate write acquisitions, {} shard write conflicts",
+            self.gate_write_acquisitions, self.shard_write_conflicts
+        )?;
+        writeln!(
+            f,
             "{:<10} {:>8} {:>8} {:>8} {:>10} {:>10} {:>10}",
             "rule", "fired", "full", "timeout", "buffered", "derived", "fresh"
         )?;
@@ -244,6 +261,8 @@ mod tests {
             coalesced_runs: 0,
             partitioned_runs: 0,
             oldest_pending_age: None,
+            gate_write_acquisitions: 0,
+            shard_write_conflicts: 0,
         }
     }
 
@@ -287,6 +306,12 @@ mod tests {
         assert!(!text.contains("oldest pending"));
         with_removals.oldest_pending_age = Some(std::time::Duration::from_millis(4));
         assert!(with_removals.to_string().contains("oldest pending 4.0 ms"));
+        // The lock-contention line always renders.
+        with_removals.gate_write_acquisitions = 6;
+        with_removals.shard_write_conflicts = 2;
+        assert!(with_removals
+            .to_string()
+            .contains("locking: 6 gate write acquisitions, 2 shard write conflicts"));
     }
 
     #[test]

@@ -32,7 +32,7 @@
 
 use crate::rule::{InputFilter, OutputSignature, Rule};
 use slider_model::{NodeId, Triple};
-use slider_store::VerticalStore;
+use slider_store::StoreView;
 
 /// `(x P y), (y P z) ⊢ (x P z)` — transitivity over a configurable
 /// predicate `P` (the generic [`ScmSco`](crate::ScmSco)).
@@ -51,6 +51,10 @@ impl Transitive {
 }
 
 impl Rule for Transitive {
+    fn read_predicates(&self) -> Option<Vec<NodeId>> {
+        Some(vec![self.pred])
+    }
+
     fn name(&self) -> &'static str {
         self.name
     }
@@ -67,7 +71,7 @@ impl Rule for Transitive {
         OutputSignature::Predicates(vec![self.pred])
     }
 
-    fn apply(&self, store: &VerticalStore, delta: &[Triple], out: &mut Vec<Triple>) {
+    fn apply(&self, store: &StoreView, delta: &[Triple], out: &mut Vec<Triple>) {
         for &t in delta {
             if t.p != self.pred {
                 continue;
@@ -83,7 +87,7 @@ impl Rule for Transitive {
         }
     }
 
-    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+    fn derives(&self, store: &StoreView, t: Triple) -> Option<bool> {
         // (x P z) ⇐ ∃y: (x P y) ∧ (y P z).
         Some(
             t.p == self.pred
@@ -113,6 +117,10 @@ impl Subsumption {
 }
 
 impl Rule for Subsumption {
+    fn read_predicates(&self) -> Option<Vec<NodeId>> {
+        Some(vec![self.is, self.sub])
+    }
+
     fn name(&self) -> &'static str {
         self.name
     }
@@ -129,7 +137,7 @@ impl Rule for Subsumption {
         OutputSignature::Predicates(vec![self.is])
     }
 
-    fn apply(&self, store: &VerticalStore, delta: &[Triple], out: &mut Vec<Triple>) {
+    fn apply(&self, store: &StoreView, delta: &[Triple], out: &mut Vec<Triple>) {
         for &t in delta {
             if t.p == self.sub {
                 // new (c SUB d) × store (x IS c)
@@ -145,7 +153,7 @@ impl Rule for Subsumption {
         }
     }
 
-    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+    fn derives(&self, store: &StoreView, t: Triple) -> Option<bool> {
         // (x IS d) ⇐ ∃c: (c SUB d) ∧ (x IS c).
         Some(
             t.p == self.is
@@ -161,6 +169,7 @@ mod tests {
     use super::*;
     use crate::ruleset::Ruleset;
     use crate::DependencyGraph;
+    use slider_store::VerticalStore;
 
     fn n(v: u64) -> NodeId {
         NodeId(v)
@@ -211,7 +220,7 @@ mod tests {
         let all: Vec<Triple> = store.iter().collect();
         for rule in family().rules() {
             let mut out = Vec::new();
-            rule.apply(&store, &all, &mut out);
+            rule.apply(&store.view(), &all, &mut out);
             out.sort_unstable();
             out.dedup();
             for s in 1..10u64 {
@@ -219,7 +228,7 @@ mod tests {
                     for o in 1..10u64 {
                         let probe = Triple::new(n(s), p, n(o));
                         assert_eq!(
-                            rule.derives(&store, probe),
+                            rule.derives(&store.view(), probe),
                             Some(out.binary_search(&probe).is_ok()),
                             "{}: derives disagrees with apply on {probe:?}",
                             rule.name()
@@ -270,7 +279,7 @@ mod tests {
             while !delta.is_empty() {
                 out.clear();
                 for rule in rs.rules() {
-                    rule.apply(&store, &delta, &mut out);
+                    rule.apply(&store.view(), &delta, &mut out);
                 }
                 fresh.clear();
                 store.insert_batch(&out, &mut fresh);

@@ -19,8 +19,8 @@ use slider_model::vocab::{
     RDFS_CLASS, RDFS_CONTAINER_MEMBERSHIP_PROPERTY, RDFS_DATATYPE, RDFS_LITERAL, RDFS_MEMBER,
     RDFS_RESOURCE, RDFS_SUB_CLASS_OF, RDFS_SUB_PROPERTY_OF, RDF_PROPERTY, RDF_TYPE,
 };
-use slider_model::{Dictionary, Triple};
-use slider_store::VerticalStore;
+use slider_model::{Dictionary, NodeId, Triple};
+use slider_store::StoreView;
 use std::sync::Arc;
 
 /// `rdfs1`: `(x p l), l is a literal ⊢ (l type Literal)` *(generalised)*.
@@ -36,6 +36,11 @@ impl Rdfs1 {
 }
 
 impl Rule for Rdfs1 {
+    // Delta-only: `apply` never queries the store.
+    fn read_predicates(&self) -> Option<Vec<NodeId>> {
+        Some(Vec::new())
+    }
+
     fn name(&self) -> &'static str {
         "RDFS1"
     }
@@ -52,7 +57,7 @@ impl Rule for Rdfs1 {
         OutputSignature::Predicates(vec![RDF_TYPE])
     }
 
-    fn apply(&self, _store: &VerticalStore, delta: &[Triple], out: &mut Vec<Triple>) {
+    fn apply(&self, _store: &StoreView, delta: &[Triple], out: &mut Vec<Triple>) {
         // One guard for the whole batch (hot path — see Dictionary::kinds).
         let kinds = self.dict.kinds();
         for &t in delta {
@@ -62,7 +67,7 @@ impl Rule for Rdfs1 {
         }
     }
 
-    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+    fn derives(&self, store: &StoreView, t: Triple) -> Option<bool> {
         // (l type Literal) ⇐ l is a literal ∧ ∃p: (_ p l).
         Some(
             t.p == RDF_TYPE
@@ -80,6 +85,11 @@ impl Rule for Rdfs1 {
 pub struct Rdfs4a;
 
 impl Rule for Rdfs4a {
+    // Delta-only: `apply` never queries the store.
+    fn read_predicates(&self) -> Option<Vec<NodeId>> {
+        Some(Vec::new())
+    }
+
     fn name(&self) -> &'static str {
         "RDFS4A"
     }
@@ -96,13 +106,13 @@ impl Rule for Rdfs4a {
         OutputSignature::Predicates(vec![RDF_TYPE])
     }
 
-    fn apply(&self, _store: &VerticalStore, delta: &[Triple], out: &mut Vec<Triple>) {
+    fn apply(&self, _store: &StoreView, delta: &[Triple], out: &mut Vec<Triple>) {
         for &t in delta {
             out.push(Triple::new(t.s, RDF_TYPE, RDFS_RESOURCE));
         }
     }
 
-    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+    fn derives(&self, store: &StoreView, t: Triple) -> Option<bool> {
         // (x type Resource) ⇐ ∃p: (x p _).
         Some(
             t.p == RDF_TYPE
@@ -140,6 +150,11 @@ impl Rdfs4b {
 }
 
 impl Rule for Rdfs4b {
+    // Delta-only: `apply` never queries the store.
+    fn read_predicates(&self) -> Option<Vec<NodeId>> {
+        Some(Vec::new())
+    }
+
     fn name(&self) -> &'static str {
         "RDFS4B"
     }
@@ -156,7 +171,7 @@ impl Rule for Rdfs4b {
         OutputSignature::Predicates(vec![RDF_TYPE])
     }
 
-    fn apply(&self, _store: &VerticalStore, delta: &[Triple], out: &mut Vec<Triple>) {
+    fn apply(&self, _store: &StoreView, delta: &[Triple], out: &mut Vec<Triple>) {
         let kinds = self.dict.kinds();
         for &t in delta {
             if self.include_literals || !kinds.is_literal(t.o) {
@@ -165,7 +180,7 @@ impl Rule for Rdfs4b {
         }
     }
 
-    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+    fn derives(&self, store: &StoreView, t: Triple) -> Option<bool> {
         // (y type Resource) ⇐ ∃p: (_ p y), with the literal gate.
         Some(
             t.p == RDF_TYPE
@@ -183,6 +198,11 @@ impl Rule for Rdfs4b {
 pub struct Rdfs6;
 
 impl Rule for Rdfs6 {
+    // Delta-only: `apply` never queries the store.
+    fn read_predicates(&self) -> Option<Vec<NodeId>> {
+        Some(Vec::new())
+    }
+
     fn name(&self) -> &'static str {
         "RDFS6"
     }
@@ -199,7 +219,7 @@ impl Rule for Rdfs6 {
         OutputSignature::Predicates(vec![RDFS_SUB_PROPERTY_OF])
     }
 
-    fn apply(&self, _store: &VerticalStore, delta: &[Triple], out: &mut Vec<Triple>) {
+    fn apply(&self, _store: &StoreView, delta: &[Triple], out: &mut Vec<Triple>) {
         for &t in delta {
             if t.p == RDF_TYPE && t.o == RDF_PROPERTY {
                 out.push(Triple::new(t.s, RDFS_SUB_PROPERTY_OF, t.s));
@@ -207,7 +227,7 @@ impl Rule for Rdfs6 {
         }
     }
 
-    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+    fn derives(&self, store: &StoreView, t: Triple) -> Option<bool> {
         Some(
             t.p == RDFS_SUB_PROPERTY_OF
                 && t.s == t.o
@@ -221,6 +241,11 @@ impl Rule for Rdfs6 {
 pub struct Rdfs8;
 
 impl Rule for Rdfs8 {
+    // Delta-only: `apply` never queries the store.
+    fn read_predicates(&self) -> Option<Vec<NodeId>> {
+        Some(Vec::new())
+    }
+
     fn name(&self) -> &'static str {
         "RDFS8"
     }
@@ -237,7 +262,7 @@ impl Rule for Rdfs8 {
         OutputSignature::Predicates(vec![RDFS_SUB_CLASS_OF])
     }
 
-    fn apply(&self, _store: &VerticalStore, delta: &[Triple], out: &mut Vec<Triple>) {
+    fn apply(&self, _store: &StoreView, delta: &[Triple], out: &mut Vec<Triple>) {
         for &t in delta {
             if t.p == RDF_TYPE && t.o == RDFS_CLASS {
                 out.push(Triple::new(t.s, RDFS_SUB_CLASS_OF, RDFS_RESOURCE));
@@ -245,7 +270,7 @@ impl Rule for Rdfs8 {
         }
     }
 
-    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+    fn derives(&self, store: &StoreView, t: Triple) -> Option<bool> {
         Some(
             t.p == RDFS_SUB_CLASS_OF
                 && t.o == RDFS_RESOURCE
@@ -259,6 +284,11 @@ impl Rule for Rdfs8 {
 pub struct Rdfs10;
 
 impl Rule for Rdfs10 {
+    // Delta-only: `apply` never queries the store.
+    fn read_predicates(&self) -> Option<Vec<NodeId>> {
+        Some(Vec::new())
+    }
+
     fn name(&self) -> &'static str {
         "RDFS10"
     }
@@ -275,7 +305,7 @@ impl Rule for Rdfs10 {
         OutputSignature::Predicates(vec![RDFS_SUB_CLASS_OF])
     }
 
-    fn apply(&self, _store: &VerticalStore, delta: &[Triple], out: &mut Vec<Triple>) {
+    fn apply(&self, _store: &StoreView, delta: &[Triple], out: &mut Vec<Triple>) {
         for &t in delta {
             if t.p == RDF_TYPE && t.o == RDFS_CLASS {
                 out.push(Triple::new(t.s, RDFS_SUB_CLASS_OF, t.s));
@@ -283,7 +313,7 @@ impl Rule for Rdfs10 {
         }
     }
 
-    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+    fn derives(&self, store: &StoreView, t: Triple) -> Option<bool> {
         Some(
             t.p == RDFS_SUB_CLASS_OF
                 && t.s == t.o
@@ -297,6 +327,11 @@ impl Rule for Rdfs10 {
 pub struct Rdfs12;
 
 impl Rule for Rdfs12 {
+    // Delta-only: `apply` never queries the store.
+    fn read_predicates(&self) -> Option<Vec<NodeId>> {
+        Some(Vec::new())
+    }
+
     fn name(&self) -> &'static str {
         "RDFS12"
     }
@@ -313,7 +348,7 @@ impl Rule for Rdfs12 {
         OutputSignature::Predicates(vec![RDFS_SUB_PROPERTY_OF])
     }
 
-    fn apply(&self, _store: &VerticalStore, delta: &[Triple], out: &mut Vec<Triple>) {
+    fn apply(&self, _store: &StoreView, delta: &[Triple], out: &mut Vec<Triple>) {
         for &t in delta {
             if t.p == RDF_TYPE && t.o == RDFS_CONTAINER_MEMBERSHIP_PROPERTY {
                 out.push(Triple::new(t.s, RDFS_SUB_PROPERTY_OF, RDFS_MEMBER));
@@ -321,7 +356,7 @@ impl Rule for Rdfs12 {
         }
     }
 
-    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+    fn derives(&self, store: &StoreView, t: Triple) -> Option<bool> {
         Some(
             t.p == RDFS_SUB_PROPERTY_OF
                 && t.o == RDFS_MEMBER
@@ -339,6 +374,11 @@ impl Rule for Rdfs12 {
 pub struct Rdfs13;
 
 impl Rule for Rdfs13 {
+    // Delta-only: `apply` never queries the store.
+    fn read_predicates(&self) -> Option<Vec<NodeId>> {
+        Some(Vec::new())
+    }
+
     fn name(&self) -> &'static str {
         "RDFS13"
     }
@@ -355,7 +395,7 @@ impl Rule for Rdfs13 {
         OutputSignature::Predicates(vec![RDFS_SUB_CLASS_OF])
     }
 
-    fn apply(&self, _store: &VerticalStore, delta: &[Triple], out: &mut Vec<Triple>) {
+    fn apply(&self, _store: &StoreView, delta: &[Triple], out: &mut Vec<Triple>) {
         for &t in delta {
             if t.p == RDF_TYPE && t.o == RDFS_DATATYPE {
                 out.push(Triple::new(t.s, RDFS_SUB_CLASS_OF, RDFS_LITERAL));
@@ -363,7 +403,7 @@ impl Rule for Rdfs13 {
         }
     }
 
-    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+    fn derives(&self, store: &StoreView, t: Triple) -> Option<bool> {
         Some(
             t.p == RDFS_SUB_CLASS_OF
                 && t.o == RDFS_LITERAL
@@ -375,7 +415,8 @@ impl Rule for Rdfs13 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slider_model::{NodeId, Term};
+    use slider_model::Term;
+    use slider_store::VerticalStore;
 
     fn n(v: u64) -> NodeId {
         NodeId(1000 + v)
@@ -384,7 +425,7 @@ mod tests {
     fn run(rule: &dyn Rule, delta: &[Triple]) -> Vec<Triple> {
         let store: VerticalStore = delta.iter().copied().collect();
         let mut out = Vec::new();
-        rule.apply(&store, delta, &mut out);
+        rule.apply(&store.view(), delta, &mut out);
         out.sort_unstable();
         out.dedup();
         out

@@ -1,7 +1,7 @@
 //! The [`Rule`] trait and rule I/O signatures.
 
 use slider_model::{NodeId, Triple};
-use slider_store::VerticalStore;
+use slider_store::StoreView;
 
 /// Which incoming triples a rule's buffer accepts.
 ///
@@ -118,7 +118,27 @@ pub trait Rule: Send + Sync {
     /// `store`) against `store` in both directions, appending conclusions
     /// to `out`. Conclusions may repeat; the distributor deduplicates
     /// against the store.
-    fn apply(&self, store: &VerticalStore, delta: &[Triple], out: &mut Vec<Triple>);
+    fn apply(&self, store: &StoreView, delta: &[Triple], out: &mut Vec<Triple>);
+
+    /// The static **read set** of [`Rule::apply`]: every predicate the
+    /// join may pass to a store accessor, independent of the delta.
+    /// `None` (the default) means the read set is unbounded — the rule
+    /// may look up data-dependent predicates (e.g. `PRP-SPO1` walks the
+    /// partition of whatever property the delta mentions) — and the
+    /// reasoner hands such rules a full store snapshot. `Some(preds)`
+    /// lets the sharded store pin only `preds`' shards, in a fixed order,
+    /// so the join never blocks writers on unrelated predicate families;
+    /// `Some(vec![])` declares a delta-only rule that reads no store
+    /// partition at all.
+    ///
+    /// The declaration is a *contract*: `apply` touching a predicate
+    /// outside a `Some` read set panics loudly inside the engine (the
+    /// closure test suite exercises every built-in rule's declaration).
+    /// [`Rule::derives`] is exempt — maintenance always runs it against
+    /// a whole-store view.
+    fn read_predicates(&self) -> Option<Vec<NodeId>> {
+        None
+    }
 
     /// Backward support check — the optional fast path for DRed
     /// rederivation: is `t` derivable by this rule **in one step** from
@@ -131,7 +151,7 @@ pub trait Rule: Send + Sync {
     /// default `None` means "no backward matcher"; maintenance then falls
     /// back to a forward full-store pass — sound for any rule, just
     /// slower. All built-in ρdf and RDFS rules implement this.
-    fn derives(&self, store: &VerticalStore, t: Triple) -> Option<bool> {
+    fn derives(&self, store: &StoreView, t: Triple) -> Option<bool> {
         let _ = (store, t);
         None
     }

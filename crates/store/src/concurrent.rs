@@ -1,139 +1,765 @@
-//! The shared, lock-protected store used by the concurrent reasoner.
+//! The shared, two-level-locked store used by the concurrent reasoner.
+//!
+//! The paper's concurrency story (§2.2) is a single
+//! `ReentrantReadWriteLock` over the whole triple store. This module keeps
+//! the paper's *semantics* but drops the single lock: the store is already
+//! vertically partitioned into self-contained per-predicate
+//! [`PropertyTable`](crate::PropertyTable)s, so [`ShardedStore`] guards
+//! them with **two levels of locking**:
+//!
+//! 1. a global **maintenance gate** (`RwLock<()>`): every *monotone*
+//!    operation (insert, query, snapshot) holds it in *read* mode; the
+//!    exclusive paths — [`ShardedStore::exclusive`] (DRed maintenance
+//!    runs and quiescent-store sections) and the deleting
+//!    [`ShardedStore::remove`]/[`ShardedStore::remove_batch`] — take it
+//!    in *write* mode, getting the store to themselves exactly as the old
+//!    global write lock did. While any snapshot is live the store can
+//!    only grow, which is what makes per-shard (rather than one-big-lock)
+//!    reads sound;
+//! 2. a fixed power-of-two array of **shard locks**
+//!    (`RwLock<VerticalStore>`), each shard owning the property tables of
+//!    the predicates that hash to it. Writers touching disjoint predicate
+//!    families lock disjoint shards and run concurrently instead of
+//!    serialising on one writer, and a read snapshot scoped to a declared
+//!    read set ([`ShardedStore::read_for`]) only blocks writers on the
+//!    shards it pins.
+//!
+//! ## Lock-order discipline
+//!
+//! * The gate is always acquired **before** any shard lock, never while a
+//!   shard lock is held.
+//! * Multi-shard *read* acquisition ([`ShardedStore::read`] /
+//!   [`ShardedStore::read_for`]) pins its shards eagerly at construction,
+//!   in ascending index order; no shard lock is ever acquired while a
+//!   snapshot's guards are held.
+//! * No thread ever holds more than one shard **write** lock at a time —
+//!   the batched write paths release shard *i* before acquiring shard *j*
+//!   (a batch is therefore atomic with respect to maintenance, which
+//!   excludes it wholly via the gate, but not with respect to readers of
+//!   other shards — exactly the per-shard granularity the fresh-subset
+//!   contract needs, since that contract is per triple).
+//!
+//! Writers never wait while holding a shard lock and readers acquire in a
+//! fixed order at a single point in time, so no cycle — and therefore no
+//! deadlock — is possible.
 
+use crate::pattern::TriplePattern;
 use crate::vertical::{StoreStats, VerticalStore};
+use crate::view::{ShardRead, StoreView};
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
-use slider_model::Triple;
+use slider_model::{NodeId, Triple};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
-/// A [`VerticalStore`] behind a readers-writer lock.
+/// Default number of shards — enough to make collisions between a handful
+/// of hot predicate families unlikely, small enough that a full snapshot
+/// (one read lock per shard) stays cheap.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// A [`VerticalStore`] split into per-predicate shards behind two-level
+/// locking — see the module docs for the design and the lock-order rules.
 ///
-/// This mirrors the paper's concurrency story (§2.2): "The concurrency of
-/// the triple store is handled by using ReentrantReadWriteLock, which
-/// provides both read and write (during addition of new triples) locks."
-///
-/// Rule instances take the read lock for the duration of one join batch;
-/// distributors take the write lock per inferred batch. Writes return the
-/// subset of triples that were actually new, which is what gets dispatched
-/// onward — the duplicate-limitation mechanism.
-#[derive(Debug, Default)]
-pub struct ConcurrentStore {
-    inner: RwLock<VerticalStore>,
+/// Writes return the subset of triples that were actually new, which is
+/// what gets dispatched onward — the duplicate-limitation mechanism. The
+/// contract is per triple (and therefore per shard): a triple is reported
+/// fresh by exactly one writer, no matter how writes interleave.
+pub struct ShardedStore {
+    /// Level 1: the maintenance gate. Read = normal operation, write =
+    /// exclusive (quiescent) access.
+    gate: RwLock<()>,
+    /// Level 2: the shards. `shards.len()` is a power of two.
+    shards: Box<[RwLock<VerticalStore>]>,
+    /// Indexing mode shards are (re)built with.
+    object_index: bool,
+    /// Total triples, maintained alongside the per-shard mutations so
+    /// `len()` needs no locks.
+    len: AtomicUsize,
+    /// Times the gate was taken in write mode ([`ShardedStore::exclusive`]).
+    gate_writes: AtomicU64,
+    /// Times a shard write lock was contended (the uncontended fast path
+    /// is a `try_write`).
+    shard_conflicts: AtomicU64,
 }
 
-impl ConcurrentStore {
-    /// An empty store.
+impl Default for ShardedStore {
+    fn default() -> Self {
+        ShardedStore::new()
+    }
+}
+
+impl std::fmt::Debug for ShardedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedStore")
+            .field("shards", &self.shards.len())
+            .field("len", &self.len.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ShardedStore {
+    /// An empty store with [`DEFAULT_SHARDS`] shards and full indexing.
     pub fn new() -> Self {
-        ConcurrentStore::default()
+        ShardedStore::with_shards(DEFAULT_SHARDS)
     }
 
-    /// Wraps an existing store.
+    /// An empty store with `shards` shards (rounded up to a power of two,
+    /// minimum 1 — `with_shards(1)` degenerates to the paper's single
+    /// global readers-writer lock, kept as the baseline for the `ingest`
+    /// benchmark).
+    pub fn with_shards(shards: usize) -> Self {
+        ShardedStore::from_store_sharded(VerticalStore::new(), shards)
+    }
+
+    /// Wraps an existing store with [`DEFAULT_SHARDS`] shards, preserving
+    /// its indexing mode.
     pub fn from_store(store: VerticalStore) -> Self {
-        ConcurrentStore {
-            inner: RwLock::new(store),
+        ShardedStore::from_store_sharded(store, DEFAULT_SHARDS)
+    }
+
+    /// Wraps an existing store, distributing its property tables over
+    /// `shards` shards (rounded up to a power of two, minimum 1). The
+    /// store's indexing mode carries over to all shards.
+    pub fn from_store_sharded(store: VerticalStore, shards: usize) -> Self {
+        let count = shards.max(1).next_power_of_two();
+        let object_index = store.has_object_index();
+        let empty = || {
+            if object_index {
+                VerticalStore::new()
+            } else {
+                VerticalStore::without_object_index()
+            }
+        };
+        let this = ShardedStore {
+            gate: RwLock::new(()),
+            shards: (0..count).map(|_| RwLock::new(empty())).collect(),
+            object_index,
+            len: AtomicUsize::new(0),
+            gate_writes: AtomicU64::new(0),
+            shard_conflicts: AtomicU64::new(0),
+        };
+        this.scatter(store);
+        this
+    }
+
+    /// The shard index predicate `p` hashes to.
+    #[inline]
+    pub fn shard_of(&self, p: NodeId) -> usize {
+        // Fibonacci multiply-shift; the high bits mix well for the dense
+        // dictionary ids NodeId uses.
+        ((p.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & (self.shards.len() - 1)
+    }
+
+    /// Number of shards (a power of two).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// An empty store in this store's indexing mode.
+    fn empty_shard(&self) -> VerticalStore {
+        if self.object_index {
+            VerticalStore::new()
+        } else {
+            VerticalStore::without_object_index()
         }
     }
 
-    /// Inserts a batch under one write lock; appends the *new* triples to
-    /// `fresh` and returns how many were new.
+    /// Locks shard `idx` for writing, counting contention: the fast path
+    /// is an uncontended `try_write`.
+    fn lock_shard(&self, idx: usize) -> RwLockWriteGuard<'_, VerticalStore> {
+        match self.shards[idx].try_write() {
+            Some(guard) => guard,
+            None => {
+                self.shard_conflicts.fetch_add(1, Ordering::Relaxed);
+                self.shards[idx].write()
+            }
+        }
+    }
+
+    /// Distributes `store`'s tables over the shards (assumes the shards'
+    /// current contents are to be replaced — callers hold the gate in
+    /// write mode or own `self` exclusively) and refreshes the length
+    /// counter.
+    fn scatter(&self, mut store: VerticalStore) {
+        let mut groups: Vec<Vec<NodeId>> = vec![Vec::new(); self.shards.len()];
+        for p in store.predicates().collect::<Vec<_>>() {
+            groups[self.shard_of(p)].push(p);
+        }
+        let mut total = 0;
+        for (idx, preds) in groups.iter().enumerate() {
+            let sub = store.split_off(preds);
+            total += sub.len();
+            *self.shards[idx].write() = sub;
+        }
+        debug_assert!(store.is_empty(), "scatter covered every predicate");
+        self.len.store(total, Ordering::Relaxed);
+    }
+
+    /// Drains every shard into one merged store (callers hold the gate in
+    /// write mode, so the shard locks are uncontended).
+    fn gather(&self) -> VerticalStore {
+        let mut merged = self.empty_shard();
+        for shard in self.shards.iter() {
+            let mut guard = shard.write();
+            let sub = std::mem::replace(&mut *guard, self.empty_shard());
+            merged.absorb(sub);
+        }
+        merged
+    }
+
+    /// Inserts a batch; appends the *new* triples to `fresh` (in input
+    /// order) and returns how many were new. Holds the gate in read mode
+    /// for the whole batch and each shard's write lock only for that
+    /// shard's run of triples — at most one shard lock at a time.
     pub fn insert_batch(&self, triples: &[Triple], fresh: &mut Vec<Triple>) -> usize {
         if triples.is_empty() {
             return 0;
         }
-        self.inner.write().insert_batch(triples, fresh)
+        let _gate = self.gate.read();
+        self.write_batch(triples, fresh, |shard, t| shard.insert(t), 1)
     }
 
-    /// Inserts one triple; returns `true` if new.
-    pub fn insert(&self, t: Triple) -> bool {
-        self.inner.write().insert(t)
-    }
-
-    /// Inserts a batch as **explicit** (asserted) facts under one write
-    /// lock; appends the *new* triples to `fresh` and returns how many
-    /// were new. The input manager uses this path; rule distributors use
-    /// the plain [`ConcurrentStore::insert_batch`], so the explicit flag
-    /// separates assertions from conclusions for truth maintenance.
+    /// Inserts a batch as **explicit** (asserted) facts; appends the *new*
+    /// triples to `fresh` and returns how many were new. The input manager
+    /// uses this path; rule distributors use the plain
+    /// [`ShardedStore::insert_batch`], so the explicit flag separates
+    /// assertions from conclusions for truth maintenance.
     pub fn insert_batch_explicit(&self, triples: &[Triple], fresh: &mut Vec<Triple>) -> usize {
         if triples.is_empty() {
             return 0;
         }
-        self.inner.write().insert_batch_explicit(triples, fresh)
+        let _gate = self.gate.read();
+        self.write_batch(triples, fresh, |shard, t| shard.insert_explicit(t), 1)
     }
 
-    /// Removes one triple; returns `true` if it was present.
-    pub fn remove(&self, t: Triple) -> bool {
-        self.inner.write().remove(t)
-    }
-
-    /// Removes a batch under one write lock; appends the triples that were
-    /// actually present to `removed` and returns how many were present.
+    /// Removes a batch; appends the triples that were actually present to
+    /// `removed` and returns how many were present.
+    ///
+    /// Removal takes the **gate in write mode**: read snapshots assume
+    /// the store only grows while they are live (they pin shards in a
+    /// fixed order, not as one atomic cut), so deletion must exclude them
+    /// wholly — a remover racing a half-built snapshot could otherwise
+    /// expose a cross-shard state no serial order explains. Blocks until
+    /// every snapshot, write and shard guard has released; never called
+    /// from the engine's hot paths (DRed deletes on the merged store via
+    /// [`ShardedStore::exclusive`]).
     pub fn remove_batch(&self, triples: &[Triple], removed: &mut Vec<Triple>) -> usize {
         if triples.is_empty() {
             return 0;
         }
-        self.inner.write().remove_batch(triples, removed)
+        let _gate = self.gate.write();
+        self.gate_writes.fetch_add(1, Ordering::Relaxed);
+        self.write_batch(triples, removed, |shard, t| shard.remove(t), -1)
+    }
+
+    /// The shared shard-walking write loop: applies `op` per triple,
+    /// collecting the triples for which it returned `true` and adjusting
+    /// the length counter by `delta` for each. The caller holds the gate
+    /// (read mode for monotone inserts, write mode for removal).
+    fn write_batch(
+        &self,
+        triples: &[Triple],
+        hits: &mut Vec<Triple>,
+        op: impl Fn(&mut VerticalStore, Triple) -> bool,
+        delta: isize,
+    ) -> usize {
+        let before = hits.len();
+        let mut current: Option<(usize, RwLockWriteGuard<'_, VerticalStore>)> = None;
+        for &t in triples {
+            let idx = self.shard_of(t.p);
+            match &current {
+                Some((held, _)) if *held == idx => {}
+                _ => {
+                    // Release the held shard *before* acquiring the next:
+                    // never hold two shard write locks (see the lock-order
+                    // discipline in the module docs).
+                    drop(current.take());
+                    current = Some((idx, self.lock_shard(idx)));
+                }
+            }
+            let (_, shard) = current.as_mut().expect("shard guard just ensured");
+            if op(shard, t) {
+                if delta > 0 {
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.len.fetch_sub(1, Ordering::Relaxed);
+                }
+                hits.push(t);
+            }
+        }
+        hits.len() - before
+    }
+
+    /// Inserts one triple; returns `true` if new. One gate-read plus one
+    /// shard write lock — no allocation.
+    pub fn insert(&self, t: Triple) -> bool {
+        let _gate = self.gate.read();
+        let inserted = self.lock_shard(self.shard_of(t.p)).insert(t);
+        if inserted {
+            self.len.fetch_add(1, Ordering::Relaxed);
+        }
+        inserted
+    }
+
+    /// Removes one triple; returns `true` if it was present. Takes the
+    /// gate in write mode, like [`ShardedStore::remove_batch`].
+    pub fn remove(&self, t: Triple) -> bool {
+        let _gate = self.gate.write();
+        self.gate_writes.fetch_add(1, Ordering::Relaxed);
+        let removed = self.shards[self.shard_of(t.p)].write().remove(t);
+        if removed {
+            self.len.fetch_sub(1, Ordering::Relaxed);
+        }
+        removed
     }
 
     /// True if `t` is present.
     pub fn contains(&self, t: Triple) -> bool {
-        self.inner.read().contains(t)
+        let _gate = self.gate.read();
+        self.shards[self.shard_of(t.p)].read().contains(t)
     }
 
     /// True if `t` is present and explicitly asserted.
     pub fn is_explicit(&self, t: Triple) -> bool {
-        self.inner.read().is_explicit(t)
+        let _gate = self.gate.read();
+        self.shards[self.shard_of(t.p)].read().is_explicit(t)
     }
 
-    /// Acquires the read lock for a batch of queries (one lock per rule
-    /// application, not per lookup).
-    pub fn read(&self) -> RwLockReadGuard<'_, VerticalStore> {
-        self.inner.read()
+    /// Acquires a **full** multi-shard read snapshot: the gate in read
+    /// mode plus every shard's read lock, in ascending index order — the
+    /// consistent cross-shard cut `stats`, `to_sorted_vec`, `matches` and
+    /// external queries want. Equivalent to `read_for(None)`.
+    pub fn read(&self) -> StoreSnapshot<'_> {
+        self.read_for(None)
     }
 
-    /// Acquires the write lock for a compound mutation. The maintenance
-    /// subsystem holds this across a whole DRed run so overdeletion and
-    /// rederivation are atomic with respect to readers.
-    pub fn write(&self) -> RwLockWriteGuard<'_, VerticalStore> {
-        self.inner.write()
+    /// Precomputes the snapshot scope for a declared predicate read set:
+    /// the predicates plus the sorted, deduplicated indices of the shards
+    /// owning them. Callers that take many scoped snapshots (the engine
+    /// plans one per rule module at startup) reuse the plan instead of
+    /// re-hashing and re-sorting per snapshot. A plan is only valid for
+    /// the store that built it (shard indices depend on the shard count).
+    pub fn plan_read(&self, preds: &[NodeId]) -> ReadSet {
+        let mut shards: Vec<usize> = preds.iter().map(|&p| self.shard_of(p)).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        ReadSet {
+            preds: preds.to_vec(),
+            shards,
+        }
     }
 
-    /// Total number of triples.
+    /// Acquires a read snapshot scoped to a **declared read set**
+    /// ([`ShardedStore::plan_read`]): the gate in read mode, plus the
+    /// read locks of exactly the shards owning the set's predicates —
+    /// acquired eagerly, in ascending shard-index order, so the
+    /// fixed-order deadlock-freedom argument in the module docs covers
+    /// every snapshot. `None` pins all shards (= [`ShardedStore::read`]).
+    ///
+    /// One snapshot per rule application, not per lookup — the sharded
+    /// analogue of the paper's "read lock for the duration of one join
+    /// batch", except that a join with a declared read set
+    /// (`Rule::read_predicates` in `slider-rules`) only blocks writers on
+    /// the shards it actually reads; writers everywhere else keep
+    /// flowing, and an empty read set locks no shard at all.
+    ///
+    /// The scope is a **contract**: querying a predicate outside the
+    /// declared set panics — by exact membership, not merely by shard,
+    /// so a wrong declaration fails on the first test that exercises it
+    /// instead of depending on whether the stray predicate happens to
+    /// hash to a pinned shard. The full-walk accessors (`iter`, `len`,
+    /// `predicates`, unbound-predicate `matches`) panic on a partial
+    /// snapshot too.
+    pub fn read_for<'a>(&'a self, read_set: Option<&'a ReadSet>) -> StoreSnapshot<'a> {
+        let gate = self.gate.read();
+        let mut guards: Vec<Option<RwLockReadGuard<'_, VerticalStore>>> =
+            (0..self.shards.len()).map(|_| None).collect();
+        match read_set {
+            None => {
+                for (idx, slot) in guards.iter_mut().enumerate() {
+                    *slot = Some(self.shards[idx].read());
+                }
+            }
+            Some(set) => {
+                for &idx in &set.shards {
+                    guards[idx] = Some(self.shards[idx].read());
+                }
+            }
+        }
+        StoreSnapshot {
+            owner: self,
+            _gate: gate,
+            read_set,
+            shards: guards,
+        }
+    }
+
+    /// Acquires the **maintenance gate in write mode** and returns the
+    /// whole store, merged, for compound mutation. This is the only way to
+    /// get `&mut VerticalStore` access: the DRed maintenance subsystem
+    /// holds it across a whole run so overdeletion and rederivation are
+    /// atomic with respect to every reader and writer (they all hold the
+    /// gate in read mode). The merge and the re-scatter on drop move
+    /// property tables wholesale — O(#predicates), no triple is copied.
+    pub fn exclusive(&self) -> ExclusiveStore<'_> {
+        let gate = self.gate.write();
+        self.gate_writes.fetch_add(1, Ordering::Relaxed);
+        let merged = self.gather();
+        ExclusiveStore {
+            owner: self,
+            _gate: gate,
+            merged,
+        }
+    }
+
+    /// Locks the single shard owning predicate `p` for writing (gate held
+    /// in read mode), for callers that want to pin or batch mutations on
+    /// one predicate family. Writes to *other* shards proceed concurrently
+    /// while this guard is held; [`ShardedStore::exclusive`] and full
+    /// snapshots block until it is released.
+    pub fn write_shard(&self, p: NodeId) -> ShardWriteGuard<'_> {
+        let gate = self.gate.read();
+        let idx = self.shard_of(p);
+        let guard = self.lock_shard(idx);
+        let len_at_acquire = guard.len();
+        ShardWriteGuard {
+            owner: self,
+            _gate: gate,
+            len_at_acquire,
+            guard,
+        }
+    }
+
+    /// Total number of triples (lock-free).
     pub fn len(&self) -> usize {
-        self.inner.read().len()
+        self.len.load(Ordering::Relaxed)
     }
 
     /// True if empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.read().is_empty()
+        self.len() == 0
     }
 
-    /// Store statistics snapshot.
+    /// Times the maintenance gate was acquired in write mode (DRed runs,
+    /// quiescent-store sections, and direct `remove`/`remove_batch`
+    /// calls).
+    pub fn gate_write_acquisitions(&self) -> u64 {
+        self.gate_writes.load(Ordering::Relaxed)
+    }
+
+    /// Times a shard write lock was contended (another writer or a
+    /// snapshot held the shard when a write arrived).
+    pub fn shard_write_conflicts(&self) -> u64 {
+        self.shard_conflicts.load(Ordering::Relaxed)
+    }
+
+    /// Store statistics, merged across shards under one full snapshot.
     pub fn stats(&self) -> StoreStats {
-        self.inner.read().stats()
+        let snap = self.read();
+        let mut total = StoreStats::default();
+        for idx in 0..snap.shards.len() {
+            let s = snap.shard(idx).stats();
+            total.triples += s.triples;
+            total.explicit += s.explicit;
+            total.derived += s.derived;
+            total.predicates += s.predicates;
+            total.largest_partition = total.largest_partition.max(s.largest_partition);
+        }
+        total
     }
 
     /// Sorted snapshot of all triples (deterministic; for tests/reports).
     pub fn to_sorted_vec(&self) -> Vec<Triple> {
-        self.inner.read().to_sorted_vec()
+        self.read().view().to_sorted_vec()
     }
 
-    /// Consumes the wrapper, returning the inner store.
+    /// All triples matching `pattern`, under one multi-shard snapshot.
+    pub fn matches(&self, pattern: TriplePattern) -> Vec<Triple> {
+        self.read().view().matches(pattern)
+    }
+
+    /// Consumes the wrapper, merging the shards back into one store.
     pub fn into_inner(self) -> VerticalStore {
-        self.inner.into_inner()
+        let mut merged = self.empty_shard();
+        for shard in self.shards.into_vec() {
+            merged.absorb(shard.into_inner());
+        }
+        merged
+    }
+}
+
+/// A read snapshot of a [`ShardedStore`]: the gate in read mode, plus the
+/// read locks of every shard ([`ShardedStore::read`]) or of a declared
+/// read set's shards only ([`ShardedStore::read_for`]) — all acquired at
+/// construction, in ascending shard-index order. Queries answer directly
+/// (the usual store API) or through [`StoreSnapshot::view`] for code
+/// written against [`StoreView`]; querying a predicate outside a partial
+/// snapshot's declared read set panics.
+pub struct StoreSnapshot<'a> {
+    owner: &'a ShardedStore,
+    _gate: RwLockReadGuard<'a, ()>,
+    /// The declared scope (`None` = full snapshot); queries are checked
+    /// against it by exact predicate membership.
+    read_set: Option<&'a ReadSet>,
+    /// The pinned shard read guards, indexed by shard (`None` = outside
+    /// the read set).
+    shards: Vec<Option<RwLockReadGuard<'a, VerticalStore>>>,
+}
+
+/// A precomputed snapshot scope — see [`ShardedStore::plan_read`].
+#[derive(Debug, Clone)]
+pub struct ReadSet {
+    /// The declared predicates (exact membership check per query).
+    preds: Vec<NodeId>,
+    /// Sorted, deduplicated indices of the shards owning `preds`.
+    shards: Vec<usize>,
+}
+
+impl<'a> StoreSnapshot<'a> {
+    /// The sub-store of shard `idx` (pinned by construction for every
+    /// in-scope query; see [`StoreSnapshot::store_for`]).
+    #[inline]
+    fn shard(&self, idx: usize) -> &VerticalStore {
+        self.shards[idx]
+            .as_deref()
+            .unwrap_or_else(|| panic!("shard {idx} is outside this snapshot's declared read set"))
+    }
+
+    /// The shard sub-store owning predicate `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside a partial snapshot's declared read set —
+    /// checked by **exact membership**, not by shard, so a
+    /// `Rule::read_predicates` declaration missing a predicate its join
+    /// touches fails deterministically (a shard-level check would let the
+    /// stray predicate slip through whenever it happens to hash to a
+    /// pinned shard).
+    #[inline]
+    fn store_for(&self, p: NodeId) -> &VerticalStore {
+        if let Some(set) = self.read_set {
+            assert!(
+                set.preds.contains(&p),
+                "predicate {p:?} is outside this snapshot's declared read set"
+            );
+        }
+        self.shard(self.owner.shard_of(p))
+    }
+
+    /// A [`StoreView`] over this snapshot — what rule joins run against.
+    pub fn view(&self) -> StoreView<'_> {
+        StoreView::Snapshot(self)
+    }
+
+    /// True if `t` is present.
+    pub fn contains(&self, t: Triple) -> bool {
+        self.store_for(t.p).contains(t)
+    }
+
+    /// True if `t` is present and explicitly asserted.
+    pub fn is_explicit(&self, t: Triple) -> bool {
+        self.store_for(t.p).is_explicit(t)
+    }
+
+    /// Objects `o` such that `(s, p, o)` holds.
+    pub fn objects_with(&self, p: NodeId, s: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.store_for(p).objects_with(p, s)
+    }
+
+    /// Subjects `s` such that `(s, p, o)` holds.
+    pub fn subjects_with(&self, p: NodeId, o: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.store_for(p).subjects_with(p, o)
+    }
+
+    /// All `(s, o)` pairs for predicate `p`.
+    pub fn pairs(&self, p: NodeId) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.store_for(p).pairs(p)
+    }
+
+    /// Number of triples with predicate `p`.
+    pub fn count_with_p(&self, p: NodeId) -> usize {
+        self.store_for(p).count_with_p(p)
+    }
+
+    /// Iterates over every triple in the snapshot (no ordering
+    /// guarantee; full snapshots only — panics on a partial one).
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.sub_stores().flat_map(VerticalStore::iter)
+    }
+
+    /// Total number of triples in the snapshot (full snapshots only —
+    /// panics on a partial one).
+    pub fn len(&self) -> usize {
+        self.sub_stores().map(VerticalStore::len).sum()
+    }
+
+    /// True if the snapshot holds no triples (full snapshots only —
+    /// panics on a partial one).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All triples matching `pattern`.
+    pub fn matches(&self, pattern: TriplePattern) -> Vec<Triple> {
+        self.view().matches(pattern)
+    }
+}
+
+impl ShardRead for StoreSnapshot<'_> {
+    fn store_for(&self, p: NodeId) -> &VerticalStore {
+        StoreSnapshot::store_for(self, p)
+    }
+
+    fn sub_stores(&self) -> Box<dyn Iterator<Item = &VerticalStore> + '_> {
+        assert!(
+            self.read_set.is_none(),
+            "full-store walk on a partial snapshot — the rule's declared \
+             read set does not license iter()/len()/predicates()/unbound \
+             matches()"
+        );
+        Box::new(self.shards.iter().map(|guard| {
+            &**guard
+                .as_ref()
+                .expect("a non-partial snapshot pinned every shard")
+        }))
+    }
+}
+
+impl std::fmt::Debug for StoreSnapshot<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreSnapshot")
+            .field("shards", &self.shards.len())
+            .field(
+                "pinned",
+                &self.shards.iter().filter(|g| g.is_some()).count(),
+            )
+            .finish()
+    }
+}
+
+/// Exclusive, merged access to a [`ShardedStore`] (the maintenance gate
+/// held in write mode). Dereferences to the whole store as one
+/// [`VerticalStore`]; dropping the guard re-scatters the tables to their
+/// shards and refreshes the length counter.
+pub struct ExclusiveStore<'a> {
+    owner: &'a ShardedStore,
+    _gate: RwLockWriteGuard<'a, ()>,
+    merged: VerticalStore,
+}
+
+impl std::ops::Deref for ExclusiveStore<'_> {
+    type Target = VerticalStore;
+    fn deref(&self) -> &VerticalStore {
+        &self.merged
+    }
+}
+
+impl std::ops::DerefMut for ExclusiveStore<'_> {
+    fn deref_mut(&mut self) -> &mut VerticalStore {
+        &mut self.merged
+    }
+}
+
+impl Drop for ExclusiveStore<'_> {
+    fn drop(&mut self) {
+        // The gate (a field, dropped after this body) is still held while
+        // the tables scatter back, so no reader can observe a half-filled
+        // shard array.
+        let merged = std::mem::take(&mut self.merged);
+        self.owner.scatter(merged);
+    }
+}
+
+impl std::fmt::Debug for ExclusiveStore<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExclusiveStore")
+            .field("len", &self.merged.len())
+            .finish()
+    }
+}
+
+/// Write access to the single shard owning one predicate family (gate held
+/// in read mode) — see [`ShardedStore::write_shard`]. On drop, the
+/// store-wide length counter is adjusted by however much the shard grew or
+/// shrank through this guard.
+pub struct ShardWriteGuard<'a> {
+    owner: &'a ShardedStore,
+    _gate: RwLockReadGuard<'a, ()>,
+    len_at_acquire: usize,
+    guard: RwLockWriteGuard<'a, VerticalStore>,
+}
+
+impl std::ops::Deref for ShardWriteGuard<'_> {
+    type Target = VerticalStore;
+    fn deref(&self) -> &VerticalStore {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for ShardWriteGuard<'_> {
+    fn deref_mut(&mut self) -> &mut VerticalStore {
+        &mut self.guard
+    }
+}
+
+impl Drop for ShardWriteGuard<'_> {
+    fn drop(&mut self) {
+        let now = self.guard.len();
+        if now >= self.len_at_acquire {
+            self.owner
+                .len
+                .fetch_add(now - self.len_at_acquire, Ordering::Relaxed);
+        } else {
+            self.owner
+                .len
+                .fetch_sub(self.len_at_acquire - now, Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardWriteGuard<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardWriteGuard")
+            .field("len", &self.guard.len())
+            .finish()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slider_model::NodeId;
+    use std::sync::atomic::AtomicBool;
     use std::sync::Arc;
+    use std::time::Duration;
 
     fn t(s: u64, p: u64, o: u64) -> Triple {
         Triple::new(NodeId(s), NodeId(p), NodeId(o))
     }
 
     #[test]
+    fn shard_counts_round_up_to_powers_of_two() {
+        assert_eq!(ShardedStore::with_shards(0).shard_count(), 1);
+        assert_eq!(ShardedStore::with_shards(1).shard_count(), 1);
+        assert_eq!(ShardedStore::with_shards(3).shard_count(), 4);
+        assert_eq!(ShardedStore::with_shards(16).shard_count(), 16);
+        assert_eq!(ShardedStore::new().shard_count(), DEFAULT_SHARDS);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        let st = ShardedStore::with_shards(8);
+        for p in 0..1000 {
+            let idx = st.shard_of(NodeId(p));
+            assert!(idx < 8);
+            assert_eq!(idx, st.shard_of(NodeId(p)));
+        }
+        // The hash actually spreads predicates over several shards.
+        let distinct: std::collections::HashSet<usize> =
+            (0..1000).map(|p| st.shard_of(NodeId(p))).collect();
+        assert!(distinct.len() > 1, "all predicates in one shard");
+    }
+
+    #[test]
     fn batch_insert_dedups() {
-        let st = ConcurrentStore::new();
+        let st = ShardedStore::new();
         let mut fresh = Vec::new();
         assert_eq!(st.insert_batch(&[t(1, 2, 3), t(1, 2, 3)], &mut fresh), 1);
         assert_eq!(fresh, vec![t(1, 2, 3)]);
@@ -145,14 +771,26 @@ mod tests {
 
     #[test]
     fn empty_batch_short_circuits() {
-        let st = ConcurrentStore::new();
+        let st = ShardedStore::new();
         let mut fresh = Vec::new();
         assert_eq!(st.insert_batch(&[], &mut fresh), 0);
     }
 
     #[test]
+    fn cross_shard_batch_preserves_input_order() {
+        let st = ShardedStore::with_shards(8);
+        // Predicates 1..=6 spread over several shards; fresh order must
+        // still follow input order.
+        let batch: Vec<Triple> = (1..=6).map(|p| t(p, p, p)).collect();
+        let mut fresh = Vec::new();
+        assert_eq!(st.insert_batch(&batch, &mut fresh), 6);
+        assert_eq!(fresh, batch);
+        assert_eq!(st.len(), 6);
+    }
+
+    #[test]
     fn explicit_insert_and_remove() {
-        let st = ConcurrentStore::new();
+        let st = ShardedStore::new();
         let mut fresh = Vec::new();
         assert_eq!(st.insert_batch_explicit(&[t(1, 2, 3)], &mut fresh), 1);
         assert!(st.is_explicit(t(1, 2, 3)));
@@ -167,30 +805,184 @@ mod tests {
     }
 
     #[test]
-    fn write_guard_compound_mutation() {
-        let st = ConcurrentStore::new();
+    fn exclusive_guard_compound_mutation() {
+        let st = ShardedStore::new();
         st.insert(t(1, 2, 3));
         {
-            let mut guard = st.write();
+            let mut guard = st.exclusive();
             guard.remove(t(1, 2, 3));
             guard.insert_explicit(t(7, 8, 9));
         }
         assert_eq!(st.len(), 1);
         assert!(st.is_explicit(t(7, 8, 9)));
+        assert!(!st.contains(t(1, 2, 3)));
+        assert_eq!(st.gate_write_acquisitions(), 1);
+        // Stats reflect the re-scattered state.
+        let stats = st.stats();
+        assert_eq!(stats.triples, 1);
+        assert_eq!(stats.explicit, 1);
     }
 
     #[test]
-    fn read_guard_queries() {
-        let st = ConcurrentStore::new();
+    fn read_snapshot_queries() {
+        let st = ShardedStore::new();
         st.insert(t(1, 10, 2));
         st.insert(t(1, 10, 3));
-        let guard = st.read();
-        assert_eq!(guard.objects_with(NodeId(10), NodeId(1)).count(), 2);
+        st.insert(t(5, 20, 6));
+        let snap = st.read();
+        assert_eq!(snap.objects_with(NodeId(10), NodeId(1)).count(), 2);
+        assert_eq!(snap.subjects_with(NodeId(20), NodeId(6)).count(), 1);
+        assert_eq!(snap.pairs(NodeId(10)).count(), 2);
+        assert_eq!(snap.count_with_p(NodeId(10)), 2);
+        assert_eq!(snap.len(), 3);
+        assert!(!snap.is_empty());
+        assert!(snap.contains(t(5, 20, 6)));
+        assert_eq!(snap.iter().count(), 3);
+        assert_eq!(
+            snap.matches(TriplePattern::new(None, Some(NodeId(10)), None))
+                .len(),
+            2
+        );
+    }
+
+    /// The acceptance pin for the two-level design: while one shard's
+    /// write lock is held, a write to a *different* shard completes, and a
+    /// write to the *same* shard blocks until release.
+    #[test]
+    fn disjoint_shard_writes_proceed_while_one_shard_is_locked() {
+        let st = Arc::new(ShardedStore::with_shards(8));
+        let p1 = NodeId(1);
+        let p2 = (2..200)
+            .map(NodeId)
+            .find(|&p| st.shard_of(p) != st.shard_of(p1))
+            .expect("some predicate hashes to another shard");
+        let p_same = (2..200)
+            .map(NodeId)
+            .find(|&p| st.shard_of(p) == st.shard_of(p1) && p != p1)
+            .expect("some predicate shares p1's shard");
+
+        let guard = st.write_shard(p1);
+
+        // Disjoint shard: completes while the lock is held.
+        let st2 = Arc::clone(&st);
+        let disjoint =
+            std::thread::spawn(move || st2.insert(Triple::new(NodeId(9), p2, NodeId(9))));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let waiter = std::thread::spawn(move || {
+            let _ = tx.send(disjoint.join().unwrap());
+        });
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(10)),
+            Ok(true),
+            "write to a disjoint shard serialised on the held shard lock"
+        );
+        waiter.join().unwrap();
+
+        // Same shard: blocks until the guard drops.
+        let st3 = Arc::clone(&st);
+        let done = Arc::new(AtomicBool::new(false));
+        let done2 = Arc::clone(&done);
+        let same = std::thread::spawn(move || {
+            st3.insert(Triple::new(NodeId(9), p_same, NodeId(9)));
+            done2.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            !done.load(Ordering::SeqCst),
+            "write to the locked shard did not block"
+        );
+        drop(guard);
+        same.join().unwrap();
+        assert!(done.load(Ordering::SeqCst));
+        assert_eq!(st.len(), 2);
+        assert!(st.shard_write_conflicts() >= 1, "the blocked write counted");
+    }
+
+    /// A partial snapshot pins only its declared read set's shards:
+    /// while a reader holds one family's shard, writes to other shards
+    /// complete, and a write to the pinned shard blocks until the
+    /// snapshot drops.
+    #[test]
+    fn partial_snapshot_only_blocks_declared_shards() {
+        let st = Arc::new(ShardedStore::with_shards(8));
+        let p1 = NodeId(1);
+        let p2 = (2..200)
+            .map(NodeId)
+            .find(|&p| st.shard_of(p) != st.shard_of(p1))
+            .expect("some predicate hashes to another shard");
+        st.insert(Triple::new(NodeId(5), p1, NodeId(6)));
+
+        let plan = st.plan_read(&[p1]);
+        let snap = st.read_for(Some(&plan));
+        assert_eq!(snap.objects_with(p1, NodeId(5)).count(), 1);
+
+        // Untouched shard: a write completes while the snapshot lives.
+        let st2 = Arc::clone(&st);
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let _ = tx.send(st2.insert(Triple::new(NodeId(9), p2, NodeId(9))));
+        });
+        assert_eq!(
+            rx.recv_timeout(Duration::from_secs(10)),
+            Ok(true),
+            "write to an undeclared shard blocked behind a partial snapshot"
+        );
+
+        // Touched shard: a write blocks until the snapshot drops.
+        let st3 = Arc::clone(&st);
+        let done = Arc::new(AtomicBool::new(false));
+        let done2 = Arc::clone(&done);
+        let blocked = std::thread::spawn(move || {
+            st3.insert(Triple::new(NodeId(9), p1, NodeId(9)));
+            done2.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(
+            !done.load(Ordering::SeqCst),
+            "write to the touched shard did not block"
+        );
+        drop(snap);
+        blocked.join().unwrap();
+        assert_eq!(st.len(), 3);
+    }
+
+    /// The read-set contract is exact: an undeclared predicate panics
+    /// even when it hashes to a shard the snapshot pinned for another
+    /// predicate (a shard-level check would let it slip through and make
+    /// the loud-failure guarantee depend on the shard count).
+    #[test]
+    #[should_panic(expected = "outside this snapshot's declared read set")]
+    fn undeclared_predicate_panics_even_on_a_pinned_shard() {
+        let st = ShardedStore::with_shards(1); // every predicate shares shard 0
+        st.insert(t(1, 7, 2));
+        let plan = st.plan_read(&[NodeId(7)]);
+        let snap = st.read_for(Some(&plan));
+        let _ = snap.objects_with(NodeId(8), NodeId(1)).count();
+    }
+
+    #[test]
+    fn shard_write_guard_mutations_keep_len_in_sync() {
+        let st = ShardedStore::with_shards(4);
+        st.insert(t(1, 7, 1));
+        {
+            let mut guard = st.write_shard(NodeId(7));
+            guard.insert(Triple::new(NodeId(2), NodeId(7), NodeId(2)));
+            guard.insert(Triple::new(NodeId(3), NodeId(7), NodeId(3)));
+            guard.remove(t(1, 7, 1));
+        }
+        assert_eq!(st.len(), 2);
+        {
+            let mut guard = st.write_shard(NodeId(7));
+            guard.remove(Triple::new(NodeId(2), NodeId(7), NodeId(2)));
+            guard.remove(Triple::new(NodeId(3), NodeId(7), NodeId(3)));
+        }
+        assert_eq!(st.len(), 0);
+        assert!(st.is_empty());
     }
 
     #[test]
     fn concurrent_writers_never_lose_or_duplicate() {
-        let st = Arc::new(ConcurrentStore::new());
+        let st = Arc::new(ShardedStore::new());
         let threads = 8;
         let per_thread = 1_000;
         let mut handles = Vec::new();
@@ -200,9 +992,10 @@ mod tests {
                 let mut fresh = Vec::new();
                 let mut new_count = 0;
                 for i in 0..per_thread {
-                    // Half the keys collide across threads.
+                    // Half the keys collide across threads; predicates vary
+                    // so the writes spread over shards.
                     let key = if i % 2 == 0 { i } else { i * 1_000 + tid };
-                    new_count += st.insert_batch(&[t(key as u64, 1, 1)], &mut fresh);
+                    new_count += st.insert_batch(&[t(key as u64, (i % 7) as u64, 1)], &mut fresh);
                 }
                 new_count
             }));
@@ -211,16 +1004,14 @@ mod tests {
         // Every insert that reported "new" corresponds to exactly one stored
         // triple, regardless of interleaving.
         assert_eq!(total_new, st.len());
-        // Colliding keys stored once: evens are shared across all threads.
-        let evens = (0..per_thread).filter(|i| i % 2 == 0).count();
-        let odds = (per_thread / 2) * threads;
-        assert_eq!(st.len(), evens + odds);
+        assert_eq!(st.len(), st.to_sorted_vec().len());
     }
 
     #[test]
     fn readers_run_during_reasoning_shape() {
-        // Simulates the rule-instance pattern: grab guard, many lookups.
-        let st = Arc::new(ConcurrentStore::new());
+        // Simulates the rule-instance pattern: grab a snapshot, many
+        // lookups.
+        let st = Arc::new(ShardedStore::new());
         for i in 0..100 {
             st.insert(t(i, 7, i + 1));
         }
@@ -228,9 +1019,9 @@ mod tests {
         for _ in 0..4 {
             let st = Arc::clone(&st);
             handles.push(std::thread::spawn(move || {
-                let g = st.read();
+                let snap = st.read();
                 (0..100)
-                    .map(|i| g.objects_with(NodeId(7), NodeId(i)).count())
+                    .map(|i| snap.objects_with(NodeId(7), NodeId(i)).count())
                     .sum::<usize>()
             }));
         }
@@ -241,11 +1032,62 @@ mod tests {
 
     #[test]
     fn into_inner_roundtrip() {
-        let st = ConcurrentStore::new();
+        let st = ShardedStore::new();
         st.insert(t(1, 2, 3));
+        st.insert(t(4, 5, 6));
         let inner = st.into_inner();
         assert!(inner.contains(t(1, 2, 3)));
-        let st2 = ConcurrentStore::from_store(inner);
-        assert_eq!(st2.len(), 1);
+        assert_eq!(inner.len(), 2);
+        let st2 = ShardedStore::from_store_sharded(inner, 4);
+        assert_eq!(st2.len(), 2);
+        assert!(st2.contains(t(4, 5, 6)));
+    }
+
+    #[test]
+    fn from_store_preserves_indexing_mode() {
+        let mut plain = VerticalStore::without_object_index();
+        plain.insert(t(1, 10, 2));
+        let st = ShardedStore::from_store(plain);
+        // Subjects query still answers via the scan path.
+        let snap = st.read();
+        assert_eq!(
+            snap.subjects_with(NodeId(10), NodeId(2))
+                .collect::<Vec<_>>(),
+            vec![NodeId(1)]
+        );
+        drop(snap);
+        // Exclusive round-trip keeps the mode too.
+        {
+            let guard = st.exclusive();
+            assert!(!guard.has_object_index());
+        }
+        assert_eq!(st.len(), 1);
+    }
+
+    #[test]
+    fn single_shard_degenerates_to_global_lock() {
+        let st = ShardedStore::with_shards(1);
+        assert_eq!(st.shard_count(), 1);
+        for p in 0..50 {
+            assert_eq!(st.shard_of(NodeId(p)), 0);
+        }
+        let mut fresh = Vec::new();
+        st.insert_batch(&(0..50).map(|i| t(i, i, i)).collect::<Vec<_>>(), &mut fresh);
+        assert_eq!(st.len(), 50);
+        assert_eq!(st.stats().triples, 50);
+    }
+
+    #[test]
+    fn stats_merge_across_shards() {
+        let st = ShardedStore::with_shards(8);
+        let mut fresh = Vec::new();
+        st.insert_batch_explicit(&[t(1, 10, 2), t(1, 20, 2)], &mut fresh);
+        st.insert(t(3, 10, 4));
+        let stats = st.stats();
+        assert_eq!(stats.triples, 3);
+        assert_eq!(stats.explicit, 2);
+        assert_eq!(stats.derived, 1);
+        assert_eq!(stats.predicates, 2);
+        assert_eq!(stats.largest_partition, 2);
     }
 }

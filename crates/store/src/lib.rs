@@ -25,9 +25,16 @@
 //! subsystem builds on exactly these two primitives — see
 //! `slider-core`'s `maintenance` module.
 //!
-//! [`ConcurrentStore`] wraps the store in a readers-writer lock (the paper
-//! uses a `ReentrantReadWriteLock`): many rule instances read concurrently
-//! while distributors serialise their batched writes.
+//! [`ShardedStore`] shares the store across threads with **two-level
+//! locking** (the paper uses a single `ReentrantReadWriteLock`; we keep
+//! its semantics but not its bottleneck): a global *maintenance gate*
+//! held in read mode by every normal operation and in write mode only by
+//! exclusive (DRed/quiescent) sections, plus per-predicate-shard
+//! readers-writer locks so writers touching disjoint predicate families
+//! run concurrently. Readers join against a [`StoreView`] — either a
+//! plain store borrowed whole or a consistent multi-shard
+//! [`StoreSnapshot`] — so the same rule code serves both worlds. See the
+//! `concurrent` module docs for the lock-order discipline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -36,8 +43,12 @@ mod concurrent;
 mod pattern;
 mod table;
 mod vertical;
+mod view;
 
-pub use concurrent::ConcurrentStore;
+pub use concurrent::{
+    ExclusiveStore, ReadSet, ShardWriteGuard, ShardedStore, StoreSnapshot, DEFAULT_SHARDS,
+};
 pub use pattern::TriplePattern;
 pub use table::PropertyTable;
 pub use vertical::{StoreStats, VerticalStore};
+pub use view::{ShardRead, StoreView};

@@ -2,6 +2,7 @@
 
 use crate::pattern::TriplePattern;
 use crate::table::PropertyTable;
+use crate::view::StoreView;
 use slider_model::{FxHashMap, NodeId, Triple};
 
 /// An in-memory triple store, vertically partitioned by predicate.
@@ -277,6 +278,27 @@ impl VerticalStore {
     /// The partition for predicate `p`, if any triple uses it.
     pub fn table(&self, p: NodeId) -> Option<&PropertyTable> {
         self.tables.get(&p)
+    }
+
+    /// Iterates over every partition as a `(predicate, table)` pair (no
+    /// ordering guarantee) — the per-shard walk the multi-shard
+    /// [`StoreView`] composes across sub-stores.
+    pub fn tables(&self) -> impl Iterator<Item = (NodeId, &PropertyTable)> + '_ {
+        self.tables.iter().map(|(&p, tab)| (p, tab))
+    }
+
+    /// True if this store maintains the per-predicate object index (see
+    /// [`VerticalStore::without_object_index`]). Sharded wrappers use this
+    /// to build shards in the matching indexing mode.
+    pub fn has_object_index(&self) -> bool {
+        self.object_index
+    }
+
+    /// A [`StoreView`] borrowing this store whole — the read interface
+    /// rules are written against, so the same rule code joins against a
+    /// plain store or a multi-shard snapshot.
+    pub fn view(&self) -> StoreView<'_> {
+        StoreView::Store(self)
     }
 
     /// Objects `o` such that `(s, p, o)` holds — the `(p, s, ?)` pattern.

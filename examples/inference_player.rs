@@ -192,4 +192,14 @@ fn main() {
         ),
         None => println!("staleness bound: no pending retractions (queries are exact)"),
     }
+
+    // Store-lock contention over the run: how often exclusive (gate-write)
+    // access was taken, and how often a shard write found its shard busy.
+    let stats = slider.stats();
+    println!(
+        "store locking: {} shards, {} gate write acquisitions, {} shard write conflicts",
+        slider.store().shard_count(),
+        stats.gate_write_acquisitions,
+        stats.shard_write_conflicts
+    );
 }

@@ -135,7 +135,7 @@ pub mod prelude {
     pub use slider_model::{Dictionary, Literal, NodeId, Term, TermTriple, Triple};
     pub use slider_parser::{NTriplesParser, TurtleParser};
     pub use slider_rules::{DependencyGraph, Fragment, Rule, Ruleset};
-    pub use slider_store::{ConcurrentStore, TriplePattern, VerticalStore};
+    pub use slider_store::{ShardedStore, StoreView, TriplePattern, VerticalStore};
 }
 
 #[cfg(test)]

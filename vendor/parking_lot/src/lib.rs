@@ -2,7 +2,8 @@
 //!
 //! The build environment has no crates.io access, so the workspace vendors
 //! the lock APIs it uses: [`Mutex`]/[`MutexGuard`], [`Condvar`],
-//! [`RwLock`] with [`RwLockReadGuard::map`] and [`MappedRwLockReadGuard`].
+//! [`RwLock`] with [`RwLock::try_read`]/[`RwLock::try_write`],
+//! [`RwLockReadGuard::map`] and [`MappedRwLockReadGuard`].
 //! Semantics match `parking_lot` where it differs from `std`: no lock
 //! poisoning (a panic while holding a guard simply releases it), and
 //! `Condvar::wait` takes the guard by `&mut`. Swap for the real crate by
@@ -165,6 +166,30 @@ impl<T: ?Sized> RwLock<T> {
         }
     }
 
+    /// Attempts to acquire shared read access without blocking; `None` if
+    /// the lock is currently held exclusively.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(guard) => Some(RwLockReadGuard { guard }),
+            Err(ss::TryLockError::Poisoned(e)) => Some(RwLockReadGuard {
+                guard: e.into_inner(),
+            }),
+            Err(ss::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts to acquire exclusive write access without blocking; `None`
+    /// if the lock is currently held (shared or exclusive).
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(guard) => Some(RwLockWriteGuard { guard }),
+            Err(ss::TryLockError::Poisoned(e)) => Some(RwLockWriteGuard {
+                guard: e.into_inner(),
+            }),
+            Err(ss::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Returns a mutable reference to the protected value without locking.
     pub fn get_mut(&mut self) -> &mut T {
         ignore_poison(self.inner.get_mut())
@@ -291,6 +316,22 @@ mod tests {
         drop(mapped);
         lock.write().push(4);
         assert_eq!(lock.read().len(), 4);
+    }
+
+    #[test]
+    fn try_locks_report_contention() {
+        let lock = RwLock::new(7);
+        {
+            let _r = lock.read();
+            assert!(lock.try_read().is_some(), "read is shared");
+            assert!(lock.try_write().is_none(), "write excluded by reader");
+        }
+        {
+            let _w = lock.write();
+            assert!(lock.try_read().is_none(), "read excluded by writer");
+            assert!(lock.try_write().is_none(), "write excluded by writer");
+        }
+        assert_eq!(*lock.try_write().expect("uncontended"), 7);
     }
 
     #[test]

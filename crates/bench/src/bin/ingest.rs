@@ -12,6 +12,12 @@
 //! lock (one shard behind the same gate), so the comparison isolates
 //! exactly the locking change.
 //!
+//! A third, **read-heavy** phase races N query threads against one
+//! writer on the raw store, comparing the pre-epoch locked read path
+//! (`ShardedStore::read`, gate + shard read locks per query batch)
+//! against the lock-free epoch read path (`ShardedStore::matches`,
+//! answered from the published snapshot).
+//!
 //! ```text
 //! cargo run --release -p slider-bench --bin ingest            # full size
 //! cargo run --release -p slider-bench --bin ingest -- --smoke # CI smoke
@@ -19,11 +25,16 @@
 //!
 //! `--smoke` runs a tiny workload and verifies the final store of **every**
 //! (shards × workers) cell against the `RecomputeOracle` closure.
+//! `--json <path>` additionally writes the machine-readable trajectory
+//! (`slider_bench::report`) for cross-commit comparison.
 
 use slider_baseline::RecomputeOracle;
-use slider_bench::family;
+use slider_bench::report::{BenchReport, Cell};
+use slider_bench::{family, parse_bench_args};
 use slider_core::{Slider, SliderConfig};
 use slider_model::{Dictionary, NodeId, Triple};
+use slider_store::TriplePattern;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -167,16 +178,98 @@ fn run_cell(p: &Params, shards: usize, producers: usize) -> (Duration, Slider) {
     (elapsed, slider)
 }
 
+/// One timed **read-heavy** cell: `readers` threads each run `sweeps`
+/// rounds of pattern queries over every family predicate while one writer
+/// continuously feeds the workload into the store (cycling once the feed
+/// is exhausted, so writes contend for the cell's whole duration).
+/// `locked` readers pin the gate + shard read locks per query
+/// ([`slider_store::ShardedStore::read`], the pre-epoch read path);
+/// lock-free readers answer from the published epoch
+/// ([`slider_store::ShardedStore::matches`]). Returns the time for all
+/// readers to finish, the total queries completed, and the store for
+/// verification.
+fn run_read_cell(
+    feeds: &[Vec<Triple>],
+    families: u64,
+    readers: usize,
+    sweeps: u64,
+    locked: bool,
+) -> (Duration, u64, slider_store::ShardedStore) {
+    let store = slider_store::ShardedStore::with_shards(16);
+    let done = AtomicBool::new(false);
+    let queries = AtomicU64::new(0);
+    let start = Instant::now();
+    let elapsed = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..readers)
+            .map(|_| {
+                let (store, queries) = (&store, &queries);
+                scope.spawn(move || {
+                    for _ in 0..sweeps {
+                        for f in 0..families {
+                            let pattern = TriplePattern::with_p(family::trans_pred(f));
+                            if locked {
+                                let snap = store.read();
+                                std::hint::black_box(snap.matches(pattern));
+                            } else {
+                                std::hint::black_box(store.matches(pattern));
+                            }
+                            queries.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        let writer = scope.spawn(|| {
+            let mut fresh = Vec::new();
+            // First pass runs to completion — the verified final store
+            // must contain the whole workload; later cycles just keep the
+            // write locks hot and bail as soon as the readers are done.
+            for feed in feeds {
+                for chunk in feed.chunks(32) {
+                    fresh.clear();
+                    store.insert_batch(chunk, &mut fresh);
+                }
+            }
+            while !done.load(Ordering::Relaxed) {
+                for feed in feeds {
+                    for chunk in feed.chunks(32) {
+                        fresh.clear();
+                        store.insert_batch(chunk, &mut fresh);
+                        if done.load(Ordering::Relaxed) {
+                            return;
+                        }
+                    }
+                }
+            }
+        });
+        for handle in handles {
+            handle.join().expect("reader panicked");
+        }
+        let elapsed = start.elapsed();
+        done.store(true, Ordering::Relaxed);
+        writer.join().expect("writer panicked");
+        elapsed
+    });
+    (elapsed, queries.load(Ordering::Relaxed), store)
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    if args.iter().any(|a| a != "--smoke") {
-        eprintln!("usage: ingest [--smoke]");
-        std::process::exit(2);
-    }
+    let (smoke, json_path) = parse_bench_args("ingest [--smoke] [--json <path>]");
     let p = if smoke { SMOKE } else { FULL };
 
     let input: usize = (0..p.families).map(|f| family_feed(f, &p).len()).sum();
+    let runs = if smoke { 1 } else { 3 };
+    let mut report = BenchReport::new(
+        "ingest",
+        format!(
+            "{} families × depth {}, {} batches × {} members ({} input triples)",
+            p.families, p.depth, p.batches, p.members, input
+        ),
+    )
+    .best_of(runs)
+    .config("smoke", smoke)
+    .config("families", p.families)
+    .config("input_triples", input);
     println!(
         "ingest bench: {} families × depth {}, {} batches × {} members — {} input triples{}",
         p.families,
@@ -200,7 +293,6 @@ fn main() {
     // measured cell is not penalised; then best-of-N per cell to damp
     // scheduler noise.
     let _ = run_cell(&p, 1, p.workers[0]);
-    let runs = if smoke { 1 } else { 3 };
 
     // --- phase 1: raw store ingest (locking isolated, no reasoner) -----
     println!(
@@ -226,6 +318,18 @@ fn main() {
                 input as f64 / took.as_secs_f64().max(1e-9),
                 store.shard_write_conflicts(),
             );
+            report.push(
+                Cell::new(format!("raw-store/{label}/{workers}-producers"))
+                    .param("phase", "raw-store")
+                    .param("locking", label)
+                    .param("shards", shards)
+                    .param("producers", workers)
+                    .metric("elapsed_ms", took.as_secs_f64() * 1e3)
+                    .metric(
+                        "triples_per_sec",
+                        input as f64 / took.as_secs_f64().max(1e-9),
+                    ),
+            );
             if p.verify {
                 let mut want: Vec<Triple> = feeds.iter().flatten().copied().collect();
                 want.sort_unstable();
@@ -236,6 +340,59 @@ fn main() {
         println!(
             "  {workers} producer(s): sharded is {:.2}x the global-lock baseline",
             elapsed[0].as_secs_f64() / elapsed[1].as_secs_f64().max(1e-9)
+        );
+    }
+
+    // --- phase 2: read-heavy — N readers vs 1 writer, locked vs epoch --
+    let read_threads = *p.workers.last().unwrap();
+    let sweeps: u64 = if smoke { 100 } else { 400 };
+    println!("read-heavy ({read_threads} reader(s) × {sweeps} sweeps racing 1 writer, 16 shards):");
+    {
+        let mut rates = [0f64; 2];
+        for (cell, (label, locked)) in [("locked", true), ("lock-free", false)]
+            .into_iter()
+            .enumerate()
+        {
+            let (mut took, mut qs, mut store) =
+                run_read_cell(&feeds, p.families, read_threads, sweeps, locked);
+            for _ in 1..runs {
+                let (t, q, s) = run_read_cell(&feeds, p.families, read_threads, sweeps, locked);
+                if t < took {
+                    (took, qs, store) = (t, q, s);
+                }
+            }
+            rates[cell] = qs as f64 / took.as_secs_f64().max(1e-9);
+            println!(
+                "  {label:>9} readers: {:>9.2} ms to drain, {:>7} queries, {:>10.0} queries/s",
+                took.as_secs_f64() * 1e3,
+                qs,
+                rates[cell],
+            );
+            report.push(
+                Cell::new(format!("read-heavy/{label}/{read_threads}-readers"))
+                    .param("phase", "read-heavy")
+                    .param("read_path", label)
+                    .param("readers", read_threads)
+                    .param("sweeps", sweeps)
+                    .metric("elapsed_ms", took.as_secs_f64() * 1e3)
+                    .metric("queries", qs as f64)
+                    .metric("queries_per_sec", rates[cell]),
+            );
+            if p.verify {
+                let mut want: Vec<Triple> = feeds.iter().flatten().copied().collect();
+                want.sort_unstable();
+                want.dedup();
+                assert_eq!(
+                    store.to_sorted_vec(),
+                    want,
+                    "{label} read-heavy cell lost writes"
+                );
+                println!("    ✓ store complete under racing {label} readers");
+            }
+        }
+        println!(
+            "  lock-free readers sustained {:.2}x the locked baseline's query rate",
+            rates[1] / rates[0].max(1e-9)
         );
     }
 
@@ -261,6 +418,19 @@ fn main() {
                 input as f64 / took.as_secs_f64().max(1e-9),
                 stats.shard_write_conflicts,
             );
+            report.push(
+                Cell::new(format!("end-to-end/{label}/{workers}-workers"))
+                    .param("phase", "end-to-end")
+                    .param("locking", label)
+                    .param("shards", shards)
+                    .param("workers", workers)
+                    .metric("elapsed_ms", took.as_secs_f64() * 1e3)
+                    .metric(
+                        "triples_per_sec",
+                        input as f64 / took.as_secs_f64().max(1e-9),
+                    )
+                    .metric("store_size", stats.store_size as f64),
+            );
             if let Some(expected) = &expected {
                 assert_eq!(
                     &slider.store().to_sorted_vec(),
@@ -274,5 +444,9 @@ fn main() {
             "  {workers} worker(s): sharded is {:.2}x the global-lock baseline",
             elapsed[0].as_secs_f64() / elapsed[1].as_secs_f64().max(1e-9)
         );
+    }
+
+    if let Some(path) = json_path {
+        report.write(&path).expect("bench trajectory written");
     }
 }

@@ -37,10 +37,13 @@
 //! schedule deliberately **re-asserts triples whose retraction is still
 //! pending** before some flushes, verifying the cancellation semantics
 //! (the re-asserted fact and its consequences must survive the flush) in
-//! eager, single-pass and partitioned modes alike.
+//! eager, single-pass and partitioned modes alike. `--json <path>` writes
+//! the machine-readable trajectory (`slider_bench::report`).
 
 use slider_baseline::RecomputeOracle;
 use slider_bench::family::{self, FamilyParams};
+use slider_bench::parse_bench_args;
+use slider_bench::report::{BenchReport, Cell};
 use slider_model::Triple;
 use slider_workloads::stream::{bursty_gaps, expirations};
 use std::time::{Duration, Instant};
@@ -115,12 +118,7 @@ fn fmt_ms(d: Duration) -> String {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    if args.iter().any(|a| a != "--smoke") {
-        eprintln!("usage: retraction [--smoke]");
-        std::process::exit(2);
-    }
+    let (smoke, json_path) = parse_bench_args("retraction [--smoke] [--json <path>]");
     let p = if smoke { SMOKE } else { FULL };
 
     let schema = family::taxonomy(&p.shape);
@@ -311,5 +309,46 @@ fn main() {
              every step (incl. {} re-assertions cancelling pending retractions)",
             part_stats.cancelled_removals
         );
+    }
+
+    if let Some(path) = json_path {
+        let mut report = BenchReport::new(
+            "retraction",
+            format!(
+                "{} families × depth {}, {} steps × {} triples/family, {}-tick window \
+                 ({} expiries, {} bulk steps)",
+                p.shape.families,
+                p.shape.depth,
+                p.steps,
+                p.shape.batch + p.shape.shared,
+                p.window_ticks,
+                expired_total,
+                bulk_steps
+            ),
+        )
+        .config("smoke", smoke)
+        .config("families", p.shape.families)
+        .config("steps", p.steps)
+        .config("window_ticks", p.window_ticks);
+        let per_step = |total: Duration| total.as_secs_f64() * 1e3 / p.steps as f64;
+        for (label, elapsed, runs) in [
+            ("eager", eager_elapsed, eager_stats.removal_runs),
+            ("coalesced", coalesced_elapsed, co_stats.coalesced_runs),
+            (
+                "partitioned",
+                partitioned_elapsed,
+                part_stats.coalesced_runs,
+            ),
+            ("recompute", oracle_elapsed, 0),
+        ] {
+            report.push(
+                Cell::new(format!("maintainer/{label}"))
+                    .param("maintainer", label)
+                    .metric("elapsed_ms", elapsed.as_secs_f64() * 1e3)
+                    .metric("per_step_ms", per_step(elapsed))
+                    .metric("maintenance_runs", runs as f64),
+            );
+        }
+        report.write(&path).expect("bench trajectory written");
     }
 }

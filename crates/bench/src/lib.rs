@@ -424,6 +424,179 @@ pub mod family {
     }
 }
 
+/// Machine-readable benchmark trajectories: every bench bin can emit a
+/// `BENCH_*.json` file (workload shape, configuration, one entry per
+/// measured cell with its best-of-N timings) so successive runs of the
+/// same bin are comparable across commits — the start of the
+/// bench-trajectory record the roadmap asks for.
+///
+/// The format is deliberately flat — one object with `bench`, `workload`,
+/// `best_of`, a string-valued `config` map, and a `cells` array whose
+/// entries carry a `label`, a string-valued `params` map and a
+/// float-valued `metrics` map — so a few lines of any plotting script can
+/// consume it without a schema.
+pub mod report {
+    use std::fmt::Write as _;
+
+    /// One measured cell: a labelled point in the bench's sweep.
+    #[derive(Debug, Clone, Default)]
+    pub struct Cell {
+        label: String,
+        params: Vec<(String, String)>,
+        metrics: Vec<(String, f64)>,
+    }
+
+    impl Cell {
+        /// A cell named `label` (e.g. `"sharded/2-producers"`).
+        pub fn new(label: impl Into<String>) -> Self {
+            Cell {
+                label: label.into(),
+                ..Cell::default()
+            }
+        }
+
+        /// Attaches a sweep parameter (stringified).
+        pub fn param(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+            self.params.push((key.to_owned(), value.to_string()));
+            self
+        }
+
+        /// Attaches a measurement. Non-finite values are recorded as 0
+        /// (JSON has no NaN/Inf).
+        pub fn metric(mut self, key: &str, value: f64) -> Self {
+            let value = if value.is_finite() { value } else { 0.0 };
+            self.metrics.push((key.to_owned(), value));
+            self
+        }
+    }
+
+    /// A whole bench run: workload description, config, measured cells.
+    #[derive(Debug, Clone)]
+    pub struct BenchReport {
+        bench: String,
+        workload: String,
+        best_of: usize,
+        config: Vec<(String, String)>,
+        cells: Vec<Cell>,
+    }
+
+    impl BenchReport {
+        /// A report for bench `bench` over `workload` (human-readable
+        /// shape summary).
+        pub fn new(bench: impl Into<String>, workload: impl Into<String>) -> Self {
+            BenchReport {
+                bench: bench.into(),
+                workload: workload.into(),
+                best_of: 1,
+                config: Vec::new(),
+                cells: Vec::new(),
+            }
+        }
+
+        /// Records that each cell's timing is the best of `n` runs.
+        pub fn best_of(mut self, n: usize) -> Self {
+            self.best_of = n;
+            self
+        }
+
+        /// Attaches a configuration key (stringified).
+        pub fn config(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+            self.config.push((key.to_owned(), value.to_string()));
+            self
+        }
+
+        /// Appends a measured cell.
+        pub fn push(&mut self, cell: Cell) {
+            self.cells.push(cell);
+        }
+
+        /// Serialises the report (flat JSON, no external dependencies).
+        pub fn to_json(&self) -> String {
+            fn escape(s: &str) -> String {
+                let mut out = String::with_capacity(s.len());
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            let _ = write!(out, "\\u{:04x}", c as u32);
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out
+            }
+            fn string_map(pairs: &[(String, String)]) -> String {
+                let entries: Vec<String> = pairs
+                    .iter()
+                    .map(|(k, v)| format!(r#""{}":"{}""#, escape(k), escape(v)))
+                    .collect();
+                format!("{{{}}}", entries.join(","))
+            }
+            let cells: Vec<String> = self
+                .cells
+                .iter()
+                .map(|cell| {
+                    let metrics: Vec<String> = cell
+                        .metrics
+                        .iter()
+                        .map(|(k, v)| format!(r#""{}":{:.6}"#, escape(k), v))
+                        .collect();
+                    format!(
+                        r#"{{"label":"{}","params":{},"metrics":{{{}}}}}"#,
+                        escape(&cell.label),
+                        string_map(&cell.params),
+                        metrics.join(",")
+                    )
+                })
+                .collect();
+            format!(
+                r#"{{"bench":"{}","workload":"{}","best_of":{},"config":{},"cells":[{}]}}"#,
+                escape(&self.bench),
+                escape(&self.workload),
+                self.best_of,
+                string_map(&self.config),
+                cells.join(",")
+            )
+        }
+
+        /// Writes the report to `path` and prints where it went.
+        pub fn write(&self, path: &str) -> std::io::Result<()> {
+            std::fs::write(path, self.to_json())?;
+            println!("bench trajectory written to {path}");
+            Ok(())
+        }
+    }
+}
+
+/// Parses the shared bench CLI shape: `[--smoke] [--json <path>]`.
+/// Exits with usage on anything else. Returns `(smoke, json_path)`.
+pub fn parse_bench_args(usage: &str) -> (bool, Option<String>) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut json = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--json" => match it.next() {
+                Some(path) => json = Some(path),
+                None => {
+                    eprintln!("usage: {usage}");
+                    std::process::exit(2);
+                }
+            },
+            _ => {
+                eprintln!("usage: {usage}");
+                std::process::exit(2);
+            }
+        }
+    }
+    (smoke, json)
+}
+
 /// Reads the benchmark scale factor from `SLIDER_SCALE` (default
 /// `default_scale`).
 pub fn env_scale(default_scale: f64) -> f64 {
@@ -504,6 +677,36 @@ mod tests {
         let csv = render_csv(std::slice::from_ref(&row));
         assert_eq!(csv.lines().count(), 1 + 4);
         assert!(csv.contains("subClassOf10,rho-df,slider"));
+    }
+
+    #[test]
+    fn bench_report_json_is_flat_and_balanced() {
+        let mut report = report::BenchReport::new("ingest", "4 families × depth 5")
+            .best_of(3)
+            .config("shards", 16)
+            .config("note", "quote \" and\nnewline");
+        report.push(
+            report::Cell::new("sharded/2-producers")
+                .param("producers", 2)
+                .metric("elapsed_ms", 12.5)
+                .metric("throughput", f64::NAN),
+        );
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        // Balanced delimiter quotes (escaped quotes excluded).
+        assert_eq!(
+            json.replace("\\\"", "").matches('"').count() % 2,
+            0,
+            "{json}"
+        );
+        assert!(json.contains(r#""bench":"ingest""#));
+        assert!(json.contains(r#""best_of":3"#));
+        assert!(json.contains(r#""shards":"16""#));
+        assert!(json.contains(r#""label":"sharded/2-producers""#));
+        assert!(json.contains(r#""elapsed_ms":12.5"#));
+        // Non-finite metrics are clamped, escapes round-trip.
+        assert!(json.contains(r#""throughput":0.0"#));
+        assert!(json.contains(r#"quote \" and\nnewline"#));
     }
 
     #[test]

@@ -25,10 +25,10 @@
 //! * Each rule module owns a **buffer**; when it reaches
 //!   [`SliderConfig::buffer_capacity`] triples — or sits idle longer than
 //!   [`SliderConfig::timeout`] — its content becomes a *rule instance*: a
-//!   job on the **thread pool** that joins the batch against a read
-//!   snapshot scoped to the rule's declared read set (only those
-//!   predicates' shard locks — see `slider_store::ShardedStore`), per
-//!   paper Algorithm 1.
+//!   job on the **thread pool** that joins the batch against the store's
+//!   published **epoch snapshot** — lock-free, scoped to the rule's
+//!   declared read set (see `slider_store::EpochSnapshot`) — per paper
+//!   Algorithm 1.
 //! * The rule instance's **distributor** inserts the conclusions into the
 //!   store, locking one predicate shard at a time (writes on disjoint
 //!   shards run concurrently); only the triples that were *actually new*
@@ -79,6 +79,6 @@ pub mod trace;
 pub use buffer::Buffer;
 pub use config::SliderConfig;
 pub use maintenance::RemovalOutcome;
-pub use reasoner::Slider;
+pub use reasoner::{Slider, SwapOutcome};
 pub use stats::{RuleStats, StatsSnapshot};
 pub use trace::{events_to_json, Event, EventKind, EventLog};

@@ -181,63 +181,203 @@ pub(crate) fn dred(
             .collect()
     };
 
-    // Phase 2: rederive.
-    if !rederive_rules.is_empty() && !store.is_empty() {
-        // Fast path: backward support checks over the deleted set only.
-        // A deleted triple with one-step support from the current store is
-        // restored; restorations can support further restorations, so
-        // passes repeat until nothing changes. If any in-scope rule lacks
-        // a backward matcher (`derives` → None) the answer is unknown and
-        // we fall back to the forward pass below.
-        let mut candidates: Vec<Triple> = scheduled.iter().copied().collect();
-        candidates.sort_unstable(); // deterministic restoration order
-        let mut need_forward = full_rederive;
-        while !need_forward {
-            let mut restored: Vec<Triple> = Vec::new();
-            candidates.retain(|&t| {
-                for &i in &rederive_rules {
-                    match rules[i].derives(&store.view(), t) {
-                        Some(true) => {
-                            restored.push(t);
-                            return false;
-                        }
-                        Some(false) => {}
-                        None => need_forward = true,
+    // Phase 2: rederive (shared with ruleset-swap retraction).
+    outcome.rederived = rederive(store, rules, &rederive_rules, &scheduled, full_rederive);
+    outcome
+}
+
+/// DRed phase 2, shared between [`dred`] and [`retract_rules`]: restores
+/// every triple in `scheduled` (the overdeleted set) that still has a
+/// derivation from the surviving store, using `rule_indices` into
+/// `rules`. `force_forward` skips the backward fast path (the
+/// conservative mode). Returns how many triples were restored.
+fn rederive(
+    store: &mut VerticalStore,
+    rules: &[Arc<dyn Rule>],
+    rule_indices: &[usize],
+    scheduled: &FxHashSet<Triple>,
+    force_forward: bool,
+) -> usize {
+    if rule_indices.is_empty() || store.is_empty() {
+        return 0;
+    }
+    let mut rederived = 0;
+    // Fast path: backward support checks over the deleted set only.
+    // A deleted triple with one-step support from the current store is
+    // restored; restorations can support further restorations, so
+    // passes repeat until nothing changes. If any in-scope rule lacks
+    // a backward matcher (`derives` → None) the answer is unknown and
+    // we fall back to the forward pass below.
+    let mut candidates: Vec<Triple> = scheduled.iter().copied().collect();
+    candidates.sort_unstable(); // deterministic restoration order
+    let mut need_forward = force_forward;
+    while !need_forward {
+        let mut restored: Vec<Triple> = Vec::new();
+        candidates.retain(|&t| {
+            for &i in rule_indices {
+                match rules[i].derives(&store.view(), t) {
+                    Some(true) => {
+                        restored.push(t);
+                        return false;
                     }
+                    Some(false) => {}
+                    None => need_forward = true,
                 }
-                true
-            });
-            outcome.rederived += restored.len();
-            for &t in &restored {
-                store.insert(t);
             }
-            if restored.is_empty() {
-                break;
-            }
+            true
+        });
+        rederived += restored.len();
+        for &t in &restored {
+            store.insert(t);
         }
-        // Forward fallback: one pass with the whole surviving store as the
-        // delta — every one-step-from-survivors conclusion that went
-        // missing was overdeleted and comes back — then the usual
-        // semi-naive fixpoint on fresh conclusions.
-        if need_forward {
-            let mut delta: Vec<Triple> = store.iter().collect();
-            let mut fresh: Vec<Triple> = Vec::new();
-            loop {
-                out.clear();
-                for &i in &rederive_rules {
-                    rules[i].apply(&store.view(), &delta, &mut out);
-                }
-                fresh.clear();
-                store.insert_batch(&out, &mut fresh);
-                if fresh.is_empty() {
-                    break;
-                }
-                outcome.rederived += fresh.len();
-                std::mem::swap(&mut delta, &mut fresh);
-            }
+        if restored.is_empty() {
+            break;
         }
     }
-    outcome
+    // Forward fallback: one pass with the whole surviving store as the
+    // delta — every one-step-from-survivors conclusion that went
+    // missing was overdeleted and comes back — then the usual
+    // semi-naive fixpoint on fresh conclusions.
+    if need_forward {
+        let mut out: Vec<Triple> = Vec::new();
+        let mut delta: Vec<Triple> = store.iter().collect();
+        let mut fresh: Vec<Triple> = Vec::new();
+        loop {
+            out.clear();
+            for &i in rule_indices {
+                rules[i].apply(&store.view(), &delta, &mut out);
+            }
+            fresh.clear();
+            store.insert_batch(&out, &mut fresh);
+            if fresh.is_empty() {
+                break;
+            }
+            rederived += fresh.len();
+            std::mem::swap(&mut delta, &mut fresh);
+        }
+    }
+    rederived
+}
+
+/// Ruleset-swap retraction: removes every derivation supported only by
+/// the `dropped` rules, leaving the store at the closure of its explicit
+/// triples under the `surviving` rules.
+///
+/// Seeding is backward: in a **closed** store every derived triple has a
+/// one-step derivation from facts in the closure, so the derived triples
+/// a dropped rule one-step supports *right now* ([`Rule::derives`] →
+/// `Some(true)`) are exactly the ones that may owe their presence to it.
+/// A dropped rule without a backward matcher (`derives` → `None`) seeds
+/// conservatively by output signature — over-seeding is repaired by
+/// rederivation, under-seeding never happens. The seeds' downward
+/// closure through **all** old rules is then overdeleted (a deletion can
+/// undercut conclusions of kept rules too), and the overdeleted set is
+/// rederived with the surviving rules only. Returns
+/// `(overdeleted, rederived)` — `overdeleted` includes the seeds.
+///
+/// The caller holds the store exclusively and guarantees quiescence,
+/// exactly as for [`dred`].
+pub(crate) fn retract_rules(
+    store: &mut VerticalStore,
+    old_rules: &[Arc<dyn Rule>],
+    dropped: &[Arc<dyn Rule>],
+    surviving: &[Arc<dyn Rule>],
+    full_rederive: bool,
+) -> (usize, usize) {
+    // Seed: derived triples a dropped rule one-step supports from the
+    // current closure (or might emit, absent a backward matcher).
+    let derived: Vec<Triple> = store.iter().filter(|&t| !store.is_explicit(t)).collect();
+    let mut scheduled: FxHashSet<Triple> = FxHashSet::default();
+    let mut delta: Vec<Triple> = Vec::new();
+    for &t in &derived {
+        let mut seed = false;
+        for rule in dropped {
+            match rule.derives(&store.view(), t) {
+                Some(true) => {
+                    seed = true;
+                    break;
+                }
+                Some(false) => {}
+                None => {
+                    let may_emit = match rule.output_signature() {
+                        OutputSignature::Universal => true,
+                        OutputSignature::Predicates(ps) => ps.contains(&t.p),
+                    };
+                    if may_emit {
+                        seed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if seed && scheduled.insert(t) {
+            delta.push(t);
+        }
+    }
+    delta.sort_unstable(); // deterministic rounds
+    if delta.is_empty() {
+        return (0, 0);
+    }
+
+    // Overdelete the seeds' downward closure through all old rules, as in
+    // [`dred`] phase 1.
+    let mut out: Vec<Triple> = Vec::new();
+    while !delta.is_empty() {
+        out.clear();
+        for rule in old_rules {
+            rule.apply(&store.view(), &delta, &mut out);
+        }
+        for &t in &delta {
+            store.remove(t);
+        }
+        delta = out
+            .iter()
+            .copied()
+            .filter(|&t| store.contains(t) && !store.is_explicit(t) && scheduled.insert(t))
+            .collect();
+    }
+    let overdeleted = scheduled.len();
+
+    // Rederive with the surviving rules: whatever still has a derivation
+    // under the new program comes back.
+    let indices: Vec<usize> = (0..surviving.len()).collect();
+    let rederived = rederive(store, surviving, &indices, &scheduled, full_rederive);
+    (overdeleted, rederived)
+}
+
+/// Ruleset-swap evaluation of newly `added` rules over a closed store:
+/// round 0 feeds the whole store as the added rules' delta (everything is
+/// "new input" to a rule that has never run), then the usual semi-naive
+/// fixpoint over **all** rules on fresh conclusions — a new conclusion
+/// can trigger kept rules too. Returns how many triples were inferred.
+///
+/// The caller holds the store exclusively and guarantees quiescence.
+pub(crate) fn evaluate_added(
+    store: &mut VerticalStore,
+    all_rules: &[Arc<dyn Rule>],
+    added: &[Arc<dyn Rule>],
+) -> usize {
+    let mut inferred = 0;
+    let mut out: Vec<Triple> = Vec::new();
+    let mut fresh: Vec<Triple> = Vec::new();
+    let delta0: Vec<Triple> = store.iter().collect();
+    for rule in added {
+        rule.apply(&store.view(), &delta0, &mut out);
+    }
+    store.insert_batch(&out, &mut fresh);
+    inferred += fresh.len();
+    let mut delta = std::mem::take(&mut fresh);
+    while !delta.is_empty() {
+        out.clear();
+        for rule in all_rules {
+            rule.apply(&store.view(), &delta, &mut out);
+        }
+        fresh.clear();
+        store.insert_batch(&out, &mut fresh);
+        inferred += fresh.len();
+        std::mem::swap(&mut delta, &mut fresh);
+    }
+    inferred
 }
 
 #[cfg(test)]

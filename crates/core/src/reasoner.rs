@@ -8,11 +8,11 @@ use crate::scheduler::MaintenanceScheduler;
 use crate::stats::{bump, GlobalCounters, RuleCounters, RuleStats, StatsSnapshot};
 use crate::trace::{Event, EventKind, EventLog};
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-use slider_model::{Dictionary, TermTriple, Triple};
+use parking_lot::{Mutex, RwLock};
+use slider_model::{Dictionary, NodeId, TermTriple, Triple};
 use slider_rules::{DependencyGraph, Fragment, InputFilter, Rule, Ruleset};
 use slider_store::{ShardedStore, VerticalStore};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -47,30 +47,23 @@ struct Module {
     counters: RuleCounters,
     /// Current fire threshold; fixed to the configured capacity unless the
     /// adaptive scheduler is on (then retuned after every instance).
-    capacity: std::sync::atomic::AtomicUsize,
+    capacity: AtomicUsize,
 }
 
-/// Shared state between the public handle, the workers and the flusher.
-struct Engine {
-    dict: Arc<Dictionary>,
-    store: ShardedStore,
+/// Everything derived from the loaded ruleset — the **swappable half** of
+/// the engine. `swap_ruleset` builds a fresh `RulesetState` and installs
+/// it at its linearisation point; everything else resolves the current
+/// state once per unit of work ([`Engine::rstate`]) and keeps using that
+/// resolution while it holds an inflight token, which is what makes the
+/// resolution stable: a swap only completes at verified quiescence
+/// (inflight == 0, buffers empty), so a state resolved under a token can
+/// never be retired mid-use.
+struct RulesetState {
+    /// Ruleset name ("rho-df", "RDFS", custom).
+    name: String,
     modules: Vec<Module>,
     /// Shared with partition-pass jobs, which run DRed off-thread.
     graph: Arc<DependencyGraph>,
-    job_tx: Sender<Job>,
-    inflight: Inflight,
-    globals: GlobalCounters,
-    log: Option<EventLog>,
-    ruleset_name: String,
-    /// Adaptive-scheduling bounds: `Some((base, max))` when enabled.
-    adaptive: Option<(usize, usize)>,
-    /// Serialises DRed maintenance runs (see [`Slider::remove_triples`]).
-    maintenance: Mutex<()>,
-    /// Conservative-maintenance switch (see `SliderConfig::full_rederive`).
-    full_rederive: bool,
-    /// Partitioned-flush switch (see
-    /// `SliderConfig::maintenance_partitioning`).
-    partitioning: bool,
     /// Per rule: whether `Rule::derives` answered on an empty-store probe —
     /// a backward matcher exists. Partitioned flushes require one for every
     /// involved rule (the heuristic is conservative at worst: a partition
@@ -78,9 +71,91 @@ struct Engine {
     /// forward pass *over its own shard*, which holds the partition's full
     /// footprint, so it stays sound either way).
     backward: Vec<bool>,
+}
+
+/// Builds the ruleset-derived state: dependency graph, modules with
+/// read plans pre-planned against `store`'s shard layout, and the
+/// backward-matcher probe results. For rules also present in `carried`
+/// (matched by name + definition), the counters and the adaptive
+/// fire-threshold plan carry over — a hot-swap keeps a kept rule's
+/// history and tuning.
+fn build_state(
+    ruleset: &Ruleset,
+    store: &ShardedStore,
+    base_capacity: usize,
+    carried: Option<&RulesetState>,
+) -> RulesetState {
+    let graph = DependencyGraph::build(ruleset);
+    let modules: Vec<Module> = ruleset
+        .rules()
+        .iter()
+        .enumerate()
+        .map(|(i, rule)| {
+            let kept = carried.and_then(|old| {
+                old.modules.iter().find(|m| {
+                    m.rule.name() == rule.name() && m.rule.definition() == rule.definition()
+                })
+            });
+            Module {
+                rule: Arc::clone(rule),
+                filter: rule.input_filter(),
+                read_plan: rule.read_predicates().map(|preds| store.plan_read(&preds)),
+                buffer: Buffer::new(base_capacity),
+                successors: graph.successors(i).to_vec(),
+                counters: kept.map(|m| m.counters.carry()).unwrap_or_default(),
+                capacity: AtomicUsize::new(
+                    kept.map(|m| m.capacity.load(Ordering::Relaxed))
+                        .unwrap_or(base_capacity),
+                ),
+            }
+        })
+        .collect();
+    // Probe each rule's backward matcher once (an empty store answers
+    // `Some(false)` from any implementation, `None` from the default):
+    // partitioned flushes are gated on every involved rule having one.
+    let probe_store = VerticalStore::new();
+    let probe = Triple::new(NodeId(0), NodeId(0), NodeId(0));
+    let backward: Vec<bool> = modules
+        .iter()
+        .map(|m| m.rule.derives(&probe_store.view(), probe).is_some())
+        .collect();
+    RulesetState {
+        name: ruleset.name().to_owned(),
+        modules,
+        graph: Arc::new(graph),
+        backward,
+    }
+}
+
+/// Shared state between the public handle, the workers and the flusher.
+struct Engine {
+    dict: Arc<Dictionary>,
+    store: ShardedStore,
+    /// The current [`RulesetState`], replaced wholesale by `swap_ruleset`.
+    /// The lock is held only for the pointer clone/swap, never across
+    /// work; see [`Engine::rstate`] for the resolution discipline.
+    rstate: RwLock<Arc<RulesetState>>,
+    job_tx: Sender<Job>,
+    inflight: Inflight,
+    globals: GlobalCounters,
+    log: Option<EventLog>,
+    /// Adaptive-scheduling bounds: `Some((base, max))` when enabled.
+    adaptive: Option<(usize, usize)>,
+    /// Serialises DRed maintenance runs (see [`Slider::remove_triples`])
+    /// and ruleset swaps — a swap is a maintenance operation.
+    maintenance: Mutex<()>,
+    /// Conservative-maintenance switch (see `SliderConfig::full_rederive`).
+    full_rederive: bool,
+    /// Partitioned-flush switch (see
+    /// `SliderConfig::maintenance_partitioning`).
+    partitioning: bool,
     /// Deferred retractions awaiting a coalesced DRed run (see
     /// [`Slider::remove_deferred`]).
     scheduler: MaintenanceScheduler,
+    /// Configured buffer capacity — the baseline for modules built by a
+    /// ruleset swap (rules added mid-life start from the same plan a
+    /// fresh reasoner would give them).
+    base_capacity: usize,
 }
 
 /// One bucket of a partitioned coalesced flush: the pending retractions
@@ -92,6 +167,18 @@ struct PendingGroup {
 }
 
 impl Engine {
+    /// Resolves the current ruleset state. The returned `Arc` stays valid
+    /// forever (a swap retires the *engine's* pointer, not the state), but
+    /// it is only guaranteed to be the *current* program while the caller
+    /// holds an inflight token acquired **before** the resolution: a swap
+    /// linearises at inflight == 0, so a token pins the resolution. Code
+    /// that resolves without a token (stats, Debug) may read a state that
+    /// a concurrent swap is retiring — fine for observability, never for
+    /// dispatch.
+    fn rstate(&self) -> Arc<RulesetState> {
+        Arc::clone(&self.rstate.read())
+    }
+
     /// Queues a rule instance; the caller must already hold an inflight
     /// token for it (token ownership transfers to the job).
     fn submit_with_token(&self, rule: usize, delta: Vec<Triple>) {
@@ -109,11 +196,12 @@ impl Engine {
     }
 
     /// Routes `triples` to the buffers of `targets` (each module filters by
-    /// predicate), firing full buffers as new rule instances.
-    fn dispatch(&self, targets: &[usize], triples: &[Triple]) {
+    /// predicate), firing full buffers as new rule instances. The caller
+    /// resolved `state` under an inflight token it still holds.
+    fn dispatch(&self, state: &RulesetState, targets: &[usize], triples: &[Triple]) {
         let mut accepted: Vec<Triple> = Vec::new();
         for &i in targets {
-            let module = &self.modules[i];
+            let module = &state.modules[i];
             accepted.clear();
             accepted.extend(
                 triples
@@ -126,7 +214,7 @@ impl Engine {
             }
             bump(&module.counters.buffered, accepted.len() as u64);
             let capacity = module.capacity.load(Ordering::Relaxed);
-            self.fire_chunks(i, module.buffer.push_batch_with(&accepted, capacity));
+            self.fire_chunks(state, i, module.buffer.push_batch_with(&accepted, capacity));
             // A racing retune may have shrunk the threshold between the
             // load above and the push (its own chunk-firing can miss our
             // triples); the buffer lock we just released makes the new
@@ -134,15 +222,15 @@ impl Engine {
             // than letting it stall until the next push or timeout.
             let current = module.capacity.load(Ordering::Relaxed);
             if current < capacity {
-                self.fire_chunks(i, module.buffer.take_full_chunks(current));
+                self.fire_chunks(state, i, module.buffer.take_full_chunks(current));
             }
         }
     }
 
     /// Submits capacity-triggered chunks as rule instances, with the
     /// full-flush accounting every such fire shares.
-    fn fire_chunks(&self, rule: usize, chunks: Vec<Vec<Triple>>) {
-        let module = &self.modules[rule];
+    fn fire_chunks(&self, state: &RulesetState, rule: usize, chunks: Vec<Vec<Triple>>) {
+        let module = &state.modules[rule];
         for chunk in chunks {
             bump(&module.counters.full_flushes, 1);
             if let Some(log) = &self.log {
@@ -155,22 +243,26 @@ impl Engine {
     /// Executes one rule instance: join, distribute, route (Figure 1's
     /// rule-module → distributor path).
     fn run_job(&self, rule: usize, delta: Vec<Triple>) {
-        let module = &self.modules[rule];
+        // The job carries an inflight token acquired at submission, so the
+        // state resolved here is the submission-time state: a swap cannot
+        // have linearised in between.
+        let state = self.rstate();
+        let module = &state.modules[rule];
         let mut out = Vec::new();
         {
-            // One read snapshot per instance, scoped to the rule's
-            // declared read set (gate read + the read locks of exactly
-            // those predicates' shards, pinned in index order), as in the
-            // paper's one-lock-per-join design — except a declared-read
-            // rule only blocks writers on the shards it actually reads,
-            // so distributor writes on unrelated predicate families keep
-            // flowing (universal rules fall back to a full snapshot).
-            // The store may grow concurrently, which is sound (monotone)
-            // — extra visible triples only produce conclusions earlier;
-            // deletion cannot interleave, it requires the gate in write
-            // mode.
-            let snapshot = self.store.read_for(module.read_plan.as_ref());
-            module.rule.apply(&snapshot.view(), &delta, &mut out);
+            // One **lock-free** epoch read per instance: the join runs
+            // against the published immutable snapshot, scoped to the
+            // rule's declared read set (the scope keeps the read-set
+            // panic contract; it pins nothing). The epoch includes this
+            // delta — `insert_batch` publishes before the dispatch that
+            // buffered it returned — and possibly newer publications,
+            // which is sound (monotone): extra visible triples only
+            // produce conclusions earlier; deletion cannot interleave,
+            // it requires the gate in write mode, which implies
+            // quiescence — no instance like this one in flight.
+            let epoch = self.store.snapshot();
+            let reader = epoch.reader(module.read_plan.as_ref());
+            module.rule.apply(&reader.view(), &delta, &mut out);
         }
         bump(&module.counters.fired, 1);
         bump(&module.counters.derived, out.len() as u64);
@@ -182,7 +274,7 @@ impl Engine {
             bump(&module.counters.fresh, fresh.len() as u64);
         }
         if !out.is_empty() {
-            self.retune(rule, out.len(), fresh.len());
+            self.retune(&state, rule, out.len(), fresh.len());
         }
         if let Some(log) = &self.log {
             log.record(EventKind::RuleFired {
@@ -195,7 +287,7 @@ impl Engine {
         }
         if !fresh.is_empty() {
             // Distributor step 3: dispatch to dependent buffers only.
-            self.dispatch(&module.successors, &fresh);
+            self.dispatch(&state, &module.successors, &fresh);
         }
     }
 
@@ -204,11 +296,11 @@ impl Engine {
     /// its batch so the join cost is amortised; a productive rule shrinks
     /// back towards the configured capacity for low inference latency.
     /// No-op unless adaptive scheduling is enabled.
-    fn retune(&self, rule: usize, derived: usize, fresh: usize) {
+    fn retune(&self, state: &RulesetState, rule: usize, derived: usize, fresh: usize) {
         let Some((base, max)) = self.adaptive else {
             return;
         };
-        let module = &self.modules[rule];
+        let module = &state.modules[rule];
         let ratio = fresh as f64 / derived as f64;
         let cap = module.capacity.load(Ordering::Relaxed);
         let retuned = if ratio < 0.1 {
@@ -227,17 +319,23 @@ impl Engine {
             // threshold; without this, those triples would stall until the
             // next push or a timeout flush (with `timeout: None`, forever).
             // Fire every now-eligible chunk immediately.
-            self.fire_chunks(rule, module.buffer.take_full_chunks(retuned));
+            self.fire_chunks(state, rule, module.buffer.take_full_chunks(retuned));
         }
     }
 
-    fn buffers_empty(&self) -> bool {
-        self.modules.iter().all(|m| m.buffer.is_empty())
+    fn buffers_empty(&self, state: &RulesetState) -> bool {
+        state.modules.iter().all(|m| m.buffer.is_empty())
     }
 
     /// Force-flushes every buffer into rule instances.
     fn flush_all(&self) {
-        for (i, module) in self.modules.iter().enumerate() {
+        // Guard token, then resolve: the token pins the resolved state, so
+        // a racing swap cannot retire these modules (orphaning drained
+        // batches or submitting stale rule indexes) mid-scan. Per-job
+        // tokens acquired below while the guard is held chain the cover.
+        self.inflight.inc();
+        let state = self.rstate();
+        for (i, module) in state.modules.iter().enumerate() {
             // Token first: the drained batch must never be invisible to
             // the quiescence check.
             self.inflight.inc();
@@ -252,6 +350,7 @@ impl Engine {
                 self.submit_with_token(i, drained);
             }
         }
+        self.inflight.dec();
     }
 
     /// Blocks until quiescent (see [`Slider::wait_idle`]).
@@ -259,7 +358,8 @@ impl Engine {
         loop {
             self.flush_all();
             self.inflight.wait_zero();
-            if self.buffers_empty() && self.inflight.current() == 0 {
+            let state = self.rstate();
+            if self.buffers_empty(&state) && self.inflight.current() == 0 {
                 break;
             }
         }
@@ -294,7 +394,8 @@ impl Engine {
         loop {
             self.wait_idle();
             let mut store = self.store.exclusive();
-            if self.inflight.current() == 0 && self.buffers_empty() {
+            let state = self.rstate();
+            if self.inflight.current() == 0 && self.buffers_empty(&state) {
                 let result = (f.take().expect("quiescence loop runs f once"))(&mut store);
                 break (result, store.len());
             }
@@ -315,10 +416,13 @@ impl Engine {
     /// [`Slider::remove_triples`] for the linearisation contract).
     fn remove_eager(&self, triples: &[Triple]) -> RemovalOutcome {
         // One maintenance run at a time; concurrent removers queue here.
+        // The maintenance mutex also excludes ruleset swaps, so the state
+        // resolved here stays current for the whole run.
         let _serial = self.maintenance.lock();
-        let rules: Vec<Arc<dyn Rule>> = self.modules.iter().map(|m| Arc::clone(&m.rule)).collect();
+        let state = self.rstate();
+        let rules: Vec<Arc<dyn Rule>> = state.modules.iter().map(|m| Arc::clone(&m.rule)).collect();
         let (outcome, store_size) = self.with_quiescent_store(|store| {
-            maintenance::dred(store, &rules, &self.graph, triples, self.full_rederive)
+            maintenance::dred(store, &rules, &state.graph, triples, self.full_rederive)
         });
         self.bump_removal_counters(&outcome);
         if let Some(log) = &self.log {
@@ -345,7 +449,8 @@ impl Engine {
         if self.scheduler.pending() == 0 {
             return RemovalOutcome::default();
         }
-        let rules: Vec<Arc<dyn Rule>> = self.modules.iter().map(|m| Arc::clone(&m.rule)).collect();
+        let state = self.rstate();
+        let rules: Vec<Arc<dyn Rule>> = state.modules.iter().map(|m| Arc::clone(&m.rule)).collect();
         let ((outcome, pending_len, partitions), store_size) = self.with_quiescent_store(|store| {
             // Drain *under the maintenance gate (write mode), after the quiescence
             // re-check*: this is the flush's linearisation point. Any
@@ -358,13 +463,13 @@ impl Engine {
             if pending.is_empty() {
                 return (RemovalOutcome::default(), 0, 0);
             }
-            let (outcome, partitions) = match self.plan_flush(store, &pending) {
+            let (outcome, partitions) = match self.plan_flush(&state, store, &pending) {
                 Some(groups) => {
                     let n = groups.len();
-                    (self.run_partitions(store, &rules, groups), n)
+                    (self.run_partitions(&state, store, &rules, groups), n)
                 }
                 None => (
-                    maintenance::dred(store, &rules, &self.graph, &pending, self.full_rederive),
+                    maintenance::dred(store, &rules, &state.graph, &pending, self.full_rederive),
                     1,
                 ),
             };
@@ -416,8 +521,13 @@ impl Engine {
     /// path never waits behind a busy worker queue. Ties break on
     /// component id, the inert bucket last, keeping the plan
     /// deterministic.
-    fn plan_flush(&self, store: &VerticalStore, pending: &[Triple]) -> Option<Vec<PendingGroup>> {
-        use slider_model::{FxHashMap, NodeId};
+    fn plan_flush(
+        &self,
+        state: &RulesetState,
+        store: &VerticalStore,
+        pending: &[Triple],
+    ) -> Option<Vec<PendingGroup>> {
+        use slider_model::FxHashMap;
         if !self.partitioning || self.full_rederive {
             return None;
         }
@@ -426,7 +536,7 @@ impl Engine {
         for &t in pending {
             let comp = *pred_comp
                 .entry(t.p)
-                .or_insert_with(|| self.graph.component_of_predicate(t.p));
+                .or_insert_with(|| state.graph.component_of_predicate(t.p));
             by_comp.entry(comp).or_default().push(t);
         }
         if by_comp.len() < 2 {
@@ -440,12 +550,12 @@ impl Engine {
         for (comp, triples) in buckets {
             let preds = match comp {
                 Some(c) => {
-                    if (0..self.graph.len())
-                        .any(|i| self.graph.component_of(i) == c && !self.backward[i])
+                    if (0..state.graph.len())
+                        .any(|i| state.graph.component_of(i) == c && !state.backward[i])
                     {
                         return None;
                     }
-                    self.graph.component_predicates(c)?.to_vec()
+                    state.graph.component_predicates(c)?.to_vec()
                 }
                 None => {
                     let mut preds: Vec<NodeId> = triples.iter().map(|t| t.p).collect();
@@ -475,6 +585,7 @@ impl Engine {
     /// partition jobs are the only work.
     fn run_partitions(
         &self,
+        state: &RulesetState,
         store: &mut VerticalStore,
         rules: &[Arc<dyn Rule>],
         groups: Vec<PendingGroup>,
@@ -486,7 +597,7 @@ impl Engine {
         for group in iter {
             let sub = store.split_off(&group.preds);
             let rules = rules.to_vec();
-            let graph = Arc::clone(&self.graph);
+            let graph = Arc::clone(&state.graph);
             let tx = tx.clone();
             let task: Box<dyn FnOnce() + Send> = Box::new(move || {
                 let mut sub = sub;
@@ -512,7 +623,7 @@ impl Engine {
         // surfaces as the `expect` below instead of a recv() that blocks
         // forever while holding the store exclusively.
         drop(tx);
-        let mut total = maintenance::dred(store, rules, &self.graph, &first.triples, false);
+        let mut total = maintenance::dred(store, rules, &state.graph, &first.triples, false);
         for _ in 0..expected {
             let (sub, outcome) = rx
                 .recv()
@@ -522,6 +633,117 @@ impl Engine {
         }
         total
     }
+
+    /// Replaces the ruleset on the live engine (see
+    /// [`Slider::swap_ruleset`] for the public contract).
+    fn swap_ruleset(&self, ruleset: Ruleset) -> SwapOutcome {
+        // A swap is a maintenance operation: serialise it against DRed
+        // runs (and other swaps) on the same mutex, so the state resolved
+        // below cannot be replaced under us.
+        let _serial = self.maintenance.lock();
+        let old_state = self.rstate();
+        let old_rules: Vec<Arc<dyn Rule>> = old_state
+            .modules
+            .iter()
+            .map(|m| Arc::clone(&m.rule))
+            .collect();
+        let new_rules: Vec<Arc<dyn Rule>> = ruleset.rules().to_vec();
+        // Rule identity is (name, definition): same-named rules with a
+        // different definition count as drop + add.
+        let key = |r: &Arc<dyn Rule>| (r.name(), r.definition());
+        let dropped: Vec<Arc<dyn Rule>> = old_rules
+            .iter()
+            .filter(|r| !new_rules.iter().any(|s| key(s) == key(r)))
+            .cloned()
+            .collect();
+        let added: Vec<Arc<dyn Rule>> = new_rules
+            .iter()
+            .filter(|r| !old_rules.iter().any(|s| key(s) == key(r)))
+            .cloned()
+            .collect();
+        let surviving: Vec<Arc<dyn Rule>> = old_rules
+            .iter()
+            .filter(|r| new_rules.iter().any(|s| key(s) == key(r)))
+            .cloned()
+            .collect();
+        let kept = surviving.len();
+        // Even an identical-ruleset swap goes through the quiescent
+        // section: the fresh state (rebuilt read plans, graph, partitions)
+        // must install at a point where no in-flight instance holds the
+        // old one — only the store-delta work is skipped.
+        let ((overdeleted, rederived, inferred), store_size) = self.with_quiescent_store(|store| {
+            let (overdeleted, rederived) = if dropped.is_empty() {
+                (0, 0)
+            } else {
+                maintenance::retract_rules(
+                    store,
+                    &old_rules,
+                    &dropped,
+                    &surviving,
+                    self.full_rederive,
+                )
+            };
+            let inferred = if added.is_empty() {
+                0
+            } else {
+                maintenance::evaluate_added(store, &new_rules, &added)
+            };
+            // Linearisation point: with the store held exclusively and
+            // already at the new program's closure, the new state —
+            // program, dependency graph, maintenance partitions, read
+            // plans — becomes what every subsequent resolution sees.
+            // Operations blocked on the gate resume against the new
+            // program; operations that completed earlier ran entirely
+            // under the old one. Nothing observes a mix.
+            *self.rstate.write() = Arc::new(build_state(
+                &ruleset,
+                &self.store,
+                self.base_capacity,
+                Some(&old_state),
+            ));
+            (overdeleted, rederived, inferred)
+        });
+        bump(&self.globals.ruleset_swaps, 1);
+        if let Some(log) = &self.log {
+            log.record(EventKind::RulesetSwap {
+                dropped: dropped.len(),
+                added: added.len(),
+                kept,
+                overdeleted,
+                rederived,
+                inferred,
+                store_size,
+            });
+        }
+        SwapOutcome {
+            dropped: dropped.len(),
+            added: added.len(),
+            kept,
+            overdeleted,
+            rederived,
+            inferred,
+        }
+    }
+}
+
+/// What a [`Slider::swap_ruleset`] did, phase by phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SwapOutcome {
+    /// Rules removed by the swap.
+    pub dropped: usize,
+    /// Rules introduced by the swap.
+    pub added: usize,
+    /// Rules present in both programs (matched by name + definition;
+    /// their counters and adaptive plans carried over).
+    pub kept: usize,
+    /// Derived triples deleted while retracting dropped-rule support
+    /// (including the seeds — every deletion the swap performed).
+    pub overdeleted: usize,
+    /// Overdeleted triples restored because they still have a derivation
+    /// under the surviving rules.
+    pub rederived: usize,
+    /// Triples newly inferred by the added rules (fixpoint included).
+    pub inferred: usize,
 }
 
 fn worker_loop(engine: Arc<Engine>, rx: Receiver<Job>) {
@@ -538,13 +760,18 @@ fn worker_loop(engine: Arc<Engine>, rx: Receiver<Job>) {
                 let instance = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     engine.run_job(rule, delta);
                 }));
-                engine.inflight.dec();
                 if instance.is_err() {
+                    // Resolve the name *before* releasing the token: the
+                    // token still pins the submission-time state, so the
+                    // index is in bounds; after dec() a swap could install
+                    // a smaller ruleset.
+                    let state = engine.rstate();
                     eprintln!(
                         "slider: rule instance for {:?} panicked; its conclusions are lost",
-                        engine.modules[rule].rule.name()
+                        state.modules[rule].rule.name()
                     );
                 }
+                engine.inflight.dec();
             }
             // Partition passes carry no inflight token: they only exist
             // while the flush coordinator holds the store exclusively, and
@@ -576,7 +803,14 @@ fn flusher_loop(
     while !shutdown.load(Ordering::Relaxed) {
         std::thread::sleep(tick);
         if let Some(timeout) = timeout {
-            for (i, module) in engine.modules.iter().enumerate() {
+            // Guard token before resolving the state (see
+            // `Engine::flush_all`): without it, a swap could linearise
+            // between the resolve and the drains below, and this scan
+            // would drain retired buffers into jobs whose rule indexes
+            // the new state interprets differently.
+            engine.inflight.inc();
+            let state = engine.rstate();
+            for (i, module) in state.modules.iter().enumerate() {
                 engine.inflight.inc();
                 match module.buffer.drain_if_stale(timeout) {
                     Some(delta) => {
@@ -589,6 +823,7 @@ fn flusher_loop(
                     None => engine.inflight.dec(),
                 }
             }
+            engine.inflight.dec();
         }
         // Deferred retractions past the max-age deadline: run the
         // coalesced flush from here — the scheduler's "timeout" trigger.
@@ -634,7 +869,6 @@ pub struct Slider {
 impl Slider {
     /// Creates a reasoner over an existing dictionary and ruleset.
     pub fn new(dict: Arc<Dictionary>, ruleset: Ruleset, config: SliderConfig) -> Self {
-        let graph = DependencyGraph::build(&ruleset);
         let base_capacity = config.buffer_capacity.max(1);
         // The store comes first: each module's declared read set is
         // planned against its shard layout once, not per rule instance.
@@ -646,55 +880,27 @@ impl Slider {
             },
             config.store_shards,
         );
-        let modules: Vec<Module> = ruleset
-            .rules()
-            .iter()
-            .enumerate()
-            .map(|(i, rule)| Module {
-                rule: Arc::clone(rule),
-                filter: rule.input_filter(),
-                read_plan: rule.read_predicates().map(|preds| store.plan_read(&preds)),
-                buffer: Buffer::new(base_capacity),
-                successors: graph.successors(i).to_vec(),
-                counters: RuleCounters::default(),
-                capacity: std::sync::atomic::AtomicUsize::new(base_capacity),
-            })
-            .collect();
+        let state = build_state(&ruleset, &store, base_capacity, None);
         let (job_tx, job_rx) = unbounded();
-        // Probe each rule's backward matcher once (an empty store answers
-        // `Some(false)` from any implementation, `None` from the default):
-        // partitioned flushes are gated on every involved rule having one.
-        let probe_store = VerticalStore::new();
-        let probe = Triple::new(
-            slider_model::NodeId(0),
-            slider_model::NodeId(0),
-            slider_model::NodeId(0),
-        );
-        let backward: Vec<bool> = modules
-            .iter()
-            .map(|m| m.rule.derives(&probe_store.view(), probe).is_some())
-            .collect();
         let engine = Arc::new(Engine {
             dict,
             store,
-            modules,
-            graph: Arc::new(graph),
+            rstate: RwLock::new(Arc::new(state)),
             job_tx,
             inflight: Inflight::new(),
             globals: GlobalCounters::default(),
             log: config.trace.then(EventLog::new),
-            ruleset_name: ruleset.name().to_owned(),
             adaptive: config
                 .adaptive_buffers
                 .then(|| (base_capacity, base_capacity.saturating_mul(64))),
             maintenance: Mutex::new(()),
             full_rederive: config.full_rederive,
             partitioning: config.maintenance_partitioning,
-            backward,
             scheduler: MaintenanceScheduler::new(
                 config.maintenance_batch,
                 config.maintenance_max_age,
             ),
+            base_capacity,
         });
         let shutdown = Arc::new(AtomicBool::new(false));
 
@@ -773,8 +979,11 @@ impl Slider {
             });
         }
         if !fresh.is_empty() {
-            let all: Vec<usize> = (0..engine.modules.len()).collect();
-            engine.dispatch(&all, &fresh);
+            // Resolved inside the token window above, so the state is
+            // current: a swap cannot linearise while we hold the token.
+            let state = engine.rstate();
+            let all: Vec<usize> = (0..state.modules.len()).collect();
+            engine.dispatch(&state, &all, &fresh);
         }
         engine.inflight.dec();
         fresh.len()
@@ -964,21 +1173,91 @@ impl Slider {
         &self.engine.store
     }
 
-    /// The rules dependency graph the distributors route with.
-    pub fn dependency_graph(&self) -> &DependencyGraph {
-        &self.engine.graph
+    /// The rules dependency graph the distributors route with. Returned
+    /// by shared handle because the graph is swappable state: after a
+    /// [`Slider::swap_ruleset`] the engine routes with a rebuilt graph,
+    /// while handles returned earlier stay valid (describing the program
+    /// they were taken under).
+    pub fn dependency_graph(&self) -> Arc<DependencyGraph> {
+        Arc::clone(&self.engine.rstate().graph)
     }
 
     /// Number of independent maintenance partitions of the loaded ruleset
     /// (see [`DependencyGraph::partition_count`]): an upper bound on how
     /// many parallel DRed passes one coalesced flush can split into.
     pub fn maintenance_partitions(&self) -> usize {
-        self.engine.graph.partition_count()
+        self.engine.rstate().graph.partition_count()
     }
 
-    /// Name of the loaded ruleset ("rho-df", "RDFS", custom).
-    pub fn ruleset_name(&self) -> &str {
-        &self.engine.ruleset_name
+    /// Name of the loaded ruleset ("rho-df", "RDFS", custom). Owned
+    /// because the ruleset is swappable ([`Slider::swap_ruleset`]) — a
+    /// borrow could outlive the program it names.
+    pub fn ruleset_name(&self) -> String {
+        self.engine.rstate().name.clone()
+    }
+
+    /// Replaces the loaded ruleset on the live reasoner — **zero
+    /// downtime**, no rebuild: the store's materialisation is repaired
+    /// incrementally instead of recomputed.
+    ///
+    /// The swap diffs the programs by rule identity (name + definition):
+    ///
+    /// * **Dropped** rules: derivations supported only by them are
+    ///   retracted with the DRed machinery (overdelete the one-step
+    ///   support seeds through the old program, rederive with the
+    ///   survivors).
+    /// * **Added** rules: evaluated semi-naively with the whole store as
+    ///   their first delta, then the usual fixpoint.
+    /// * **Kept** rules: untouched — their counters and adaptive buffer
+    ///   plans carry over.
+    ///
+    /// Afterwards the store equals the closure of its explicit triples
+    /// under the new program, exactly as if the reasoner had been built
+    /// with it from the start. The dependency graph, maintenance
+    /// partitions and per-rule read plans are rebuilt and installed
+    /// **atomically at the swap's linearisation point**: a quiescent
+    /// instant (no rule instance in flight, all buffers empty) with the
+    /// store held exclusively. Concurrent `add_triples`/queries are safe
+    /// throughout — they either complete entirely under the old program
+    /// or run entirely under the new one; lock-free readers keep
+    /// answering from the last published epoch during the swap and
+    /// observe the new closure as one atomic publication. Pending
+    /// deferred retractions survive the swap and apply under the new
+    /// program at their next flush.
+    ///
+    /// Swapping to an identical ruleset is a store-level no-op (nothing
+    /// retracted, nothing inferred) but still reinstalls fresh state.
+    ///
+    /// ```
+    /// use slider_core::{Slider, SliderConfig};
+    /// use slider_model::{Dictionary, NodeId, Triple};
+    /// use slider_rules::{Ruleset, Transitive};
+    /// use std::sync::Arc;
+    ///
+    /// let dict = Arc::new(Dictionary::new());
+    /// let p = NodeId(7);
+    /// let slider = Slider::new(
+    ///     Arc::clone(&dict),
+    ///     Ruleset::custom("trans").with(Transitive::new("T", p)),
+    ///     SliderConfig::default(),
+    /// );
+    /// slider.materialize(&[
+    ///     Triple::new(NodeId(1), p, NodeId(2)),
+    ///     Triple::new(NodeId(2), p, NodeId(3)),
+    /// ]);
+    /// assert!(slider.store().contains(Triple::new(NodeId(1), p, NodeId(3))));
+    ///
+    /// // Drop the transitivity rule: its derivations retract incrementally.
+    /// let outcome = slider.swap_ruleset(Ruleset::custom("empty"));
+    /// assert_eq!((outcome.dropped, outcome.added), (1, 0));
+    /// assert!(!slider.store().contains(Triple::new(NodeId(1), p, NodeId(3))));
+    ///
+    /// // Add it back: the closure reappears without re-feeding the input.
+    /// slider.swap_ruleset(Ruleset::custom("trans").with(Transitive::new("T", p)));
+    /// assert!(slider.store().contains(Triple::new(NodeId(1), p, NodeId(3))));
+    /// ```
+    pub fn swap_ruleset(&self, ruleset: Ruleset) -> SwapOutcome {
+        self.engine.swap_ruleset(ruleset)
     }
 
     /// Total triples inferred so far (fresh rule conclusions).
@@ -989,7 +1268,8 @@ impl Slider {
     /// Snapshot of all module counters.
     pub fn stats(&self) -> StatsSnapshot {
         let engine = &self.engine;
-        let rules = engine
+        let state = engine.rstate();
+        let rules = state
             .modules
             .iter()
             .map(|m| RuleStats {
@@ -1022,6 +1302,8 @@ impl Slider {
             oldest_pending_age: engine.scheduler.oldest_age(),
             gate_write_acquisitions: engine.store.gate_write_acquisitions(),
             shard_write_conflicts: engine.store.shard_write_conflicts(),
+            snapshot_generation: engine.store.snapshot_generation(),
+            ruleset_swaps: engine.globals.ruleset_swaps.load(Ordering::Relaxed),
         }
     }
 
@@ -1061,9 +1343,10 @@ impl Drop for Slider {
 
 impl std::fmt::Debug for Slider {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = self.engine.rstate();
         f.debug_struct("Slider")
-            .field("ruleset", &self.engine.ruleset_name)
-            .field("rules", &self.engine.modules.len())
+            .field("ruleset", &state.name)
+            .field("rules", &state.modules.len())
             .field("store_size", &self.engine.store.len())
             .finish()
     }
@@ -1614,8 +1897,11 @@ mod tests {
             slider.materialize(&links(big, 14));
             let pending = vec![links(small, 3)[0], links(big, 14)[0]];
             let engine = &slider.engine;
+            let state = engine.rstate();
             let store = engine.store.exclusive();
-            let groups = engine.plan_flush(&store, &pending).expect("two buckets");
+            let groups = engine
+                .plan_flush(&state, &store, &pending)
+                .expect("two buckets");
             assert_eq!(groups.len(), 2);
             let weight = |g: &PendingGroup| -> usize {
                 g.preds.iter().map(|&q| store.count_with_p(q)).sum()
@@ -1795,12 +2081,13 @@ mod tests {
         // plan: capacity 16 with 8 triples sitting in its buffer (inserted
         // into the store first, as the real dispatch path does).
         let input = chain(9); // 8 sco links
-        let rule = engine
+        let state = engine.rstate();
+        let rule = state
             .modules
             .iter()
             .position(|m| m.rule.name() == "SCM-SCO")
             .expect("the subClassOf-transitivity module");
-        let module = &engine.modules[rule];
+        let module = &state.modules[rule];
         module.capacity.store(16, Ordering::Relaxed);
         let mut fresh = Vec::new();
         engine.store.insert_batch_explicit(&input, &mut fresh);
@@ -1809,7 +2096,7 @@ mod tests {
 
         // A productive instance (fresh/derived > 0.5) shrinks 16 → 8: the
         // 8 buffered triples are exactly one now-eligible chunk.
-        engine.retune(rule, 10, 9);
+        engine.retune(&state, rule, 10, 9);
         assert_eq!(module.capacity.load(Ordering::Relaxed), 8);
         engine.inflight.wait_zero();
         // The fired instance really ran: the chain's 2-step closure exists.

@@ -20,6 +20,22 @@ pub(crate) struct RuleCounters {
     pub fresh: AtomicU64,
 }
 
+impl RuleCounters {
+    /// A fresh set of counters initialised to this set's current values —
+    /// used by ruleset hot-swap to carry a kept rule's history into the
+    /// new [`RulesetState`](crate::reasoner) generation.
+    pub fn carry(&self) -> RuleCounters {
+        RuleCounters {
+            fired: AtomicU64::new(self.fired.load(Ordering::Relaxed)),
+            full_flushes: AtomicU64::new(self.full_flushes.load(Ordering::Relaxed)),
+            timeout_flushes: AtomicU64::new(self.timeout_flushes.load(Ordering::Relaxed)),
+            buffered: AtomicU64::new(self.buffered.load(Ordering::Relaxed)),
+            derived: AtomicU64::new(self.derived.load(Ordering::Relaxed)),
+            fresh: AtomicU64::new(self.fresh.load(Ordering::Relaxed)),
+        }
+    }
+}
+
 /// Global counters.
 #[derive(Debug, Default)]
 pub(crate) struct GlobalCounters {
@@ -49,6 +65,8 @@ pub(crate) struct GlobalCounters {
     pub coalesced_runs: AtomicU64,
     /// Coalesced runs that split into ≥ 2 parallel partition passes.
     pub partitioned_runs: AtomicU64,
+    /// Live ruleset replacements completed by `swap_ruleset`.
+    pub ruleset_swaps: AtomicU64,
 }
 
 #[inline]
@@ -143,6 +161,15 @@ pub struct StatsSnapshot {
     /// help; zero under multi-worker load means the sharding is doing its
     /// job.
     pub shard_write_conflicts: u64,
+    /// Generation of the published epoch snapshot at snapshot time. Bumps
+    /// once per shard-write release or exclusive-section publication; a
+    /// reader holding an [`EpochSnapshot`](slider_store::EpochSnapshot)
+    /// with a lower generation sees an older — but internally consistent —
+    /// cut of the store.
+    pub snapshot_generation: u64,
+    /// Live ruleset replacements completed by
+    /// [`Slider::swap_ruleset`](crate::Slider::swap_ruleset).
+    pub ruleset_swaps: u64,
 }
 
 impl StatsSnapshot {
@@ -213,6 +240,11 @@ impl std::fmt::Display for StatsSnapshot {
         )?;
         writeln!(
             f,
+            "epochs: generation {}, {} ruleset swaps",
+            self.snapshot_generation, self.ruleset_swaps
+        )?;
+        writeln!(
+            f,
             "{:<10} {:>8} {:>8} {:>8} {:>10} {:>10} {:>10}",
             "rule", "fired", "full", "timeout", "buffered", "derived", "fresh"
         )?;
@@ -263,6 +295,8 @@ mod tests {
             oldest_pending_age: None,
             gate_write_acquisitions: 0,
             shard_write_conflicts: 0,
+            snapshot_generation: 0,
+            ruleset_swaps: 0,
         }
     }
 
@@ -312,6 +346,12 @@ mod tests {
         assert!(with_removals
             .to_string()
             .contains("locking: 6 gate write acquisitions, 2 shard write conflicts"));
+        // So does the epoch line.
+        with_removals.snapshot_generation = 9;
+        with_removals.ruleset_swaps = 1;
+        assert!(with_removals
+            .to_string()
+            .contains("epochs: generation 9, 1 ruleset swaps"));
     }
 
     #[test]

@@ -86,6 +86,27 @@ pub enum EventKind {
         /// Store size after maintenance.
         store_size: usize,
     },
+    /// A live ruleset replacement completed (`swap_ruleset`): the program
+    /// was diffed against the running one, derivations supported only by
+    /// dropped rules were retracted (DRed), added rules were evaluated
+    /// semi-naively, and the dependency graph / read plans were rebuilt at
+    /// the swap's linearisation point.
+    RulesetSwap {
+        /// Rules removed by the swap.
+        dropped: usize,
+        /// Rules introduced by the swap.
+        added: usize,
+        /// Rules present in both programs (counters carried over).
+        kept: usize,
+        /// Derived triples deleted during dropped-rule overdeletion.
+        overdeleted: usize,
+        /// Overdeleted triples restored (they survived under kept rules).
+        rederived: usize,
+        /// Triples newly inferred by the added rules.
+        inferred: usize,
+        /// Store size after the swap.
+        store_size: usize,
+    },
     /// The reasoner reached quiescence.
     Idle {
         /// Store size at quiescence.
@@ -226,6 +247,20 @@ pub fn events_to_json(events: &[Event]) -> String {
                     r#"{{"at_us":{us},"type":"partitioned_removal","pending":{pending},"partitions":{partitions},"retracted":{retracted},"overdeleted":{overdeleted},"rederived":{rederived},"store_size":{store_size}}}"#
                 );
             }
+            EventKind::RulesetSwap {
+                dropped,
+                added,
+                kept,
+                overdeleted,
+                rederived,
+                inferred,
+                store_size,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"at_us":{us},"type":"ruleset_swap","dropped":{dropped},"added":{added},"kept":{kept},"overdeleted":{overdeleted},"rederived":{rederived},"inferred":{inferred},"store_size":{store_size}}}"#
+                );
+            }
             EventKind::Idle { store_size } => {
                 let _ = write!(
                     out,
@@ -324,6 +359,15 @@ mod tests {
             rederived: 1,
             store_size: 9,
         });
+        log.record(EventKind::RulesetSwap {
+            dropped: 1,
+            added: 2,
+            kept: 6,
+            overdeleted: 4,
+            rederived: 1,
+            inferred: 3,
+            store_size: 8,
+        });
         log.record(EventKind::Idle { store_size: 5 });
         let json = events_to_json(&log.events());
         assert!(json.starts_with('['));
@@ -336,12 +380,13 @@ mod tests {
             r#""type":"removal","requested":3,"retracted":2,"overdeleted":4,"rederived":1,"store_size":2"#,
             r#""type":"coalesced_removal","pending":7,"retracted":6,"overdeleted":9,"rederived":2,"store_size":4"#,
             r#""type":"partitioned_removal","pending":8,"partitions":3,"retracted":7,"overdeleted":5,"rederived":1,"store_size":9"#,
+            r#""type":"ruleset_swap","dropped":1,"added":2,"kept":6,"overdeleted":4,"rederived":1,"inferred":3,"store_size":8"#,
             r#""type":"idle","store_size":5"#,
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
-        // 7 separators for 8 events.
-        assert_eq!(json.matches("},{").count(), 7);
+        // 8 separators for 9 events.
+        assert_eq!(json.matches("},{").count(), 8);
     }
 
     #[test]

@@ -42,13 +42,40 @@
 //! Writers never wait while holding a shard lock and readers acquire in a
 //! fixed order at a single point in time, so no cycle — and therefore no
 //! deadlock — is possible.
+//!
+//! ## Epoch snapshots — the lock-free read path
+//!
+//! On top of the two lock levels the store keeps one **published epoch**:
+//! an immutable, generation-stamped [`EpochSnapshot`] holding an
+//! `Arc<VerticalStore>` per shard. Every writer publishes a fresh epoch
+//! at the moment it releases a shard — while still holding that shard's
+//! write lock, so publications of a shard serialise and each epoch is a
+//! prefix-consistent cut of the store's history (a batch's triples appear
+//! shard-release by shard-release, never torn inside one shard). The
+//! clone taken at publication is copy-on-write
+//! ([`VerticalStore`]'s tables are `Arc`-shared), so publishing costs
+//! O(#predicates touched) `Arc` bumps plus one deep table copy per
+//! *mutated* table per publish cycle — not a store copy.
+//!
+//! Readers ([`ShardedStore::snapshot`], and through it
+//! [`ShardedStore::matches`] / [`ShardedStore::stats`] /
+//! [`ShardedStore::to_sorted_vec`] / [`ShardedStore::contains`]) clone
+//! the published `Arc` and answer from the immutable epoch: **zero gate
+//! or shard locks**, so reads never block writers, shard guards, DRed
+//! flushes, or [`ShardedStore::exclusive`] sections — and never observe
+//! their intermediate states. Deletions happen only under the gate's
+//! write mode (the single remaining exclusion point) and become visible
+//! atomically when the new epoch is published; an epoch acquired before
+//! a maintenance run keeps answering from the pre-maintenance state
+//! (generation monotonicity).
 
 use crate::pattern::TriplePattern;
 use crate::vertical::{StoreStats, VerticalStore};
 use crate::view::{ShardRead, StoreView};
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use slider_model::{NodeId, Triple};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Default number of shards — enough to make collisions between a handful
 /// of hot predicate families unlikely, small enough that a full snapshot
@@ -78,6 +105,12 @@ pub struct ShardedStore {
     /// Times a shard write lock was contended (the uncontended fast path
     /// is a `try_write`).
     shard_conflicts: AtomicU64,
+    /// The published epoch: the immutable snapshot lock-free readers
+    /// answer from. The mutex is held only for the pointer clone/swap —
+    /// never across any other lock (order: gate → shard → publish).
+    published: Mutex<Arc<EpochSnapshot>>,
+    /// Monotone epoch counter; bumped at every publication.
+    generation: AtomicU64,
 }
 
 impl Default for ShardedStore {
@@ -135,6 +168,12 @@ impl ShardedStore {
             len: AtomicUsize::new(0),
             gate_writes: AtomicU64::new(0),
             shard_conflicts: AtomicU64::new(0),
+            published: Mutex::new(Arc::new(EpochSnapshot {
+                generation: 0,
+                shards: (0..count).map(|_| Arc::new(empty())).collect(),
+                len: 0,
+            })),
+            generation: AtomicU64::new(0),
         };
         this.scatter(store);
         this
@@ -184,13 +223,62 @@ impl ShardedStore {
             groups[self.shard_of(p)].push(p);
         }
         let mut total = 0;
+        let mut snaps = Vec::with_capacity(self.shards.len());
         for (idx, preds) in groups.iter().enumerate() {
             let sub = store.split_off(preds);
             total += sub.len();
+            // Copy-on-write clone: the epoch shares the tables the live
+            // shard starts from; future mutations un-share lazily.
+            snaps.push(Arc::new(sub.clone()));
             *self.shards[idx].write() = sub;
         }
         debug_assert!(store.is_empty(), "scatter covered every predicate");
         self.len.store(total, Ordering::Relaxed);
+        self.publish_full(snaps);
+    }
+
+    /// Publishes a fresh epoch with shard `idx` replaced by a
+    /// copy-on-write clone of `shard`. Callers invoke this **while still
+    /// holding the shard's write lock** (or the gate in write mode), so
+    /// publications of the same shard serialise in mutation order and
+    /// every epoch is a prefix-consistent cut.
+    fn publish_shard(&self, idx: usize, shard: &VerticalStore) {
+        let mut published = self.published.lock();
+        let mut shards = published.shards.to_vec();
+        shards[idx] = Arc::new(shard.clone());
+        let len: usize = shards.iter().map(|s| s.len()).sum();
+        let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        *published = Arc::new(EpochSnapshot {
+            generation,
+            shards: shards.into_boxed_slice(),
+            len,
+        });
+    }
+
+    /// Publishes a fresh epoch covering every shard at once (the scatter
+    /// paths: construction and the end of an exclusive section, both of
+    /// which rebuild all shards under exclusion).
+    fn publish_full(&self, shards: Vec<Arc<VerticalStore>>) {
+        let len: usize = shards.iter().map(|s| s.len()).sum();
+        let generation = self.generation.fetch_add(1, Ordering::Relaxed) + 1;
+        *self.published.lock() = Arc::new(EpochSnapshot {
+            generation,
+            shards: shards.into_boxed_slice(),
+            len,
+        });
+    }
+
+    /// The current published epoch — the lock-free read path. One mutex
+    /// lock for the pointer clone; the returned snapshot is immutable and
+    /// shared, so it never blocks (and is never blocked by) writers,
+    /// shard guards, or maintenance.
+    pub fn snapshot(&self) -> Arc<EpochSnapshot> {
+        Arc::clone(&self.published.lock())
+    }
+
+    /// Generation stamp of the most recently published epoch (monotone).
+    pub fn snapshot_generation(&self) -> u64 {
+        self.generation.load(Ordering::Relaxed)
     }
 
     /// Drains every shard into one merged store (callers hold the gate in
@@ -214,7 +302,15 @@ impl ShardedStore {
             return 0;
         }
         let _gate = self.gate.read();
-        self.write_batch(triples, fresh, |shard, t| shard.insert(t), 1)
+        self.write_batch(
+            triples,
+            fresh,
+            |shard, t| {
+                let new = shard.insert(t);
+                (new, new)
+            },
+            1,
+        )
     }
 
     /// Inserts a batch as **explicit** (asserted) facts; appends the *new*
@@ -227,7 +323,20 @@ impl ShardedStore {
             return 0;
         }
         let _gate = self.gate.read();
-        self.write_batch(triples, fresh, |shard, t| shard.insert_explicit(t), 1)
+        self.write_batch(
+            triples,
+            fresh,
+            |shard, t| {
+                // Re-asserting a triple already present as *derived* is not
+                // fresh, but it does flip the explicit flag — a mutation the
+                // epoch must republish or `stats()`/`is_explicit` on the
+                // lock-free path would keep serving stale provenance.
+                let was_explicit = shard.is_explicit(t);
+                let new = shard.insert_explicit(t);
+                (new, new || !was_explicit)
+            },
+            1,
+        )
     }
 
     /// Removes a batch; appends the triples that were actually present to
@@ -247,36 +356,52 @@ impl ShardedStore {
         }
         let _gate = self.gate.write();
         self.gate_writes.fetch_add(1, Ordering::Relaxed);
-        self.write_batch(triples, removed, |shard, t| shard.remove(t), -1)
+        self.write_batch(
+            triples,
+            removed,
+            |shard, t| {
+                let hit = shard.remove(t);
+                (hit, hit)
+            },
+            -1,
+        )
     }
 
-    /// The shared shard-walking write loop: applies `op` per triple,
-    /// collecting the triples for which it returned `true` and adjusting
-    /// the length counter by `delta` for each. The caller holds the gate
-    /// (read mode for monotone inserts, write mode for removal).
+    /// The shared shard-walking write loop: applies `op` per triple.
+    /// `op` returns `(hit, mutated)` — `hit` collects the triple and
+    /// adjusts the length counter by `delta`, `mutated` marks the shard
+    /// for epoch republication (a provenance-only flip mutates without a
+    /// hit). The caller holds the gate (read mode for monotone inserts,
+    /// write mode for removal).
     fn write_batch(
         &self,
         triples: &[Triple],
         hits: &mut Vec<Triple>,
-        op: impl Fn(&mut VerticalStore, Triple) -> bool,
+        op: impl Fn(&mut VerticalStore, Triple) -> (bool, bool),
         delta: isize,
     ) -> usize {
         let before = hits.len();
-        let mut current: Option<(usize, RwLockWriteGuard<'_, VerticalStore>)> = None;
+        let mut current: Option<(usize, RwLockWriteGuard<'_, VerticalStore>, bool)> = None;
         for &t in triples {
             let idx = self.shard_of(t.p);
             match &current {
-                Some((held, _)) if *held == idx => {}
+                Some((held, _, _)) if *held == idx => {}
                 _ => {
-                    // Release the held shard *before* acquiring the next:
-                    // never hold two shard write locks (see the lock-order
-                    // discipline in the module docs).
-                    drop(current.take());
-                    current = Some((idx, self.lock_shard(idx)));
+                    // Publish, then release the held shard *before*
+                    // acquiring the next: never hold two shard write locks
+                    // (see the lock-order discipline in the module docs).
+                    if let Some((held, guard, dirty)) = current.take() {
+                        if dirty {
+                            self.publish_shard(held, &guard);
+                        }
+                        drop(guard);
+                    }
+                    current = Some((idx, self.lock_shard(idx), false));
                 }
             }
-            let (_, shard) = current.as_mut().expect("shard guard just ensured");
-            if op(shard, t) {
+            let (_, shard, dirty) = current.as_mut().expect("shard guard just ensured");
+            let (hit, mutated) = op(shard, t);
+            if hit {
                 if delta > 0 {
                     self.len.fetch_add(1, Ordering::Relaxed);
                 } else {
@@ -284,43 +409,60 @@ impl ShardedStore {
                 }
                 hits.push(t);
             }
+            *dirty |= mutated;
+        }
+        if let Some((held, guard, dirty)) = current.take() {
+            if dirty {
+                self.publish_shard(held, &guard);
+            }
+            drop(guard);
         }
         hits.len() - before
     }
 
     /// Inserts one triple; returns `true` if new. One gate-read plus one
-    /// shard write lock — no allocation.
+    /// shard write lock; publishes a fresh epoch before returning, so the
+    /// caller (and anything it signals) observes its own write on the
+    /// lock-free read path.
     pub fn insert(&self, t: Triple) -> bool {
         let _gate = self.gate.read();
-        let inserted = self.lock_shard(self.shard_of(t.p)).insert(t);
+        let idx = self.shard_of(t.p);
+        let mut guard = self.lock_shard(idx);
+        let inserted = guard.insert(t);
         if inserted {
             self.len.fetch_add(1, Ordering::Relaxed);
+            self.publish_shard(idx, &guard);
         }
         inserted
     }
 
     /// Removes one triple; returns `true` if it was present. Takes the
-    /// gate in write mode, like [`ShardedStore::remove_batch`].
+    /// gate in write mode, like [`ShardedStore::remove_batch`]; the
+    /// deletion becomes visible to lock-free readers atomically with the
+    /// epoch published before the gate releases.
     pub fn remove(&self, t: Triple) -> bool {
         let _gate = self.gate.write();
         self.gate_writes.fetch_add(1, Ordering::Relaxed);
-        let removed = self.shards[self.shard_of(t.p)].write().remove(t);
+        let idx = self.shard_of(t.p);
+        let mut guard = self.shards[idx].write();
+        let removed = guard.remove(t);
         if removed {
             self.len.fetch_sub(1, Ordering::Relaxed);
+            self.publish_shard(idx, &guard);
         }
         removed
     }
 
-    /// True if `t` is present.
+    /// True if `t` is present — answered from the published epoch, no
+    /// gate or shard lock.
     pub fn contains(&self, t: Triple) -> bool {
-        let _gate = self.gate.read();
-        self.shards[self.shard_of(t.p)].read().contains(t)
+        self.snapshot().contains(t)
     }
 
-    /// True if `t` is present and explicitly asserted.
+    /// True if `t` is present and explicitly asserted — answered from
+    /// the published epoch, no gate or shard lock.
     pub fn is_explicit(&self, t: Triple) -> bool {
-        let _gate = self.gate.read();
-        self.shards[self.shard_of(t.p)].read().is_explicit(t)
+        self.snapshot().is_explicit(t)
     }
 
     /// Acquires a **full** multi-shard read snapshot: the gate in read
@@ -423,6 +565,7 @@ impl ShardedStore {
         ShardWriteGuard {
             owner: self,
             _gate: gate,
+            idx,
             len_at_acquire,
             guard,
         }
@@ -451,29 +594,22 @@ impl ShardedStore {
         self.shard_conflicts.load(Ordering::Relaxed)
     }
 
-    /// Store statistics, merged across shards under one full snapshot.
+    /// Store statistics, merged across the published epoch's shards — no
+    /// gate or shard lock.
     pub fn stats(&self) -> StoreStats {
-        let snap = self.read();
-        let mut total = StoreStats::default();
-        for idx in 0..snap.shards.len() {
-            let s = snap.shard(idx).stats();
-            total.triples += s.triples;
-            total.explicit += s.explicit;
-            total.derived += s.derived;
-            total.predicates += s.predicates;
-            total.largest_partition = total.largest_partition.max(s.largest_partition);
-        }
-        total
+        self.snapshot().stats()
     }
 
     /// Sorted snapshot of all triples (deterministic; for tests/reports).
+    /// Answered from the published epoch — no gate or shard lock.
     pub fn to_sorted_vec(&self) -> Vec<Triple> {
-        self.read().view().to_sorted_vec()
+        self.snapshot().to_sorted_vec()
     }
 
-    /// All triples matching `pattern`, under one multi-shard snapshot.
+    /// All triples matching `pattern`, answered from the published epoch
+    /// — one consistent cut, no gate or shard lock.
     pub fn matches(&self, pattern: TriplePattern) -> Vec<Triple> {
-        self.read().view().matches(pattern)
+        self.snapshot().matches(pattern)
     }
 
     /// Consumes the wrapper, merging the shards back into one store.
@@ -679,10 +815,13 @@ impl std::fmt::Debug for ExclusiveStore<'_> {
 /// Write access to the single shard owning one predicate family (gate held
 /// in read mode) — see [`ShardedStore::write_shard`]. On drop, the
 /// store-wide length counter is adjusted by however much the shard grew or
-/// shrank through this guard.
+/// shrank through this guard, and a fresh epoch is published — mutations
+/// made through the guard become visible to lock-free readers atomically
+/// at release, never mid-edit.
 pub struct ShardWriteGuard<'a> {
     owner: &'a ShardedStore,
     _gate: RwLockReadGuard<'a, ()>,
+    idx: usize,
     len_at_acquire: usize,
     guard: RwLockWriteGuard<'a, VerticalStore>,
 }
@@ -712,6 +851,9 @@ impl Drop for ShardWriteGuard<'_> {
                 .len
                 .fetch_sub(self.len_at_acquire - now, Ordering::Relaxed);
         }
+        // Published while the shard write lock (a field, dropped after
+        // this body) is still held — release-time atomic visibility.
+        self.owner.publish_shard(self.idx, &self.guard);
     }
 }
 
@@ -720,6 +862,198 @@ impl std::fmt::Debug for ShardWriteGuard<'_> {
         f.debug_struct("ShardWriteGuard")
             .field("len", &self.guard.len())
             .finish()
+    }
+}
+
+/// An immutable, generation-stamped epoch of the whole store — the
+/// lock-free read path ([`ShardedStore::snapshot`]).
+///
+/// A snapshot holds one `Arc<VerticalStore>` per shard, shared
+/// copy-on-write with the live shards at publication time. It is never
+/// mutated after publication: queries against it take **no locks at
+/// all**, complete in bounded time regardless of concurrent writers,
+/// shard guards, or maintenance runs, and always describe one
+/// prefix-consistent cut of the store's history. A snapshot acquired
+/// before a maintenance flush keeps answering from the pre-flush state
+/// even after the flush retracts triples (generation monotonicity).
+pub struct EpochSnapshot {
+    /// Monotone publication stamp (see
+    /// [`ShardedStore::snapshot_generation`]).
+    generation: u64,
+    /// One copy-on-write sub-store per shard; indexed by the same
+    /// Fibonacci hash as the live store.
+    shards: Box<[Arc<VerticalStore>]>,
+    /// Total triples across the shards, fixed at publication.
+    len: usize,
+}
+
+impl EpochSnapshot {
+    /// The publication stamp: strictly increases with every published
+    /// epoch of the owning store.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Total number of triples in this epoch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the epoch holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The shard index predicate `p` hashes to (same function as the
+    /// owning [`ShardedStore`]; `shards.len()` is a power of two).
+    #[inline]
+    fn shard_of(&self, p: NodeId) -> usize {
+        ((p.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & (self.shards.len() - 1)
+    }
+
+    /// The sub-store owning predicate `p`.
+    #[inline]
+    fn shard_store(&self, p: NodeId) -> &VerticalStore {
+        &self.shards[self.shard_of(p)]
+    }
+
+    /// A [`StoreView`] over the whole epoch — what unscoped queries and
+    /// rule joins without a declared read set run against.
+    pub fn view(&self) -> StoreView<'_> {
+        StoreView::Snapshot(self)
+    }
+
+    /// A reader scoped to a declared read set — the lock-free analogue
+    /// of [`ShardedStore::read_for`]. The scope is the same contract:
+    /// querying a predicate outside the declared set panics by exact
+    /// membership. `None` scopes nothing (= the full [`EpochSnapshot::view`]).
+    pub fn reader<'a>(&'a self, read_set: Option<&'a ReadSet>) -> EpochReader<'a> {
+        EpochReader {
+            snapshot: self,
+            read_set,
+        }
+    }
+
+    /// True if `t` is present in this epoch.
+    pub fn contains(&self, t: Triple) -> bool {
+        self.shard_store(t.p).contains(t)
+    }
+
+    /// True if `t` is present and explicitly asserted in this epoch.
+    pub fn is_explicit(&self, t: Triple) -> bool {
+        self.shard_store(t.p).is_explicit(t)
+    }
+
+    /// Objects `o` such that `(s, p, o)` holds in this epoch.
+    pub fn objects_with(&self, p: NodeId, s: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.shard_store(p).objects_with(p, s)
+    }
+
+    /// Subjects `s` such that `(s, p, o)` holds in this epoch.
+    pub fn subjects_with(&self, p: NodeId, o: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.shard_store(p).subjects_with(p, o)
+    }
+
+    /// All `(s, o)` pairs for predicate `p` in this epoch.
+    pub fn pairs(&self, p: NodeId) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.shard_store(p).pairs(p)
+    }
+
+    /// Number of triples with predicate `p` in this epoch.
+    pub fn count_with_p(&self, p: NodeId) -> usize {
+        self.shard_store(p).count_with_p(p)
+    }
+
+    /// Iterates over every triple in the epoch (no ordering guarantee).
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.shards.iter().flat_map(|s| s.iter())
+    }
+
+    /// All triples matching `pattern` in this epoch.
+    pub fn matches(&self, pattern: TriplePattern) -> Vec<Triple> {
+        self.view().matches(pattern)
+    }
+
+    /// Sorted vector of every triple in the epoch (deterministic).
+    pub fn to_sorted_vec(&self) -> Vec<Triple> {
+        self.view().to_sorted_vec()
+    }
+
+    /// Store statistics merged across the epoch's shards.
+    pub fn stats(&self) -> StoreStats {
+        let mut total = StoreStats::default();
+        for shard in self.shards.iter() {
+            let s = shard.stats();
+            total.triples += s.triples;
+            total.explicit += s.explicit;
+            total.derived += s.derived;
+            total.predicates += s.predicates;
+            total.largest_partition = total.largest_partition.max(s.largest_partition);
+        }
+        total
+    }
+}
+
+impl ShardRead for EpochSnapshot {
+    fn store_for(&self, p: NodeId) -> &VerticalStore {
+        self.shard_store(p)
+    }
+
+    fn sub_stores(&self) -> Box<dyn Iterator<Item = &VerticalStore> + '_> {
+        Box::new(self.shards.iter().map(|s| &**s))
+    }
+}
+
+impl std::fmt::Debug for EpochSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochSnapshot")
+            .field("generation", &self.generation)
+            .field("shards", &self.shards.len())
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+/// An [`EpochSnapshot`] scoped to a declared read set
+/// ([`EpochSnapshot::reader`]) — the lock-free analogue of the pinned
+/// [`StoreSnapshot`] a rule join used to hold. Queries outside the
+/// declared predicates panic by exact membership, preserving the
+/// loud-failure contract of `Rule::read_predicates`; since the epoch is
+/// immutable, the scope costs nothing at construction (no shards to
+/// pin).
+#[derive(Debug, Clone, Copy)]
+pub struct EpochReader<'a> {
+    snapshot: &'a EpochSnapshot,
+    read_set: Option<&'a ReadSet>,
+}
+
+impl EpochReader<'_> {
+    /// A [`StoreView`] over this scoped reader — what rule joins with a
+    /// declared read set run against.
+    pub fn view(&self) -> StoreView<'_> {
+        StoreView::Snapshot(self)
+    }
+}
+
+impl ShardRead for EpochReader<'_> {
+    fn store_for(&self, p: NodeId) -> &VerticalStore {
+        if let Some(set) = self.read_set {
+            assert!(
+                set.preds.contains(&p),
+                "predicate {p:?} is outside this snapshot's declared read set"
+            );
+        }
+        self.snapshot.shard_store(p)
+    }
+
+    fn sub_stores(&self) -> Box<dyn Iterator<Item = &VerticalStore> + '_> {
+        assert!(
+            self.read_set.is_none(),
+            "full-store walk on a partial snapshot — the rule's declared \
+             read set does not license iter()/len()/predicates()/unbound \
+             matches()"
+        );
+        self.snapshot.sub_stores()
     }
 }
 
@@ -1075,6 +1409,142 @@ mod tests {
         st.insert_batch(&(0..50).map(|i| t(i, i, i)).collect::<Vec<_>>(), &mut fresh);
         assert_eq!(st.len(), 50);
         assert_eq!(st.stats().triples, 50);
+    }
+
+    /// The acceptance pin for the lock-free read path: with a shard's
+    /// write lock held **on this very thread** (the old read path would
+    /// self-deadlock acquiring its read lock), every query API answers.
+    #[test]
+    fn reads_complete_while_a_shard_write_lock_is_held() {
+        let st = ShardedStore::with_shards(8);
+        st.insert(t(1, 7, 2));
+        let guard = st.write_shard(NodeId(7));
+        assert!(st.contains(t(1, 7, 2)));
+        assert!(!st.is_explicit(t(1, 7, 2)));
+        assert_eq!(st.stats().triples, 1);
+        assert_eq!(st.to_sorted_vec(), vec![t(1, 7, 2)]);
+        assert_eq!(
+            st.matches(TriplePattern::new(None, Some(NodeId(7)), None)),
+            vec![t(1, 7, 2)]
+        );
+        let snap = st.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap.iter().count(), 1);
+        drop(guard);
+    }
+
+    /// Reads also answer while an exclusive (gate-write) section is live
+    /// on the same thread, and they see the pre-exclusive epoch; the
+    /// compound mutation becomes visible atomically at release.
+    #[test]
+    fn reads_see_the_pre_exclusive_epoch_until_release() {
+        let st = ShardedStore::with_shards(4);
+        st.insert(t(1, 7, 2));
+        {
+            let mut guard = st.exclusive();
+            guard.remove(t(1, 7, 2));
+            guard.insert(t(9, 7, 9));
+            assert!(st.contains(t(1, 7, 2)), "pre-exclusive epoch answers");
+            assert!(!st.contains(t(9, 7, 9)), "mid-section state invisible");
+        }
+        assert!(!st.contains(t(1, 7, 2)));
+        assert!(st.contains(t(9, 7, 9)));
+    }
+
+    /// Epochs are immutable and generations strictly increase: a held
+    /// snapshot keeps answering exactly as acquired across later inserts
+    /// and removals.
+    #[test]
+    fn epoch_snapshots_are_immutable_and_generations_monotone() {
+        let st = ShardedStore::with_shards(4);
+        st.insert(t(1, 7, 2));
+        let before = st.snapshot();
+        let g0 = before.generation();
+        st.insert(t(3, 7, 4));
+        st.remove(t(1, 7, 2));
+        let after = st.snapshot();
+        assert!(after.generation() > g0, "publication bumps the stamp");
+        assert_eq!(st.snapshot_generation(), after.generation());
+        assert!(before.contains(t(1, 7, 2)), "old epoch untouched");
+        assert!(!before.contains(t(3, 7, 4)));
+        assert_eq!(before.len(), 1);
+        assert!(!after.contains(t(1, 7, 2)));
+        assert!(after.contains(t(3, 7, 4)));
+        assert_eq!(after.len(), 1);
+    }
+
+    /// Mutations made through a `ShardWriteGuard` are invisible to the
+    /// lock-free read path until the guard drops, then appear atomically.
+    #[test]
+    fn shard_guard_mutations_publish_on_release() {
+        let st = ShardedStore::with_shards(4);
+        {
+            let mut guard = st.write_shard(NodeId(7));
+            guard.insert(t(1, 7, 2));
+            guard.insert(t(3, 7, 4));
+            assert!(!st.contains(t(1, 7, 2)), "unpublished write invisible");
+            assert_eq!(st.stats().triples, 0);
+        }
+        assert!(st.contains(t(1, 7, 2)));
+        assert!(st.contains(t(3, 7, 4)));
+        assert_eq!(st.stats().triples, 2);
+    }
+
+    /// Re-asserting a triple already present as *derived* changes only its
+    /// provenance — no fresh triple — but the flip must still republish
+    /// the epoch, or the lock-free `stats()`/`is_explicit` would keep
+    /// serving the stale flag forever.
+    #[test]
+    fn explicit_reassertion_of_a_derived_triple_republishes_the_epoch() {
+        let st = ShardedStore::with_shards(4);
+        let mut fresh = Vec::new();
+        st.insert_batch(&[t(1, 7, 2)], &mut fresh); // derived provenance
+        assert!(!st.is_explicit(t(1, 7, 2)));
+        assert_eq!(st.stats().explicit, 0);
+        let before = st.snapshot_generation();
+
+        fresh.clear();
+        assert_eq!(st.insert_batch_explicit(&[t(1, 7, 2)], &mut fresh), 0);
+        assert!(fresh.is_empty(), "provenance flip is not a fresh triple");
+        assert!(st.is_explicit(t(1, 7, 2)), "flip visible lock-free");
+        assert_eq!(st.stats().explicit, 1);
+        assert_eq!(st.stats().triples, 1);
+        assert!(st.snapshot_generation() > before, "flip published an epoch");
+
+        // Re-asserting an already-explicit triple mutates nothing and
+        // publishes nothing.
+        let settled = st.snapshot_generation();
+        fresh.clear();
+        assert_eq!(st.insert_batch_explicit(&[t(1, 7, 2)], &mut fresh), 0);
+        assert_eq!(st.snapshot_generation(), settled);
+    }
+
+    /// The scoped epoch reader preserves the exact-membership read-set
+    /// contract even though nothing is pinned.
+    #[test]
+    #[should_panic(expected = "outside this snapshot's declared read set")]
+    fn epoch_reader_panics_on_undeclared_predicate() {
+        let st = ShardedStore::with_shards(1); // every predicate shares shard 0
+        st.insert(t(1, 7, 2));
+        let plan = st.plan_read(&[NodeId(7)]);
+        let snap = st.snapshot();
+        let reader = snap.reader(Some(&plan));
+        let _ = reader.view().objects_with(NodeId(8), NodeId(1)).count();
+    }
+
+    /// The scoped epoch reader answers declared-predicate queries from
+    /// the epoch and refuses full-store walks, like the pinned snapshot.
+    #[test]
+    fn epoch_reader_scoped_queries_answer() {
+        let st = ShardedStore::with_shards(8);
+        st.insert(t(1, 7, 2));
+        st.insert(t(5, 20, 6));
+        let plan = st.plan_read(&[NodeId(7)]);
+        let snap = st.snapshot();
+        let reader = snap.reader(Some(&plan));
+        assert_eq!(reader.view().objects_with(NodeId(7), NodeId(1)).count(), 1);
+        let unscoped = snap.reader(None);
+        assert_eq!(unscoped.view().len(), 2);
     }
 
     #[test]

@@ -35,6 +35,14 @@
 //! plain store borrowed whole or a consistent multi-shard
 //! [`StoreSnapshot`] — so the same rule code serves both worlds. See the
 //! `concurrent` module docs for the lock-order discipline.
+//!
+//! The **query path is lock-free**: every write-release publishes an
+//! immutable, generation-stamped [`EpochSnapshot`] (copy-on-write over
+//! the shard tables), and `matches`/`stats`/`to_sorted_vec`/`contains`
+//! answer from the published epoch without taking the gate or any shard
+//! lock. Rule joins with a declared read set run against an
+//! [`EpochReader`], which keeps the exact-membership panic contract of
+//! the pinned snapshots while pinning nothing.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,7 +54,8 @@ mod vertical;
 mod view;
 
 pub use concurrent::{
-    ExclusiveStore, ReadSet, ShardWriteGuard, ShardedStore, StoreSnapshot, DEFAULT_SHARDS,
+    EpochReader, EpochSnapshot, ExclusiveStore, ReadSet, ShardWriteGuard, ShardedStore,
+    StoreSnapshot, DEFAULT_SHARDS,
 };
 pub use pattern::TriplePattern;
 pub use table::PropertyTable;

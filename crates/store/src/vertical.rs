@@ -4,6 +4,7 @@ use crate::pattern::TriplePattern;
 use crate::table::PropertyTable;
 use crate::view::StoreView;
 use slider_model::{FxHashMap, NodeId, Triple};
+use std::sync::Arc;
 
 /// An in-memory triple store, vertically partitioned by predicate.
 ///
@@ -20,9 +21,18 @@ use slider_model::{FxHashMap, NodeId, Triple};
 /// flag is what truth maintenance needs: retracting an assertion may only
 /// delete derived consequences — explicit facts survive on their own
 /// authority and are only deleted when themselves retracted.
+///
+/// ## Copy-on-write tables
+///
+/// Each partition lives behind an [`Arc`], so **`Clone` is O(#predicates)**
+/// (reference bumps, no triple copies). A mutation on a shared table
+/// ([`Arc::make_mut`]) deep-clones that one table first — the mechanism the
+/// concurrent store's epoch snapshots are built on: publishing a snapshot
+/// clones the store cheaply, and only the tables touched afterwards pay a
+/// copy, once per publish cycle.
 #[derive(Debug, Clone)]
 pub struct VerticalStore {
-    tables: FxHashMap<NodeId, PropertyTable>,
+    tables: FxHashMap<NodeId, Arc<PropertyTable>>,
     len: usize,
     object_index: bool,
     /// Number of explicitly asserted triples. The flags themselves live in
@@ -83,21 +93,21 @@ impl VerticalStore {
     /// Inserts `t`; returns `true` if it was new.
     pub fn insert(&mut self, t: Triple) -> bool {
         let object_index = self.object_index;
-        let inserted = self
-            .tables
-            .entry(t.p)
-            .or_insert_with(|| {
-                if object_index {
-                    PropertyTable::new()
-                } else {
-                    PropertyTable::without_object_index()
-                }
+        let tab = self.tables.entry(t.p).or_insert_with(|| {
+            Arc::new(if object_index {
+                PropertyTable::new()
+            } else {
+                PropertyTable::without_object_index()
             })
-            .add(t.s, t.o);
-        if inserted {
-            self.len += 1;
+        });
+        // Duplicate check before `make_mut`: a no-op insert must not force
+        // a copy-on-write clone of a snapshot-shared table.
+        if tab.contains(t.s, t.o) {
+            return false;
         }
-        inserted
+        Arc::make_mut(tab).add(t.s, t.o);
+        self.len += 1;
+        true
     }
 
     /// Inserts a batch, appending the *new* triples to `fresh`.
@@ -118,13 +128,13 @@ impl VerticalStore {
     pub fn insert_explicit(&mut self, t: Triple) -> bool {
         let inserted = self.insert(t);
         // The table exists after `insert` even when the triple was a
-        // duplicate.
-        if self
+        // duplicate. Flag check before `make_mut`, as in `insert`.
+        let tab = self
             .tables
             .get_mut(&t.p)
-            .expect("insert created the partition")
-            .mark_explicit(t.s, t.o)
-        {
+            .expect("insert created the partition");
+        if !tab.is_explicit(t.s, t.o) {
+            Arc::make_mut(tab).mark_explicit(t.s, t.o);
             self.explicit_len += 1;
         }
         inserted
@@ -149,10 +159,13 @@ impl VerticalStore {
         let Some(tab) = self.tables.get_mut(&t.p) else {
             return false;
         };
-        let was_explicit = tab.is_explicit(t.s, t.o);
-        if !tab.remove(t.s, t.o) {
+        // Presence check before `make_mut`: an absent triple must not force
+        // a copy-on-write clone of a snapshot-shared table.
+        if !tab.contains(t.s, t.o) {
             return false;
         }
+        let was_explicit = tab.is_explicit(t.s, t.o);
+        Arc::make_mut(tab).remove(t.s, t.o);
         if tab.is_empty() {
             self.tables.remove(&t.p);
         }
@@ -187,14 +200,15 @@ impl VerticalStore {
     /// flag was set. Truth maintenance uses this as the first step of a
     /// retraction: the triple then lives or dies by rederivability alone.
     pub fn unmark_explicit(&mut self, t: Triple) -> bool {
-        let unmarked = self
-            .tables
-            .get_mut(&t.p)
-            .is_some_and(|tab| tab.unmark_explicit(t.s, t.o));
-        if unmarked {
-            self.explicit_len -= 1;
+        let Some(tab) = self.tables.get_mut(&t.p) else {
+            return false;
+        };
+        if !tab.is_explicit(t.s, t.o) {
+            return false;
         }
-        unmarked
+        Arc::make_mut(tab).unmark_explicit(t.s, t.o);
+        self.explicit_len -= 1;
+        true
     }
 
     /// Number of explicitly asserted triples.
@@ -277,14 +291,14 @@ impl VerticalStore {
 
     /// The partition for predicate `p`, if any triple uses it.
     pub fn table(&self, p: NodeId) -> Option<&PropertyTable> {
-        self.tables.get(&p)
+        self.tables.get(&p).map(|tab| &**tab)
     }
 
     /// Iterates over every partition as a `(predicate, table)` pair (no
     /// ordering guarantee) — the per-shard walk the multi-shard
     /// [`StoreView`] composes across sub-stores.
     pub fn tables(&self) -> impl Iterator<Item = (NodeId, &PropertyTable)> + '_ {
-        self.tables.iter().map(|(&p, tab)| (p, tab))
+        self.tables.iter().map(|(&p, tab)| (p, &**tab))
     }
 
     /// True if this store maintains the per-predicate object index (see
@@ -319,10 +333,7 @@ impl VerticalStore {
 
     /// All `(s, o)` pairs for predicate `p` — the `(p, ?, ?)` pattern.
     pub fn pairs(&self, p: NodeId) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.tables
-            .get(&p)
-            .into_iter()
-            .flat_map(PropertyTable::pairs)
+        self.tables.get(&p).into_iter().flat_map(|tab| tab.pairs())
     }
 
     /// Distinct predicates in use.
@@ -368,7 +379,7 @@ impl VerticalStore {
 
     /// Number of triples with predicate `p`.
     pub fn count_with_p(&self, p: NodeId) -> usize {
-        self.tables.get(&p).map_or(0, PropertyTable::len)
+        self.tables.get(&p).map_or(0, |tab| tab.len())
     }
 
     /// Store statistics.
@@ -378,12 +389,7 @@ impl VerticalStore {
             explicit: self.explicit_len,
             derived: self.len - self.explicit_len,
             predicates: self.tables.len(),
-            largest_partition: self
-                .tables
-                .values()
-                .map(PropertyTable::len)
-                .max()
-                .unwrap_or(0),
+            largest_partition: self.tables.values().map(|tab| tab.len()).max().unwrap_or(0),
         }
     }
 
@@ -657,5 +663,28 @@ mod tests {
         let mut st = VerticalStore::new();
         st.extend([t(1, 2, 3), t(4, 5, 6)]);
         assert_eq!(st.len(), 2);
+    }
+
+    /// The copy-on-write contract behind epoch snapshots: a clone is an
+    /// immutable image — every later mutation of the original (insert,
+    /// remove, provenance demotion) is invisible to it.
+    #[test]
+    fn clone_is_an_isolated_snapshot() {
+        let mut st = VerticalStore::new();
+        st.insert_explicit(t(1, 10, 2));
+        st.insert(t(3, 20, 4));
+        let snap = st.clone();
+        st.insert(t(5, 10, 6));
+        st.remove(t(3, 20, 4));
+        st.unmark_explicit(t(1, 10, 2));
+        assert!(snap.contains(t(3, 20, 4)));
+        assert!(!snap.contains(t(5, 10, 6)));
+        assert!(snap.is_explicit(t(1, 10, 2)));
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap.explicit_count(), 1);
+        // And mutations of the clone do not leak back.
+        let mut snap = snap;
+        snap.remove(t(1, 10, 2));
+        assert!(st.contains(t(1, 10, 2)));
     }
 }

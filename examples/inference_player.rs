@@ -116,6 +116,22 @@ fn replay(events: &[Event], rule_names: &[&'static str], input_size: usize) {
                      ({partitions} parallel partitions)"
                 );
             }
+            EventKind::RulesetSwap {
+                dropped,
+                added,
+                kept,
+                overdeleted,
+                rederived,
+                inferred,
+                store_size: size,
+            } => {
+                store_size = *size;
+                println!(
+                    "[{step:>4} {ms:>8.2}ms] swap    ruleset: -{dropped} +{added} rules \
+                     ({kept} kept); {overdeleted} overdeleted, {rederived} rederived, \
+                     {inferred} inferred"
+                );
+            }
             EventKind::Idle { store_size: size } => {
                 store_size = *size;
                 println!("[{step:>4} {ms:>8.2}ms] idle    (closure complete)");

@@ -105,6 +105,43 @@
 //! Use eager `remove_triples` when retractions must be visible
 //! immediately.
 //!
+//! ## Lock-free reads & ruleset hot-swap
+//!
+//! Queries (`contains`, `matches`, `stats`, `to_sorted_vec`) and rule
+//! joins answer from the store's published **epoch snapshot**
+//! (`slider_store::EpochSnapshot`) — an immutable, generation-stamped
+//! copy-on-write image republished at every write release — so the read
+//! path takes **zero locks** and never blocks behind ingest or
+//! maintenance. `Slider::swap_ruleset` replaces the loaded ruleset on the
+//! live reasoner: derivations supported only by dropped rules are
+//! retracted with DRed, added rules are evaluated semi-naively, and the
+//! dependency graph / read plans / maintenance partitions are rebuilt
+//! atomically at the swap's linearisation point:
+//!
+//! ```
+//! use slider::prelude::*;
+//! use slider::rules::Transitive;
+//! use std::sync::Arc;
+//!
+//! let dict = Arc::new(Dictionary::new());
+//! let p = NodeId(7);
+//! let slider = Slider::new(
+//!     Arc::clone(&dict),
+//!     Ruleset::custom("trans").with(Transitive::new("T", p)),
+//!     SliderConfig::default(),
+//! );
+//! slider.materialize(&[
+//!     Triple::new(NodeId(1), p, NodeId(2)),
+//!     Triple::new(NodeId(2), p, NodeId(3)),
+//! ]);
+//!
+//! // Live program change: drop the transitivity rule. Its derivations
+//! // retract incrementally — no rebuild, no downtime.
+//! let outcome: SwapOutcome = slider.swap_ruleset(Ruleset::custom("empty"));
+//! assert_eq!(outcome.dropped, 1);
+//! assert!(!slider.store().contains(Triple::new(NodeId(1), p, NodeId(3))));
+//! ```
+//!
 //! ## Crate map
 //!
 //! | module | crate | contents |
@@ -131,11 +168,11 @@ pub use slider_workloads as workloads;
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use slider_baseline::{NaiveReasoner, SemiNaiveReasoner};
-    pub use slider_core::{RemovalOutcome, Slider, SliderConfig};
+    pub use slider_core::{RemovalOutcome, Slider, SliderConfig, SwapOutcome};
     pub use slider_model::{Dictionary, Literal, NodeId, Term, TermTriple, Triple};
     pub use slider_parser::{NTriplesParser, TurtleParser};
     pub use slider_rules::{DependencyGraph, Fragment, Rule, Ruleset};
-    pub use slider_store::{ShardedStore, StoreView, TriplePattern, VerticalStore};
+    pub use slider_store::{EpochSnapshot, ShardedStore, StoreView, TriplePattern, VerticalStore};
 }
 
 #[cfg(test)]

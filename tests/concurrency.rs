@@ -371,6 +371,207 @@ fn producers_race_parallel_partition_flushes() {
     );
 }
 
+/// Lock-free read path, acceptance pin (a): `matches`/`stats`/
+/// `to_sorted_vec` complete while a shard write lock is held
+/// **indefinitely** — the reader answers from the published epoch and
+/// never touches the shard lock. Bounded-time via a channel timeout: a
+/// regression back to lock-pinned reads deadlocks the reader thread and
+/// trips the `recv_timeout`.
+#[test]
+fn queries_complete_while_a_shard_write_lock_is_held() {
+    use slider::model::vocab::RDFS_SUB_CLASS_OF;
+    let dict = Arc::new(Dictionary::new());
+    let slider = Arc::new(Slider::new(
+        Arc::clone(&dict),
+        Ruleset::rho_df(),
+        SliderConfig::default(),
+    ));
+    let chain: Vec<Triple> = (1..20)
+        .map(|i| Triple::new(NodeId(1_000 + i), RDFS_SUB_CLASS_OF, NodeId(1_001 + i)))
+        .collect();
+    slider.materialize(&chain);
+    let expected = slider.store().to_sorted_vec();
+
+    // Hold the write lock of the shard every subClassOf triple lives in —
+    // the worst case for the old lock-pinned read path.
+    let guard = slider.store().write_shard(RDFS_SUB_CLASS_OF);
+    let (tx, rx) = std::sync::mpsc::channel();
+    let reader = {
+        let slider = Arc::clone(&slider);
+        std::thread::spawn(move || {
+            let sorted = slider.store().to_sorted_vec();
+            let stats = slider.stats();
+            let scoped = slider
+                .store()
+                .matches(TriplePattern::with_p(RDFS_SUB_CLASS_OF));
+            let _ = tx.send((sorted, stats, scoped));
+        })
+    };
+    let (sorted, stats, scoped) = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("reads blocked behind a held shard write lock");
+    assert_eq!(sorted, expected, "epoch read returned a torn cut");
+    assert_eq!(stats.store_size, expected.len());
+    assert_eq!(scoped.len(), expected.len(), "all triples are subClassOf");
+    drop(guard);
+    reader.join().unwrap();
+}
+
+/// Lock-free read path (c): reads complete while `exclusive()` holds the
+/// whole store gathered behind the maintenance gate in write mode — and
+/// they see the **pre-exclusive** epoch until the section releases, at
+/// which point the mutation becomes visible as one atomic publication.
+#[test]
+fn queries_answer_from_the_old_epoch_while_exclusive_holds_the_store() {
+    let p = NodeId(40_123);
+    let t1 = Triple::new(NodeId(1), p, NodeId(2));
+    let t2 = Triple::new(NodeId(3), p, NodeId(4));
+    let slider = Arc::new(Slider::new(
+        Arc::new(Dictionary::new()),
+        Ruleset::custom("none"),
+        SliderConfig::default(),
+    ));
+    slider.materialize(&[t1]);
+
+    let mut exclusive = slider.store().exclusive();
+    exclusive.insert(t2);
+    let (tx, rx) = std::sync::mpsc::channel();
+    {
+        let slider = Arc::clone(&slider);
+        std::thread::spawn(move || {
+            let snap = slider.store().snapshot();
+            let _ = tx.send((snap.contains(t1), snap.contains(t2), snap.len()));
+        });
+    }
+    let (has_t1, has_t2, len) = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("reads blocked behind the exclusive section");
+    assert!(has_t1, "pre-exclusive triple missing from the epoch");
+    assert!(
+        !has_t2,
+        "uncommitted exclusive mutation leaked into readers"
+    );
+    assert_eq!(len, 1);
+    drop(exclusive);
+    // Release republishes: the mutation is now visible atomically.
+    assert!(slider.store().contains(t2));
+    assert_eq!(slider.store().len(), 2);
+}
+
+/// Lock-free read path (b): a reader loops `stats`/`to_sorted_vec` while
+/// partitioned DRed flushes run. Reads never block (progress is asserted
+/// on both sides), generations never regress, and **every observed cut is
+/// one of the legal store states** — the pre-flush closure or the
+/// post-flush closure — never a torn intermediate (DRed's overdeletions
+/// and rederivations publish as one epoch at gate release).
+#[test]
+fn readers_observe_only_legal_cuts_across_partitioned_flushes() {
+    use slider::rules::Transitive;
+    let pa = NodeId(91_000);
+    let pb = NodeId(91_010);
+    let ruleset = Ruleset::custom("two-families")
+        .with(Transitive::new("T-A", pa))
+        .with(Transitive::new("T-B", pb));
+    let slider = Arc::new(Slider::new(
+        Arc::new(Dictionary::new()),
+        ruleset,
+        SliderConfig::default().with_maintenance_batch(usize::MAX),
+    ));
+    assert_eq!(slider.maintenance_partitions(), 2);
+    let link = |p: NodeId, i: u64| Triple::new(NodeId(92_000 + i), p, NodeId(92_001 + i));
+    let chains: Vec<Triple> = (1..6).flat_map(|i| [link(pa, i), link(pb, i)]).collect();
+    slider.materialize(&chains);
+    let before = slider.store().to_sorted_vec();
+
+    // The flush will retract one middle link per family (a partitioned
+    // run), landing exactly on this closure:
+    let doomed = [link(pa, 3), link(pb, 3)];
+    let survivors: Vec<Triple> = chains
+        .iter()
+        .copied()
+        .filter(|t| !doomed.contains(t))
+        .collect();
+    let after = {
+        let oracle = Slider::new(
+            Arc::new(Dictionary::new()),
+            Ruleset::custom("two-families")
+                .with(Transitive::new("T-A", pa))
+                .with(Transitive::new("T-B", pb)),
+            SliderConfig::default(),
+        );
+        oracle.materialize(&survivors);
+        oracle.store().to_sorted_vec()
+    };
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let slider = Arc::clone(&slider);
+        let stop = Arc::clone(&stop);
+        let (before, after) = (before.clone(), after.clone());
+        std::thread::spawn(move || {
+            let mut last_generation = 0u64;
+            let mut observations = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = slider.store().snapshot();
+                assert!(
+                    snap.generation() >= last_generation,
+                    "epoch generation regressed"
+                );
+                last_generation = snap.generation();
+                let cut = snap.to_sorted_vec();
+                assert_eq!(cut.len(), snap.len(), "epoch len out of step");
+                assert!(
+                    cut == before || cut == after,
+                    "reader observed a torn cut ({} triples)",
+                    cut.len()
+                );
+                observations += 1;
+            }
+            observations
+        })
+    };
+    slider.remove_deferred(&doomed);
+    slider.flush_maintenance();
+    stop.store(true, Ordering::Relaxed);
+    assert!(reader.join().unwrap() > 0, "reader made no progress");
+    assert_eq!(slider.store().to_sorted_vec(), after);
+    assert_eq!(
+        slider.stats().partitioned_runs,
+        1,
+        "flush did not partition"
+    );
+}
+
+/// Generation-monotonicity regression: an epoch acquired **before** a
+/// maintenance flush is immutable — it never observes the post-flush
+/// retractions — while a snapshot acquired after sees them all, at a
+/// strictly higher generation.
+#[test]
+fn snapshot_acquired_before_a_flush_never_observes_its_retractions() {
+    use slider::model::vocab::RDFS_SUB_CLASS_OF;
+    let slider = Slider::new(
+        Arc::new(Dictionary::new()),
+        Ruleset::rho_df(),
+        SliderConfig::default(),
+    );
+    let sco = |a: u64, b: u64| Triple::new(NodeId(2_000 + a), RDFS_SUB_CLASS_OF, NodeId(2_000 + b));
+    slider.materialize(&[sco(1, 2), sco(2, 3)]);
+    let pinned = slider.store().snapshot();
+    assert!(pinned.contains(sco(1, 3)), "closure incomplete");
+
+    assert_eq!(slider.remove_triples(&[sco(2, 3)]), 1);
+    // The pinned epoch still answers from the pre-flush world…
+    assert!(pinned.contains(sco(2, 3)));
+    assert!(pinned.contains(sco(1, 3)));
+    assert_eq!(pinned.len(), 3);
+    // …while the current epoch has the retraction and its consequences.
+    let current = slider.store().snapshot();
+    assert!(!current.contains(sco(2, 3)));
+    assert!(!current.contains(sco(1, 3)));
+    assert!(current.generation() > pinned.generation());
+    assert_eq!(slider.stats().snapshot_generation, current.generation());
+}
+
 #[test]
 fn drop_under_load_terminates() {
     for _ in 0..5 {

@@ -133,6 +133,69 @@ fn json_export_of_a_real_run_is_well_formed() {
 }
 
 #[test]
+fn epoch_counters_track_publications_and_swaps() {
+    let (slider, _events) = traced_run(PaperOntology::SubClassOf50, 1.0);
+    let stats = slider.stats();
+    // Every write release published an epoch: a run that inserted
+    // anything must have advanced the generation past the empty store's.
+    assert!(stats.snapshot_generation > 0, "no epoch was ever published");
+    assert_eq!(
+        stats.snapshot_generation,
+        slider.store().snapshot_generation(),
+        "stats and store disagree on the published generation"
+    );
+    assert_eq!(stats.ruleset_swaps, 0, "no swap ran");
+    // The Display table renders the epoch line from these counters.
+    let rendered = stats.to_string();
+    assert!(
+        rendered.contains(&format!(
+            "epochs: generation {}, 0 ruleset swaps",
+            stats.snapshot_generation
+        )),
+        "{rendered}"
+    );
+
+    // A (no-op) hot swap bumps the swap counter and republishes.
+    slider.swap_ruleset(Ruleset::rho_df());
+    let stats = slider.stats();
+    assert_eq!(stats.ruleset_swaps, 1);
+    assert!(stats.snapshot_generation >= slider.store().snapshot_generation() - 1);
+}
+
+#[test]
+fn ruleset_swap_event_round_trips_through_json() {
+    use slider::rules::Transitive;
+    let p = NodeId(9_000);
+    let slider = Slider::new(
+        Arc::new(Dictionary::new()),
+        Ruleset::custom("trans").with(Transitive::new("T", p)),
+        SliderConfig::default().with_trace(true),
+    );
+    slider.materialize(&[
+        Triple::new(NodeId(1), p, NodeId(2)),
+        Triple::new(NodeId(2), p, NodeId(3)),
+    ]);
+    let outcome = slider.swap_ruleset(Ruleset::custom("empty"));
+    assert_eq!(outcome.dropped, 1);
+
+    let events = slider.events().expect("tracing on");
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RulesetSwap { dropped: 1, .. })),
+        "swap left no trace event"
+    );
+    let json = events_to_json(&events);
+    assert!(
+        json.contains(r#""type":"ruleset_swap","dropped":1,"added":0,"kept":0"#),
+        "{json}"
+    );
+    // The export stays flat and balanced with the new event kind in it.
+    assert_eq!(json.matches('{').count(), events.len());
+    assert_eq!(json.matches('"').count() % 2, 0);
+}
+
+#[test]
 fn batch_mode_counts_forced_flushes_as_timeouts() {
     // With timeout: None and huge buffers, the only flushes are the forced
     // ones from wait_idle, which are accounted as timeout flushes.

@@ -9,7 +9,8 @@
 //!   naive baseline's re-derivation, measured on the subsumption chains the
 //!   paper designed for exactly this comparison.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use slider_bench::report::{BenchReport, Cell};
 use slider_bench::{generate_ntriples, run_baseline, run_slider};
 use slider_core::SliderConfig;
 use slider_rules::Fragment;
@@ -111,4 +112,28 @@ criterion_group!(
     duplicate_limitation,
     adaptive_scheduling
 );
-criterion_main!(ablation);
+
+/// Custom harness entry: run the criterion groups, then emit the shim's
+/// collected summaries as a `slider_bench::report` trajectory via
+/// `cargo bench --bench ablation -- --json <path>`.
+fn main() {
+    ablation();
+    let Some(path) = slider_bench::report::json_arg() else {
+        return;
+    };
+    let mut report = BenchReport::new(
+        "ablation_criterion",
+        "object index / pool size / duplicate limitation / adaptive scheduling ablations",
+    )
+    .best_of(1);
+    for s in criterion::take_summaries() {
+        report.push(
+            Cell::new(&s.label)
+                .param("samples", s.samples)
+                .metric("min_ms", s.min.as_secs_f64() * 1e3)
+                .metric("mean_ms", s.mean.as_secs_f64() * 1e3)
+                .metric("max_ms", s.max.as_secs_f64() * 1e3),
+        );
+    }
+    report.write(&path).expect("bench trajectory written");
+}

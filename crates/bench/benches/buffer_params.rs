@@ -5,7 +5,8 @@
 //! execution; and the timeout, which defines after how long an inactive
 //! buffer is forced to flush."
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use slider_bench::report::{BenchReport, Cell};
 use slider_bench::{generate_ntriples, run_slider};
 use slider_core::SliderConfig;
 use slider_rules::Fragment;
@@ -63,4 +64,28 @@ fn timeout_sweep(c: &mut Criterion) {
 }
 
 criterion_group!(buffer_params, buffer_size_sweep, timeout_sweep);
-criterion_main!(buffer_params);
+
+/// Custom harness entry: run the criterion groups, then emit the shim's
+/// collected summaries as a `slider_bench::report` trajectory via
+/// `cargo bench --bench buffer_params -- --json <path>`.
+fn main() {
+    buffer_params();
+    let Some(path) = slider_bench::report::json_arg() else {
+        return;
+    };
+    let mut report = BenchReport::new(
+        "buffer_params_criterion",
+        "BSBM_100k @ 0.05 ingest under buffer-size and timeout sweeps",
+    )
+    .best_of(1);
+    for s in criterion::take_summaries() {
+        report.push(
+            Cell::new(&s.label)
+                .param("samples", s.samples)
+                .metric("min_ms", s.min.as_secs_f64() * 1e3)
+                .metric("mean_ms", s.mean.as_secs_f64() * 1e3)
+                .metric("max_ms", s.max.as_secs_f64() * 1e3),
+        );
+    }
+    report.write(&path).expect("bench trajectory written");
+}

@@ -1,7 +1,8 @@
 //! Microbenchmarks of the substrates: dictionary interning, store insert,
 //! indexed pattern lookups, and the N-Triples parser.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use slider_bench::report::{BenchReport, Cell};
 use slider_model::{Dictionary, NodeId, Term, Triple};
 use slider_parser::NTriplesParser;
 use slider_store::VerticalStore;
@@ -138,4 +139,28 @@ criterion_group!(
     store_lookup,
     parser_throughput
 );
-criterion_main!(store_micro);
+
+/// Custom harness entry: run the criterion groups, then emit the shim's
+/// collected summaries as a `slider_bench::report` trajectory via
+/// `cargo bench --bench store_micro -- --json <path>`.
+fn main() {
+    store_micro();
+    let Some(path) = slider_bench::report::json_arg() else {
+        return;
+    };
+    let mut report = BenchReport::new(
+        "store_micro_criterion",
+        "dictionary interning, store insert, indexed lookups, N-Triples parsing",
+    )
+    .best_of(1);
+    for s in criterion::take_summaries() {
+        report.push(
+            Cell::new(&s.label)
+                .param("samples", s.samples)
+                .metric("min_ms", s.min.as_secs_f64() * 1e3)
+                .metric("mean_ms", s.mean.as_secs_f64() * 1e3)
+                .metric("max_ms", s.max.as_secs_f64() * 1e3),
+        );
+    }
+    report.write(&path).expect("bench trajectory written");
+}

@@ -2,7 +2,8 @@
 //! (one representative per family) so `cargo bench` stays tractable. The
 //! `table1` *binary* produces the full 13-row table.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use slider_bench::report::{BenchReport, Cell};
 use slider_bench::{generate_ntriples, run_baseline, run_slider};
 use slider_core::SliderConfig;
 use slider_rules::Fragment;
@@ -37,4 +38,28 @@ fn benches(c: &mut Criterion) {
 }
 
 criterion_group!(table1, benches);
-criterion_main!(table1);
+
+/// Custom harness entry: run the criterion group, then emit the shim's
+/// collected summaries as a `slider_bench::report` trajectory via
+/// `cargo bench --bench table1 -- --json <path>`.
+fn main() {
+    table1();
+    let Some(path) = slider_bench::report::json_arg() else {
+        return;
+    };
+    let mut report = BenchReport::new(
+        "table1_criterion",
+        "scaled-down ontology ingest, baseline vs slider per fragment",
+    )
+    .best_of(1);
+    for s in criterion::take_summaries() {
+        report.push(
+            Cell::new(&s.label)
+                .param("samples", s.samples)
+                .metric("min_ms", s.min.as_secs_f64() * 1e3)
+                .metric("mean_ms", s.mean.as_secs_f64() * 1e3)
+                .metric("max_ms", s.max.as_secs_f64() * 1e3),
+        );
+    }
+    report.write(&path).expect("bench trajectory written");
+}

@@ -569,6 +569,41 @@ pub mod report {
             Ok(())
         }
     }
+
+    /// Scans the process arguments for `--json <path>`, ignoring anything
+    /// else (cargo appends `--bench` when running criterion benches, so
+    /// the strict [`parse_bench_args`](crate::parse_bench_args) would
+    /// reject the invocation). Used by the criterion benches' custom
+    /// harness mains to decide whether to emit a report trajectory.
+    pub fn json_arg() -> Option<String> {
+        json_arg_in(std::env::args().skip(1))
+    }
+
+    fn json_arg_in(args: impl Iterator<Item = String>) -> Option<String> {
+        let mut args = args;
+        while let Some(arg) = args.next() {
+            if arg == "--json" {
+                return args.next();
+            }
+        }
+        None
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::json_arg_in;
+
+        #[test]
+        fn json_arg_tolerates_cargo_bench_flags() {
+            let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+            assert_eq!(
+                json_arg_in(args(&["--bench", "--json", "out.json"]).into_iter()),
+                Some("out.json".to_string())
+            );
+            assert_eq!(json_arg_in(args(&["--bench"]).into_iter()), None);
+            assert_eq!(json_arg_in(args(&["--json"]).into_iter()), None);
+        }
+    }
 }
 
 /// Parses the shared bench CLI shape: `[--smoke] [--json <path>]`.

@@ -62,6 +62,14 @@
 //! store and rules never invent new term ids, so the reachable closure is
 //! finite and monotone between maintenance runs.
 //!
+//! The execution layer — worker pool, session-fair job queue, and the
+//! flusher that services buffer timeouts and maintenance deadlines — is a
+//! shared [`Runtime`] (see the [`runtime`] module): a standalone `Slider`
+//! owns a private one, while [`Runtime::session`] multiplexes many
+//! independent reasoner sessions over a single pool, with per-tick
+//! maintenance slicing ([`RuntimeConfig::maintenance_budget`]) keeping one
+//! tenant's coalesced DRed out of another's ingest latency.
+//!
 //! [`InputFilter`]: slider_rules::InputFilter
 
 #![forbid(unsafe_code)]
@@ -71,14 +79,16 @@ mod buffer;
 mod config;
 mod inflight;
 pub mod maintenance;
-mod reasoner;
+pub mod runtime;
 pub mod scheduler;
+mod session;
 mod stats;
 pub mod trace;
 
 pub use buffer::Buffer;
 pub use config::SliderConfig;
 pub use maintenance::RemovalOutcome;
-pub use reasoner::{Slider, SwapOutcome};
+pub use runtime::{Runtime, RuntimeConfig, SessionHandle};
+pub use session::{Slider, SwapOutcome};
 pub use stats::{RuleStats, StatsSnapshot};
 pub use trace::{events_to_json, Event, EventKind, EventLog};

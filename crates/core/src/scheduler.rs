@@ -127,14 +127,33 @@ impl MaintenanceScheduler {
     }
 
     /// Takes the whole pending set (FIFO order), resetting the age clock.
+    #[cfg(test)]
     pub(crate) fn drain(&self) -> Vec<Triple> {
+        self.drain_up_to(usize::MAX)
+    }
+
+    /// Takes up to `limit` pending retractions, oldest first — one budget
+    /// slice of the pending set. The remainder keeps its enqueue
+    /// timestamps, so the staleness clock ([`Self::oldest_age`]) stays
+    /// honest across slices: a retraction deferred by the latency budget
+    /// keeps ageing from its original enqueue.
+    pub(crate) fn drain_up_to(&self, limit: usize) -> Vec<Triple> {
         let mut inner = self.inner.lock();
-        inner.seen.clear();
-        self.count.store(0, Ordering::Relaxed);
-        std::mem::take(&mut inner.queue)
-            .into_iter()
-            .map(|(t, _)| t)
-            .collect()
+        if limit >= inner.queue.len() {
+            inner.seen.clear();
+            self.count.store(0, Ordering::Relaxed);
+            return std::mem::take(&mut inner.queue)
+                .into_iter()
+                .map(|(t, _)| t)
+                .collect();
+        }
+        let rest = inner.queue.split_off(limit);
+        let drained = std::mem::replace(&mut inner.queue, rest);
+        for (t, _) in &drained {
+            inner.seen.remove(t);
+        }
+        self.count.store(inner.queue.len(), Ordering::Relaxed);
+        drained.into_iter().map(|(t, _)| t).collect()
     }
 
     /// Number of distinct retractions currently pending.
@@ -158,10 +177,10 @@ impl MaintenanceScheduler {
         self.oldest_age().is_some_and(|age| age >= max_age)
     }
 
-    /// True if a max-age deadline is configured (the flusher thread only
-    /// polls staleness when it is).
-    pub(crate) fn has_deadline(&self) -> bool {
-        self.max_age.is_some()
+    /// The configured max-age deadline, if any — the runtime's flusher
+    /// derives its scan tick from the smallest deadline it services.
+    pub(crate) fn max_age(&self) -> Option<Duration> {
+        self.max_age
     }
 }
 
@@ -209,6 +228,24 @@ mod tests {
     }
 
     #[test]
+    fn drain_up_to_slices_oldest_first_and_keeps_remainder_ageing() {
+        let s = MaintenanceScheduler::new(100, None);
+        s.enqueue(&[t(1), t(2)]);
+        std::thread::sleep(Duration::from_millis(25));
+        s.enqueue(&[t(3)]);
+        let oldest_before = s.oldest_age().unwrap(); // t(1)'s age, ≥ 25 ms
+                                                     // The slice takes the oldest entries; the remainder stays pending…
+        assert_eq!(s.drain_up_to(2), vec![t(1), t(2)]);
+        assert_eq!(s.pending(), 1);
+        // …with its original timestamp (t(3) is 25 ms younger than t(1)).
+        assert!(s.oldest_age().unwrap() < oldest_before);
+        // A sliced-out triple may be re-deferred; the survivor may not.
+        assert_eq!(s.enqueue(&[t(1), t(3)]), (1, false));
+        assert_eq!(s.drain_up_to(usize::MAX), vec![t(3), t(1)]);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
     fn cancel_removes_pending_retractions() {
         let s = MaintenanceScheduler::new(100, None);
         s.enqueue(&[t(1), t(2), t(3)]);
@@ -228,7 +265,7 @@ mod tests {
     #[test]
     fn staleness_tracks_oldest_enqueue() {
         let s = MaintenanceScheduler::new(100, Some(Duration::ZERO));
-        assert!(s.has_deadline());
+        assert_eq!(s.max_age(), Some(Duration::ZERO));
         assert!(!s.is_stale(), "empty queue is never stale");
         assert_eq!(s.oldest_age(), None);
         s.enqueue(&[t(1)]);
@@ -255,7 +292,7 @@ mod tests {
     #[test]
     fn no_deadline_is_never_stale() {
         let s = MaintenanceScheduler::new(1, None);
-        assert!(!s.has_deadline());
+        assert_eq!(s.max_age(), None);
         s.enqueue(&[t(1)]);
         assert!(!s.is_stale());
     }

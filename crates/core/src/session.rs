@@ -1,40 +1,30 @@
-//! The reasoner: input manager, rule modules, thread pool, distributors.
+//! A reasoning *session*: input manager, rule modules, distributors —
+//! everything per-tenant. The execution layer (worker pool, job queue,
+//! flusher) lives in [`crate::runtime`]; a session holds a
+//! [`SessionHandle`] into the runtime it registered with and submits its
+//! rule instances to the shared pool.
 
 use crate::buffer::Buffer;
 use crate::config::SliderConfig;
 use crate::inflight::Inflight;
 use crate::maintenance::{self, RemovalOutcome};
+use crate::runtime::{Job, JobQueue, Runtime, RuntimeConfig, RuntimeCore, SessionHandle};
 use crate::scheduler::MaintenanceScheduler;
 use crate::stats::{bump, GlobalCounters, RuleCounters, RuleStats, StatsSnapshot};
 use crate::trace::{Event, EventKind, EventLog};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::unbounded;
 use parking_lot::{Mutex, RwLock};
 use slider_model::{Dictionary, NodeId, TermTriple, Triple};
 use slider_rules::{DependencyGraph, Fragment, InputFilter, Rule, Ruleset};
 use slider_store::{ShardedStore, VerticalStore};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
-
-/// A unit of pool work: one rule instance over one buffered batch, or one
-/// partition pass of a partitioned coalesced flush.
-enum Job {
-    Run {
-        rule: usize,
-        delta: Vec<Triple>,
-    },
-    /// A self-contained DRed pass over a split-off store shard (see
-    /// [`Engine::run_partitions`]); the closure owns the shard and reports
-    /// it back on a per-flush channel.
-    Partition(Box<dyn FnOnce() + Send>),
-    Stop,
-}
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
 
 /// One rule module: the rule, its buffer, its distributor's routing table
 /// and its counters (paper Figure 1, one column).
-struct Module {
-    rule: Arc<dyn Rule>,
+pub(crate) struct Module {
+    pub(crate) rule: Arc<dyn Rule>,
     filter: InputFilter,
     /// The rule's declared static read set ([`Rule::read_predicates`]),
     /// pre-planned against the store's shard layout: `Some` lets a join
@@ -58,10 +48,10 @@ struct Module {
 /// resolution stable: a swap only completes at verified quiescence
 /// (inflight == 0, buffers empty), so a state resolved under a token can
 /// never be retired mid-use.
-struct RulesetState {
+pub(crate) struct RulesetState {
     /// Ruleset name ("rho-df", "RDFS", custom).
     name: String,
-    modules: Vec<Module>,
+    pub(crate) modules: Vec<Module>,
     /// Shared with partition-pass jobs, which run DRed off-thread.
     graph: Arc<DependencyGraph>,
     /// Per rule: whether `Rule::derives` answered on an empty-store probe —
@@ -127,17 +117,29 @@ fn build_state(
     }
 }
 
-/// Shared state between the public handle, the workers and the flusher.
-struct Engine {
+/// Per-session state shared between the public handle, the runtime's
+/// workers and its flusher.
+pub(crate) struct Engine {
     dict: Arc<Dictionary>,
     store: ShardedStore,
     /// The current [`RulesetState`], replaced wholesale by `swap_ruleset`.
     /// The lock is held only for the pointer clone/swap, never across
     /// work; see [`Engine::rstate`] for the resolution discipline.
     rstate: RwLock<Arc<RulesetState>>,
-    job_tx: Sender<Job>,
-    inflight: Inflight,
-    globals: GlobalCounters,
+    /// The shared runtime's job queue; submissions are tagged with
+    /// `session` so the pool round-robins fairly across tenants.
+    queue: Arc<JobQueue>,
+    /// This session's runtime-unique id (its lane in the job queue).
+    session: u64,
+    /// Back-reference to self, so submitted jobs can carry an owning
+    /// handle — worker panics and inflight tokens stay session-contained.
+    self_ref: Weak<Engine>,
+    /// This session's buffer-staleness deadline (`SliderConfig::timeout`);
+    /// the runtime's flusher services it via
+    /// [`Engine::drain_stale_buffers`].
+    timeout: Option<Duration>,
+    pub(crate) inflight: Inflight,
+    pub(crate) globals: GlobalCounters,
     log: Option<EventLog>,
     /// Adaptive-scheduling bounds: `Some((base, max))` when enabled.
     adaptive: Option<(usize, usize)>,
@@ -151,7 +153,7 @@ struct Engine {
     partitioning: bool,
     /// Deferred retractions awaiting a coalesced DRed run (see
     /// [`Slider::remove_deferred`]).
-    scheduler: MaintenanceScheduler,
+    pub(crate) scheduler: MaintenanceScheduler,
     /// Configured buffer capacity — the baseline for modules built by a
     /// ruleset swap (rules added mid-life start from the same plan a
     /// fresh reasoner would give them).
@@ -175,16 +177,32 @@ impl Engine {
     /// that resolves without a token (stats, Debug) may read a state that
     /// a concurrent swap is retiring — fine for observability, never for
     /// dispatch.
-    fn rstate(&self) -> Arc<RulesetState> {
+    pub(crate) fn rstate(&self) -> Arc<RulesetState> {
         Arc::clone(&self.rstate.read())
     }
 
-    /// Queues a rule instance; the caller must already hold an inflight
-    /// token for it (token ownership transfers to the job).
+    /// Queues a rule instance on the shared pool; the caller must already
+    /// hold an inflight token for it (token ownership transfers to the
+    /// job, which carries an owning engine handle).
     fn submit_with_token(&self, rule: usize, delta: Vec<Triple>) {
-        // Send only fails when all receivers are gone, i.e. during
+        let engine = self
+            .self_ref
+            .upgrade()
+            .expect("a live session submitted this job");
+        // Push only fails after the queue closed, i.e. during runtime
         // teardown; the token is released by the Drop path then.
-        if self.job_tx.send(Job::Run { rule, delta }).is_err() {
+        if self
+            .queue
+            .push(
+                self.session,
+                Job::Run {
+                    engine,
+                    rule,
+                    delta,
+                },
+            )
+            .is_err()
+        {
             self.inflight.dec();
         }
     }
@@ -242,7 +260,7 @@ impl Engine {
 
     /// Executes one rule instance: join, distribute, route (Figure 1's
     /// rule-module → distributor path).
-    fn run_job(&self, rule: usize, delta: Vec<Triple>) {
+    pub(crate) fn run_job(&self, rule: usize, delta: Vec<Triple>) {
         // The job carries an inflight token acquired at submission, so the
         // state resolved here is the submission-time state: a swap cannot
         // have linearised in between.
@@ -296,7 +314,7 @@ impl Engine {
     /// its batch so the join cost is amortised; a productive rule shrinks
     /// back towards the configured capacity for low inference latency.
     /// No-op unless adaptive scheduling is enabled.
-    fn retune(&self, state: &RulesetState, rule: usize, derived: usize, fresh: usize) {
+    pub(crate) fn retune(&self, state: &RulesetState, rule: usize, derived: usize, fresh: usize) {
         let Some((base, max)) = self.adaptive else {
             return;
         };
@@ -442,41 +460,65 @@ impl Engine {
     /// maintenance partitions — one pass per partition, in parallel on the
     /// worker pool (see [`Slider::flush_maintenance`]).
     fn flush_maintenance(&self) -> RemovalOutcome {
+        self.flush_maintenance_slice(usize::MAX).0
+    }
+
+    /// One budget slice of the coalesced flush: drains and applies **up
+    /// to `limit`** pending retractions (oldest first), returning the
+    /// outcome and how many retractions remain pending afterwards.
+    ///
+    /// With `limit == usize::MAX` this *is* the classic coalesced flush —
+    /// one pass over the whole pending set. Smaller limits are sound
+    /// because DRed composes over sub-batches: retracting S₁ then S₂
+    /// leaves the same closure as retracting S₁ ∪ S₂ at once (each pass
+    /// ends at the closure of its surviving explicit set), so a sliced
+    /// flush converges to exactly the unsliced store — it just releases
+    /// the store (and the quiescence gate) between slices, bounding how
+    /// long one tenant's maintenance can hold a shared runtime tick.
+    fn flush_maintenance_slice(&self, limit: usize) -> (RemovalOutcome, usize) {
         // One maintenance run at a time, so two racing flushes (threshold
         // vs deadline vs explicit) cannot split one pending generation
         // across two runs.
         let _serial = self.maintenance.lock();
         if self.scheduler.pending() == 0 {
-            return RemovalOutcome::default();
+            return (RemovalOutcome::default(), 0);
         }
         let state = self.rstate();
         let rules: Vec<Arc<dyn Rule>> = state.modules.iter().map(|m| Arc::clone(&m.rule)).collect();
-        let ((outcome, pending_len, partitions), store_size) = self.with_quiescent_store(|store| {
-            // Drain *under the maintenance gate (write mode), after the quiescence
-            // re-check*: this is the flush's linearisation point. Any
-            // assertion either completed earlier (its re-assertion
-            // already cancelled the matching pending retraction) or is
-            // blocked on the gate and lands after the flush —
-            // a pending retraction can never be applied over a
-            // concurrent re-assertion it should have cancelled.
-            let pending = self.scheduler.drain();
-            if pending.is_empty() {
-                return (RemovalOutcome::default(), 0, 0);
-            }
-            let (outcome, partitions) = match self.plan_flush(&state, store, &pending) {
-                Some(groups) => {
-                    let n = groups.len();
-                    (self.run_partitions(&state, store, &rules, groups), n)
+        let ((outcome, pending_len, partitions, remaining), store_size) = self
+            .with_quiescent_store(|store| {
+                // Drain *under the maintenance gate (write mode), after the quiescence
+                // re-check*: this is the flush's linearisation point. Any
+                // assertion either completed earlier (its re-assertion
+                // already cancelled the matching pending retraction) or is
+                // blocked on the gate and lands after the flush —
+                // a pending retraction can never be applied over a
+                // concurrent re-assertion it should have cancelled.
+                let pending = self.scheduler.drain_up_to(limit);
+                let remaining = self.scheduler.pending();
+                if pending.is_empty() {
+                    return (RemovalOutcome::default(), 0, 0, remaining);
                 }
-                None => (
-                    maintenance::dred(store, &rules, &state.graph, &pending, self.full_rederive),
-                    1,
-                ),
-            };
-            (outcome, pending.len(), partitions)
-        });
+                let (outcome, partitions) = match self.plan_flush(&state, store, &pending) {
+                    Some(groups) => {
+                        let n = groups.len();
+                        (self.run_partitions(&state, store, &rules, groups), n)
+                    }
+                    None => (
+                        maintenance::dred(
+                            store,
+                            &rules,
+                            &state.graph,
+                            &pending,
+                            self.full_rederive,
+                        ),
+                        1,
+                    ),
+                };
+                (outcome, pending.len(), partitions, remaining)
+            });
         if pending_len == 0 {
-            return outcome;
+            return (outcome, remaining);
         }
         self.bump_removal_counters(&outcome);
         bump(&self.globals.coalesced_runs, 1);
@@ -503,7 +545,86 @@ impl Engine {
                 });
             }
         }
-        outcome
+        (outcome, remaining)
+    }
+
+    /// The runtime flusher's entry point for deadline-due maintenance:
+    /// applies this session's pending retractions in
+    /// [`crate::runtime::MAINTENANCE_SLICE`]-sized slices until done or
+    /// `deadline` passes. The **first slice always runs** — even with the
+    /// tick's budget already spent — so a session with pending work is
+    /// never starved outright (the reserve slot); when the deadline then
+    /// cuts the flush short, the remainder stays queued for later ticks
+    /// and the deferral is counted
+    /// ([`StatsSnapshot::budget_deferrals`](crate::StatsSnapshot::budget_deferrals))
+    /// and traced ([`EventKind::BudgetSlice`]).
+    ///
+    /// `deadline: None` (no budget configured) is the classic unsliced
+    /// flush, bit-identical to the single-tenant behaviour.
+    pub(crate) fn flush_maintenance_budgeted(&self, deadline: Option<Instant>) -> RemovalOutcome {
+        let Some(deadline) = deadline else {
+            return self.flush_maintenance();
+        };
+        let mut total = RemovalOutcome::default();
+        let mut applied = 0usize;
+        loop {
+            let (outcome, remaining) =
+                self.flush_maintenance_slice(crate::runtime::MAINTENANCE_SLICE);
+            applied += outcome.requested;
+            total.merge(outcome);
+            if remaining == 0 {
+                break;
+            }
+            if Instant::now() >= deadline {
+                bump(&self.globals.budget_deferrals, 1);
+                if let Some(log) = &self.log {
+                    log.record(EventKind::BudgetSlice { applied, remaining });
+                }
+                break;
+            }
+        }
+        total
+    }
+
+    /// The runtime flusher's entry point for buffer-timeout service:
+    /// drains every buffer stale past this session's configured timeout
+    /// into rule instances. A no-op for sessions without a timeout.
+    pub(crate) fn drain_stale_buffers(&self) {
+        let Some(timeout) = self.timeout else {
+            return;
+        };
+        // Guard token before resolving the state (see
+        // `Engine::flush_all`): without it, a swap could linearise
+        // between the resolve and the drains below, and this scan would
+        // drain retired buffers into jobs whose rule indexes the new
+        // state interprets differently.
+        self.inflight.inc();
+        let state = self.rstate();
+        for (i, module) in state.modules.iter().enumerate() {
+            self.inflight.inc();
+            match module.buffer.drain_if_stale(timeout) {
+                Some(delta) => {
+                    bump(&module.counters.timeout_flushes, 1);
+                    if let Some(log) = &self.log {
+                        log.record(EventKind::TimeoutFlush { rule: i });
+                    }
+                    self.submit_with_token(i, delta);
+                }
+                None => self.inflight.dec(),
+            }
+        }
+        self.inflight.dec();
+    }
+
+    /// The smallest deadline the runtime's flusher services for this
+    /// session — buffer timeout or deferred-retraction max age — or
+    /// `None` for a pure batch-mode session (no flusher attention needed).
+    pub(crate) fn deadline_base(&self) -> Option<Duration> {
+        match (self.timeout, self.scheduler.max_age()) {
+            (Some(t), Some(a)) => Some(t.min(a)),
+            (Some(t), None) => Some(t),
+            (None, age) => age,
+        }
     }
 
     /// Buckets `pending` by maintenance partition
@@ -607,13 +728,14 @@ impl Engine {
                 let _ = tx.send((sub, outcome));
             });
             expected += 1;
-            if let Err(err) = self.job_tx.send(Job::Partition(task)) {
-                // All receivers gone means teardown stopped the workers —
+            if let Err(job) = self.queue.push(self.session, Job::Partition(task)) {
+                // A closed queue means teardown stopped the runtime —
                 // unreachable from the public API (Drop flushes before
-                // stopping them), but never lose a shard: run inline.
-                match err.0 {
+                // the core's teardown closes it), but never lose a
+                // shard: run inline.
+                match job {
                     Job::Partition(task) => task(),
-                    _ => unreachable!("the failed send returns the partition job"),
+                    Job::Run { .. } => unreachable!("the failed push returns the partition job"),
                 }
             }
         }
@@ -746,93 +868,6 @@ pub struct SwapOutcome {
     pub inferred: usize,
 }
 
-fn worker_loop(engine: Arc<Engine>, rx: Receiver<Job>) {
-    while let Ok(job) = rx.recv() {
-        match job {
-            Job::Run { rule, delta } => {
-                // A panicking rule instance (e.g. a custom rule violating
-                // its declared read set) must not wedge the engine: the
-                // inflight token is released either way — leaking it
-                // would hang every wait_idle/flush/Drop forever — and the
-                // worker survives to run the remaining jobs. The panic
-                // itself already printed via the default hook; add which
-                // rule died.
-                let instance = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    engine.run_job(rule, delta);
-                }));
-                if instance.is_err() {
-                    // Resolve the name *before* releasing the token: the
-                    // token still pins the submission-time state, so the
-                    // index is in bounds; after dec() a swap could install
-                    // a smaller ruleset.
-                    let state = engine.rstate();
-                    eprintln!(
-                        "slider: rule instance for {:?} panicked; its conclusions are lost",
-                        state.modules[rule].rule.name()
-                    );
-                }
-                engine.inflight.dec();
-            }
-            // Partition passes carry no inflight token: they only exist
-            // while the flush coordinator holds the store exclusively, and
-            // it collects every pass before releasing it.
-            Job::Partition(task) => task(),
-            Job::Stop => break,
-        }
-    }
-}
-
-fn flusher_loop(
-    engine: Arc<Engine>,
-    shutdown: Arc<AtomicBool>,
-    timeout: Option<Duration>,
-    max_age: Option<Duration>,
-) {
-    // Scan at half the smallest deadline it services, clamped to
-    // [1, 10] ms, so a stale buffer (or pending retraction) waits at most
-    // ~1.5 × its deadline.
-    let base = match (timeout, max_age) {
-        (Some(t), Some(a)) => t.min(a),
-        (Some(t), None) => t,
-        (None, Some(a)) => a,
-        // Unreachable in practice: the flusher is only spawned when at
-        // least one of the two deadlines is configured (see Slider::new).
-        (None, None) => Duration::from_millis(20),
-    };
-    let tick = (base / 2).clamp(Duration::from_millis(1), Duration::from_millis(10));
-    while !shutdown.load(Ordering::Relaxed) {
-        std::thread::sleep(tick);
-        if let Some(timeout) = timeout {
-            // Guard token before resolving the state (see
-            // `Engine::flush_all`): without it, a swap could linearise
-            // between the resolve and the drains below, and this scan
-            // would drain retired buffers into jobs whose rule indexes
-            // the new state interprets differently.
-            engine.inflight.inc();
-            let state = engine.rstate();
-            for (i, module) in state.modules.iter().enumerate() {
-                engine.inflight.inc();
-                match module.buffer.drain_if_stale(timeout) {
-                    Some(delta) => {
-                        bump(&module.counters.timeout_flushes, 1);
-                        if let Some(log) = &engine.log {
-                            log.record(EventKind::TimeoutFlush { rule: i });
-                        }
-                        engine.submit_with_token(i, delta);
-                    }
-                    None => engine.inflight.dec(),
-                }
-            }
-            engine.inflight.dec();
-        }
-        // Deferred retractions past the max-age deadline: run the
-        // coalesced flush from here — the scheduler's "timeout" trigger.
-        if engine.scheduler.is_stale() {
-            engine.flush_maintenance();
-        }
-    }
-}
-
 /// The Slider incremental reasoner (see the crate docs for the
 /// architecture walkthrough).
 ///
@@ -859,16 +894,41 @@ fn flusher_loop(
 /// slider.wait_idle();
 /// assert_eq!(slider.store().len(), 3); // felix is an Animal now
 /// ```
+///
+/// A `Slider` built with [`Slider::new`] owns a private single-session
+/// [`Runtime`](crate::Runtime); to multiplex several reasoners over one
+/// worker pool, build the runtime explicitly and attach sessions with
+/// [`Runtime::session`](crate::Runtime::session) — each gets its own
+/// store, ruleset, scheduler and stats, with the execution threads shared.
 pub struct Slider {
+    // Field order is drop order: the engine's strong reference goes
+    // before the session handle detaches from (and possibly tears down)
+    // the runtime core.
     engine: Arc<Engine>,
-    workers: Vec<JoinHandle<()>>,
-    flusher: Option<JoinHandle<()>>,
-    shutdown: Arc<AtomicBool>,
+    session: SessionHandle,
 }
 
 impl Slider {
-    /// Creates a reasoner over an existing dictionary and ruleset.
+    /// Creates a reasoner over an existing dictionary and ruleset, with a
+    /// private single-session runtime sized by
+    /// [`SliderConfig::workers`](crate::SliderConfig::workers).
     pub fn new(dict: Arc<Dictionary>, ruleset: Ruleset, config: SliderConfig) -> Self {
+        let runtime = Runtime::new(RuntimeConfig {
+            workers: config.workers.max(1),
+            maintenance_budget: None,
+        });
+        runtime.session(dict, ruleset, config)
+    }
+
+    /// Builds a session on `core` — the engine, its registration with the
+    /// runtime's flusher, and the public handle (the implementation behind
+    /// [`Runtime::session`](crate::Runtime::session)).
+    pub(crate) fn attach(
+        core: Arc<RuntimeCore>,
+        dict: Arc<Dictionary>,
+        ruleset: Ruleset,
+        config: SliderConfig,
+    ) -> Self {
         let base_capacity = config.buffer_capacity.max(1);
         // The store comes first: each module's declared read set is
         // planned against its shard layout once, not per rule instance.
@@ -881,12 +941,15 @@ impl Slider {
             config.store_shards,
         );
         let state = build_state(&ruleset, &store, base_capacity, None);
-        let (job_tx, job_rx) = unbounded();
-        let engine = Arc::new(Engine {
+        let id = core.allocate_id();
+        let engine = Arc::new_cyclic(|self_ref| Engine {
             dict,
             store,
             rstate: RwLock::new(Arc::new(state)),
-            job_tx,
+            queue: Arc::clone(&core.queue),
+            session: id,
+            self_ref: self_ref.clone(),
+            timeout: config.timeout,
             inflight: Inflight::new(),
             globals: GlobalCounters::default(),
             log: config.trace.then(EventLog::new),
@@ -902,38 +965,16 @@ impl Slider {
             ),
             base_capacity,
         });
-        let shutdown = Arc::new(AtomicBool::new(false));
-
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let engine = Arc::clone(&engine);
-                let rx = job_rx.clone();
-                std::thread::Builder::new()
-                    .name(format!("slider-worker-{i}"))
-                    .spawn(move || worker_loop(engine, rx))
-                    .expect("spawn worker thread")
-            })
-            .collect();
-
-        // The flusher services both buffer timeouts and the deferred-
-        // retraction max-age deadline; spawn it if either is configured.
-        let flusher = (config.timeout.is_some() || engine.scheduler.has_deadline()).then(|| {
-            let engine = Arc::clone(&engine);
-            let shutdown = Arc::clone(&shutdown);
-            let timeout = config.timeout;
-            let max_age = config.maintenance_max_age;
-            std::thread::Builder::new()
-                .name("slider-flusher".to_owned())
-                .spawn(move || flusher_loop(engine, shutdown, timeout, max_age))
-                .expect("spawn flusher thread")
-        });
-
+        core.register(id, &engine);
         Slider {
             engine,
-            workers,
-            flusher,
-            shutdown,
+            session: SessionHandle::new(core, id),
         }
+    }
+
+    /// This session's handle into its runtime (id, co-tenant count).
+    pub fn session_handle(&self) -> &SessionHandle {
+        &self.session
     }
 
     /// Creates a reasoner for a native fragment with a fresh dictionary.
@@ -1304,6 +1345,8 @@ impl Slider {
             shard_write_conflicts: engine.store.shard_write_conflicts(),
             snapshot_generation: engine.store.snapshot_generation(),
             ruleset_swaps: engine.globals.ruleset_swaps.load(Ordering::Relaxed),
+            budget_deferrals: engine.globals.budget_deferrals.load(Ordering::Relaxed),
+            runtime_sessions: self.session.session_count(),
         }
     }
 
@@ -1315,29 +1358,20 @@ impl Slider {
 
 impl Drop for Slider {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::Relaxed);
         // Pending deferred retractions must not be silently discarded:
         // apply them in one final coalesced flush, mirroring how buffered
-        // triples drain at quiescence. This must happen while the workers
-        // are still alive — the flush waits for quiescence (and may farm
-        // partition passes out to the pool).
+        // triples drain at quiescence. This must happen while the shared
+        // pool is still running — the flush waits for quiescence (and may
+        // farm partition passes out to the pool) — which is guaranteed:
+        // this session's handle still holds the runtime core alive.
         if self.engine.scheduler.pending() > 0 {
             self.engine.flush_maintenance();
         }
-        // Join the flusher *before* stopping the workers: a deadline-
-        // triggered `flush_maintenance` may be waiting for quiescence,
-        // which only the still-running workers can provide — stopping them
-        // first could strand the flusher (and this join) forever.
-        if let Some(handle) = self.flusher.take() {
-            let _ = handle.join();
-        }
-        for _ in &self.workers {
-            // Queued Run jobs drain first; workers then stop.
-            let _ = self.engine.job_tx.send(Job::Stop);
-        }
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+        // The fields then drop in order: the engine's strong reference
+        // first (queued jobs may briefly keep it alive), the session
+        // handle last — detaching from the runtime's flusher service.
+        // Co-tenants are untouched; only when this was the runtime's last
+        // reference does the core's own Drop join the pool and flusher.
     }
 }
 

@@ -23,7 +23,7 @@ pub(crate) struct RuleCounters {
 impl RuleCounters {
     /// A fresh set of counters initialised to this set's current values —
     /// used by ruleset hot-swap to carry a kept rule's history into the
-    /// new [`RulesetState`](crate::reasoner) generation.
+    /// new [`RulesetState`](crate::session) generation.
     pub fn carry(&self) -> RuleCounters {
         RuleCounters {
             fired: AtomicU64::new(self.fired.load(Ordering::Relaxed)),
@@ -67,6 +67,9 @@ pub(crate) struct GlobalCounters {
     pub partitioned_runs: AtomicU64,
     /// Live ruleset replacements completed by `swap_ruleset`.
     pub ruleset_swaps: AtomicU64,
+    /// Deadline-triggered flushes cut short by the runtime's per-tick
+    /// maintenance budget (the remainder stayed pending for later ticks).
+    pub budget_deferrals: AtomicU64,
 }
 
 #[inline]
@@ -170,6 +173,18 @@ pub struct StatsSnapshot {
     /// Live ruleset replacements completed by
     /// [`Slider::swap_ruleset`](crate::Slider::swap_ruleset).
     pub ruleset_swaps: u64,
+    /// Deadline-triggered maintenance flushes of **this session** cut
+    /// short by the shared runtime's per-tick latency budget
+    /// ([`RuntimeConfig::maintenance_budget`](crate::RuntimeConfig::maintenance_budget)):
+    /// the flush applied at least one slice (the starvation-governor
+    /// reserve slot) and left the remainder pending for later ticks. Zero
+    /// whenever no budget is configured — a budget-free flush always runs
+    /// to completion.
+    pub budget_deferrals: u64,
+    /// Sessions attached to this reasoner's runtime at snapshot time
+    /// (1 for a standalone [`Slider`](crate::Slider); the co-tenant count
+    /// under [`Runtime::session`](crate::Runtime::session)).
+    pub runtime_sessions: usize,
 }
 
 impl StatsSnapshot {
@@ -245,6 +260,11 @@ impl std::fmt::Display for StatsSnapshot {
         )?;
         writeln!(
             f,
+            "runtime: {} sessions, {} budget deferrals",
+            self.runtime_sessions, self.budget_deferrals
+        )?;
+        writeln!(
+            f,
             "{:<10} {:>8} {:>8} {:>8} {:>10} {:>10} {:>10}",
             "rule", "fired", "full", "timeout", "buffered", "derived", "fresh"
         )?;
@@ -297,6 +317,8 @@ mod tests {
             shard_write_conflicts: 0,
             snapshot_generation: 0,
             ruleset_swaps: 0,
+            budget_deferrals: 0,
+            runtime_sessions: 1,
         }
     }
 
@@ -352,6 +374,12 @@ mod tests {
         assert!(with_removals
             .to_string()
             .contains("epochs: generation 9, 1 ruleset swaps"));
+        // And the shared-runtime line.
+        with_removals.runtime_sessions = 3;
+        with_removals.budget_deferrals = 7;
+        assert!(with_removals
+            .to_string()
+            .contains("runtime: 3 sessions, 7 budget deferrals"));
     }
 
     #[test]

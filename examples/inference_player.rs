@@ -132,6 +132,12 @@ fn replay(events: &[Event], rule_names: &[&'static str], input_size: usize) {
                      {inferred} inferred"
                 );
             }
+            EventKind::BudgetSlice { applied, remaining } => {
+                println!(
+                    "[{step:>4} {ms:>8.2}ms] budget  flush sliced: {applied} applied, \
+                     {remaining} deferred to later ticks"
+                );
+            }
             EventKind::Idle { store_size: size } => {
                 store_size = *size;
                 println!("[{step:>4} {ms:>8.2}ms] idle    (closure complete)");
@@ -217,5 +223,9 @@ fn main() {
         slider.store().shard_count(),
         stats.gate_write_acquisitions,
         stats.shard_write_conflicts
+    );
+    println!(
+        "runtime: {} session(s) on the pool, {} budget deferrals",
+        stats.runtime_sessions, stats.budget_deferrals
     );
 }

@@ -7,6 +7,8 @@
 //!                                     [--workers N] [--stats]
 //! slider-cli graph       [--fragment rho-df|rdfs|rdfs-plus]
 //! slider-cli generate    <ontology> [--scale F] [--output FILE]
+//! slider-cli serve       [--sessions N] [--workers N] [--budget-us N]
+//!                        [--fragment rho-df|rdfs|rdfs-plus] [--scale F]
 //! slider-cli list
 //! ```
 //!
@@ -14,6 +16,11 @@
 //! paper's input-manager path), waits for quiescence and writes the closure
 //! as N-Triples (generalised triples with literal subjects are skipped on
 //! output, with a note on stderr).
+//!
+//! `serve` demonstrates the shared execution runtime: N independent
+//! reasoner sessions multiplexed onto one worker pool + flusher, each
+//! materialising its own stream concurrently while deferred retractions
+//! are flushed under the runtime's per-tick maintenance budget.
 
 use slider::parser::{Format, NTriplesWriter, ParseError};
 use slider::prelude::*;
@@ -29,6 +36,8 @@ fn usage() -> ExitCode {
          [--format nt|ttl] [--output FILE] [--buffer N] [--timeout-ms N] [--workers N] [--stats]\n\
          \x20 slider-cli graph [--fragment rho-df|rdfs|rdfs-plus]\n\
          \x20 slider-cli generate <ontology> [--scale F] [--output FILE]\n\
+         \x20 slider-cli serve [--sessions N] [--workers N] [--budget-us N] \
+         [--fragment rho-df|rdfs|rdfs-plus] [--scale F]\n\
          \x20 slider-cli list"
     );
     ExitCode::from(2)
@@ -218,6 +227,123 @@ fn cmd_generate(name: &str, args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The multi-stream demo: N sessions on one shared `Runtime`, each
+/// materialising its own generated stream concurrently. Every session
+/// defers the retraction of its first chunk, so the shared flusher's
+/// deadline flush — sliced under `--budget-us` — runs while the other
+/// tenants keep ingesting.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut sessions = 4usize;
+    let mut fragment = Fragment::RhoDf;
+    let mut scale = 0.01f64;
+    let mut runtime_config =
+        RuntimeConfig::default().with_maintenance_budget(Some(Duration::from_micros(100)));
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--sessions" => {
+                let v = iter.next().ok_or("--sessions needs a number")?;
+                sessions = v.parse().map_err(|_| format!("bad session count '{v}'"))?;
+            }
+            "--workers" => {
+                let v = iter.next().ok_or("--workers needs a number")?;
+                let n: usize = v.parse().map_err(|_| format!("bad worker count '{v}'"))?;
+                runtime_config = runtime_config.with_workers(n);
+            }
+            "--budget-us" => {
+                let v = iter.next().ok_or("--budget-us needs a number")?;
+                let us: u64 = v.parse().map_err(|_| format!("bad budget '{v}'"))?;
+                runtime_config = runtime_config.with_maintenance_budget(if us == 0 {
+                    None
+                } else {
+                    Some(Duration::from_micros(us))
+                });
+            }
+            "--fragment" => {
+                let v = iter.next().ok_or("--fragment needs a value")?;
+                fragment = parse_fragment(v).ok_or_else(|| format!("unknown fragment '{v}'"))?;
+            }
+            "--scale" => {
+                let v = iter.next().ok_or("--scale needs a number")?;
+                scale = v.parse().map_err(|_| format!("bad scale '{v}'"))?;
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    if sessions == 0 {
+        return Err("--sessions must be at least 1".into());
+    }
+
+    let runtime = Runtime::new(runtime_config);
+    let start = Instant::now();
+    let results: Vec<Result<String, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..sessions)
+            .map(|i| {
+                let runtime = &runtime;
+                scope.spawn(move || -> Result<String, String> {
+                    // Each tenant: its own dictionary, store and stream —
+                    // only the pool and flusher are shared.
+                    let dict = Arc::new(Dictionary::new());
+                    let ruleset = Ruleset::fragment(fragment, &dict);
+                    let config = SliderConfig::default()
+                        .with_maintenance_batch(usize::MAX)
+                        .with_maintenance_max_age(Some(Duration::from_millis(20)));
+                    let session = runtime.session(Arc::clone(&dict), ruleset, config);
+                    let ontology = ONTOLOGIES[i % ONTOLOGIES.len()];
+                    let data = ontology.generate(scale);
+                    let encoded: Vec<Triple> = data
+                        .iter()
+                        .map(|t| dict.encode_triple_owned(t.clone()))
+                        .collect();
+                    let mut chunks = encoded.chunks(512);
+                    let first: Vec<Triple> = chunks.next().unwrap_or_default().to_vec();
+                    session.add_triples(&first);
+                    // Expire the first chunk while the rest of the stream
+                    // is still arriving: the shared flusher's deadline
+                    // flush retracts it mid-ingest, sliced under the
+                    // budget so co-tenants keep their pool turns.
+                    session.remove_deferred(&first);
+                    for chunk in chunks {
+                        session.add_triples(chunk);
+                    }
+                    session.wait_idle();
+                    session.flush_maintenance();
+                    session.wait_idle();
+                    let stats = session.stats();
+                    Ok(format!(
+                        "session {i:>2} [{:<14}]: {:>7} in, {:>8} closure ({} inferred), \
+                         {} retracted, {} budget deferrals",
+                        ontology.name(),
+                        encoded.len(),
+                        stats.store_size,
+                        stats.total_inferred(),
+                        stats.retracted,
+                        stats.budget_deferrals,
+                    ))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .map_err(|_| "session thread panicked".to_string())?
+            })
+            .collect()
+    });
+    let elapsed = start.elapsed();
+    for line in results {
+        println!("{}", line?);
+    }
+    println!(
+        "runtime: {} sessions multiplexed on {} threads in {:.3}s",
+        sessions,
+        runtime.thread_count(),
+        elapsed.as_secs_f64(),
+    );
+    Ok(())
+}
+
 fn cmd_list() {
     println!("{:<16} {:>12}", "ontology", "paper size");
     for o in ONTOLOGIES {
@@ -251,6 +377,7 @@ fn main() -> ExitCode {
             };
             cmd_generate(name, &args[2..])
         }
+        "serve" => cmd_serve(&args[1..]),
         "list" => {
             cmd_list();
             Ok(())

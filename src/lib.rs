@@ -105,6 +105,44 @@
 //! Use eager `remove_triples` when retractions must be visible
 //! immediately.
 //!
+//! ## Shared runtime & multi-tenant sessions
+//!
+//! A standalone `Slider` owns a private execution runtime: a worker pool
+//! plus one flusher thread servicing buffer timeouts and maintenance
+//! deadlines. When many reasoners must coexist — one per stream, tenant
+//! or ontology — spawning a pool each wastes threads and lets one
+//! tenant's maintenance monopolise the machine. `Runtime::new` builds the
+//! pool once and `Runtime::session` attaches any number of independent
+//! sessions (own store, ruleset, scheduler and stats) to it:
+//!
+//! ```
+//! use slider::prelude::*;
+//! use std::time::Duration;
+//!
+//! // One pool, two workers, flushes sliced under a 2 ms per-tick budget.
+//! let runtime = Runtime::new(
+//!     RuntimeConfig::default()
+//!         .with_workers(2)
+//!         .with_maintenance_budget(Some(Duration::from_millis(2))),
+//! );
+//! let news = runtime.session_fragment(Fragment::RhoDf, SliderConfig::default());
+//! let social = runtime.session_fragment(Fragment::Rdfs, SliderConfig::default());
+//! assert_eq!(runtime.session_count(), 2);
+//! assert_eq!(runtime.thread_count(), 2 + 1); // workers + one flusher
+//! # drop((news, social));
+//! ```
+//!
+//! The job queue is **session-fair** (round-robin across sessions, so a
+//! bursty tenant cannot starve a quiet one), worker panics are contained
+//! to the session whose rule instance panicked, and deadline-triggered
+//! flushes are **sliced** under `RuntimeConfig::maintenance_budget`: a
+//! tick applies at most a budget's worth of one session's pending
+//! retractions — always at least one slice, so no session starves — and
+//! defers the rest (`StatsSnapshot::budget_deferrals`), keeping a
+//! co-tenant's huge coalesced DRed out of everyone else's ingest latency.
+//! Dropping a session detaches it; the pool's threads only join when the
+//! last session *and* the last `Runtime` handle are gone.
+//!
 //! ## Lock-free reads & ruleset hot-swap
 //!
 //! Queries (`contains`, `matches`, `stats`, `to_sorted_vec`) and rule
@@ -168,7 +206,9 @@ pub use slider_workloads as workloads;
 /// The names most programs need, in one import.
 pub mod prelude {
     pub use slider_baseline::{NaiveReasoner, SemiNaiveReasoner};
-    pub use slider_core::{RemovalOutcome, Slider, SliderConfig, SwapOutcome};
+    pub use slider_core::{
+        RemovalOutcome, Runtime, RuntimeConfig, SessionHandle, Slider, SliderConfig, SwapOutcome,
+    };
     pub use slider_model::{Dictionary, Literal, NodeId, Term, TermTriple, Triple};
     pub use slider_parser::{NTriplesParser, TurtleParser};
     pub use slider_rules::{DependencyGraph, Fragment, Rule, Ruleset};

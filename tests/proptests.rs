@@ -112,6 +112,112 @@ proptest! {
     }
 }
 
+// ---------- shared-runtime properties --------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Multi-tenant closure equality: three sessions on ONE shared
+    /// runtime interleave adds, deferred retractions and flushes — with
+    /// the flusher's budget-sliced deadline flushes racing the explicit
+    /// ones — and each session must land exactly on the closure of its
+    /// own surviving explicit set. Session-fair scheduling, budget
+    /// slicing and the shared flusher must neither leak triples across
+    /// tenants nor lose retractions.
+    #[test]
+    fn shared_runtime_sessions_match_their_oracles(
+        soups in prop::collection::vec(random_triples(50), 3..4),
+        chunk in 1usize..8,
+    ) {
+        use std::time::Duration;
+        let runtime = Runtime::new(
+            RuntimeConfig::default()
+                .with_workers(2)
+                // Zero budget: deadline flushes defer maximally, so the
+                // sliced path is exercised on every case.
+                .with_maintenance_budget(Some(Duration::ZERO)),
+        );
+        let config = SliderConfig::default()
+            .with_maintenance_max_age(Some(Duration::from_millis(1)));
+        let sessions: Vec<Slider> = (0..soups.len())
+            .map(|_| {
+                runtime.session(
+                    Arc::new(Dictionary::new()),
+                    Ruleset::rho_df(),
+                    config.clone(),
+                )
+            })
+            .collect();
+
+        // Interleave the feeds round-robin across sessions.
+        let mut cursors: Vec<_> = soups.iter().map(|s| s.chunks(chunk)).collect();
+        loop {
+            let mut fed = false;
+            for (session, cursor) in sessions.iter().zip(cursors.iter_mut()) {
+                if let Some(c) = cursor.next() {
+                    session.add_triples(c);
+                    fed = true;
+                }
+            }
+            if !fed {
+                break;
+            }
+        }
+        for session in &sessions {
+            session.wait_idle();
+        }
+
+        // Defer every second distinct triple, interleaved across sessions,
+        // with explicit flushes racing the deadline-triggered sliced ones.
+        let doomed: Vec<Vec<Triple>> = soups
+            .iter()
+            .map(|soup| {
+                let mut seen = std::collections::HashSet::new();
+                soup.iter()
+                    .copied()
+                    .filter(|t| seen.insert(*t))
+                    .step_by(2)
+                    .collect()
+            })
+            .collect();
+        let mut cursors: Vec<_> = doomed.iter().map(|d| d.chunks(chunk)).collect();
+        let mut round = 0usize;
+        loop {
+            let mut fed = false;
+            for (i, (session, cursor)) in sessions.iter().zip(cursors.iter_mut()).enumerate() {
+                if let Some(c) = cursor.next() {
+                    session.remove_deferred(c);
+                    fed = true;
+                    if (round + i) % 3 == 0 {
+                        session.flush_maintenance();
+                    }
+                }
+            }
+            round += 1;
+            if !fed {
+                break;
+            }
+        }
+
+        for ((session, soup), doomed) in sessions.iter().zip(&soups).zip(&doomed) {
+            session.flush_maintenance();
+            session.wait_idle();
+            let survivors: Vec<Triple> = soup
+                .iter()
+                .copied()
+                .filter(|t| !doomed.contains(t))
+                .collect();
+            let expected = closure(Ruleset::rho_df(), &survivors).to_sorted_vec();
+            prop_assert_eq!(
+                session.store().to_sorted_vec(),
+                expected,
+                "a shared-runtime session diverged from its oracle"
+            );
+            prop_assert_eq!(session.stats().pending_removals, 0);
+        }
+    }
+}
+
 // ---------- store properties ----------------------------------------------
 
 proptest! {

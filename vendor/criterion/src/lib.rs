@@ -14,10 +14,37 @@
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export of [`std::hint::black_box`], matching `criterion::black_box`.
 pub use std::hint::black_box;
+
+/// One benchmark's collected timing summary (shim extension; the real
+/// criterion writes these to `target/criterion` instead).
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Full benchmark label, `group/function[/parameter]`.
+    pub label: String,
+    /// Fastest sample.
+    pub min: Duration,
+    /// Mean over all samples.
+    pub mean: Duration,
+    /// Slowest sample.
+    pub max: Duration,
+    /// Timed samples taken.
+    pub samples: usize,
+}
+
+static SUMMARIES: Mutex<Vec<Summary>> = Mutex::new(Vec::new());
+
+/// Drains the summaries of every benchmark run so far — a shim extension
+/// letting `harness = false` benches emit machine-readable trajectories
+/// (the workspace's `slider_bench::report` JSON) from a custom `main`
+/// after the criterion groups have run.
+pub fn take_summaries() -> Vec<Summary> {
+    std::mem::take(&mut SUMMARIES.lock().unwrap_or_else(|e| e.into_inner()))
+}
 
 /// Entry point for registering benchmarks, mirroring `criterion::Criterion`.
 #[derive(Debug)]
@@ -194,6 +221,16 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, mut f: F) {
         fmt_duration(mean),
         fmt_duration(max)
     );
+    SUMMARIES
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(Summary {
+            label: label.to_owned(),
+            min,
+            mean,
+            max,
+            samples: bencher.samples.len(),
+        });
 }
 
 fn fmt_duration(d: Duration) -> String {
@@ -248,6 +285,24 @@ mod tests {
         });
         group.finish();
         assert!(runs >= 2, "warm-up plus samples must run the closure");
+    }
+
+    #[test]
+    fn summaries_are_collected_and_drained() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("registry");
+        group.sample_size(3);
+        group.bench_function("probe", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+        let summaries = take_summaries();
+        let probe = summaries
+            .iter()
+            .find(|s| s.label == "registry/probe")
+            .expect("summary recorded");
+        assert_eq!(probe.samples, 3);
+        assert!(probe.min <= probe.mean && probe.mean <= probe.max);
+        // Drained: a second take returns nothing new for that label.
+        assert!(take_summaries().iter().all(|s| s.label != "registry/probe"));
     }
 
     #[test]

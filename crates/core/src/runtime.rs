@@ -294,6 +294,14 @@ pub(crate) struct RuntimeShared {
 }
 
 impl RuntimeShared {
+    /// Wakes the flusher out of its tick sleep. Producers call this (via
+    /// `Engine::unpark`) after making new work visible to a session the
+    /// flusher had parked as idle — with every session parked the flusher
+    /// sleeps indefinitely, and this is what ends that sleep.
+    pub(crate) fn nudge(&self) {
+        self.signal.nudge();
+    }
+
     /// Live engines in service order for this tick: registration order
     /// rotated by the governor cursor (which advances once per call).
     /// Dead weak entries are pruned in passing.
@@ -428,6 +436,12 @@ impl RuntimeCore {
         self.worker_count + usize::from(flusher)
     }
 
+    /// The state shared with the flusher thread — sessions hold a clone
+    /// so their producers can nudge the flusher awake after unparking.
+    pub(crate) fn shared(&self) -> &Arc<RuntimeShared> {
+        &self.shared
+    }
+
     fn ensure_flusher(&self) {
         let mut flusher = self.flusher.lock().unwrap_or_else(|e| e.into_inner());
         if flusher.is_none() {
@@ -518,7 +532,18 @@ fn worker_loop(queue: &JobQueue) {
 fn flusher_loop(shared: &RuntimeShared) {
     let mut seen_generation = 0u64;
     loop {
-        let engines = shared.live_rotated();
+        // Idle-lane parking: a session with every buffer empty and no
+        // pending maintenance releases its lane in this rotation — it is
+        // skipped and contributes no tick deadline until a producer makes
+        // new work visible and nudges the flusher (`Engine::try_park`
+        // documents the handshake that makes the skip race-free). With
+        // every session parked the tick below is `None` and the flusher
+        // sleeps until nudged, instead of spinning its shortest deadline.
+        let engines: Vec<Arc<Engine>> = shared
+            .live_rotated()
+            .into_iter()
+            .filter(|engine| !engine.try_park())
+            .collect();
         for engine in &engines {
             engine.drain_stale_buffers();
         }
@@ -778,6 +803,41 @@ mod tests {
         assert_eq!(clone.thread_count(), 1, "no flusher before any session");
         assert_eq!(clone.session_count(), 0);
         assert!(format!("{runtime:?}").contains("workers: 1"));
+    }
+
+    /// Idle-lane parking: a session with empty buffers and no pending
+    /// maintenance leaves the flusher's rotation; new input re-enters it
+    /// and timeout service still fires — nothing else can here, the
+    /// buffer is far below capacity and the test never flushes
+    /// explicitly, so a stuck-parked lane would fail the closure poll.
+    #[test]
+    fn idle_session_parks_and_new_work_unparks() {
+        use slider_model::{vocab::RDFS_SUB_CLASS_OF, NodeId};
+        use std::sync::atomic::Ordering;
+        let runtime = Runtime::new(RuntimeConfig::default().with_workers(1));
+        let slider = runtime.session_fragment(
+            Fragment::RhoDf,
+            SliderConfig::default()
+                .with_buffer_capacity(1_000_000) // only timeout service fires
+                .with_timeout(Some(Duration::from_millis(1))),
+        );
+        let engine = Arc::clone(slider.engine_for_tests());
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !engine.parked.load(Ordering::SeqCst) {
+            assert!(Instant::now() < deadline, "idle session never parked");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let sco = |a: u64, b: u64| Triple::new(NodeId(a), RDFS_SUB_CLASS_OF, NodeId(b));
+        slider.add_triples(&[sco(1, 2), sco(2, 3)]);
+        while !slider.store().contains(sco(1, 3)) {
+            assert!(Instant::now() < deadline, "parked lane missed new work");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        slider.wait_idle();
+        while !engine.parked.load(Ordering::SeqCst) {
+            assert!(Instant::now() < deadline, "session never re-parked");
+            std::thread::sleep(Duration::from_millis(1));
+        }
     }
 
     #[test]

@@ -8,7 +8,9 @@ use crate::buffer::Buffer;
 use crate::config::SliderConfig;
 use crate::inflight::Inflight;
 use crate::maintenance::{self, RemovalOutcome};
-use crate::runtime::{Job, JobQueue, Runtime, RuntimeConfig, RuntimeCore, SessionHandle};
+use crate::runtime::{
+    Job, JobQueue, Runtime, RuntimeConfig, RuntimeCore, RuntimeShared, SessionHandle,
+};
 use crate::scheduler::MaintenanceScheduler;
 use crate::stats::{bump, GlobalCounters, RuleCounters, RuleStats, StatsSnapshot};
 use crate::trace::{Event, EventKind, EventLog};
@@ -16,8 +18,9 @@ use crossbeam::channel::unbounded;
 use parking_lot::{Mutex, RwLock};
 use slider_model::{Dictionary, NodeId, TermTriple, Triple};
 use slider_rules::{DependencyGraph, Fragment, InputFilter, Rule, Ruleset};
-use slider_store::{ShardedStore, VerticalStore};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use slider_store::{subject_bucket, ShardedStore, VerticalStore};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 
@@ -151,21 +154,114 @@ pub(crate) struct Engine {
     /// Partitioned-flush switch (see
     /// `SliderConfig::maintenance_partitioning`).
     partitioning: bool,
+    /// Intra-partition subject sub-split factor (see
+    /// `SliderConfig::deletion_subsplit`); 1 disables the planner's
+    /// second level.
+    subsplit: usize,
+    /// Eager removals waiting to be combined: a caller enqueues its batch
+    /// here before blocking on the maintenance mutex, and whichever
+    /// caller acquires the mutex with an unserved slot drains the queue
+    /// and runs every waiting batch through one planned pass.
+    eager_queue: Mutex<Vec<Arc<EagerBatch>>>,
     /// Deferred retractions awaiting a coalesced DRed run (see
     /// [`Slider::remove_deferred`]).
     pub(crate) scheduler: MaintenanceScheduler,
+    /// Idle-lane parking flag: set by the runtime's flusher when this
+    /// session has nothing for it to service (every buffer empty, no
+    /// pending maintenance), cleared by the first producer that makes new
+    /// work visible. A parked session is skipped by the flusher's
+    /// rotation and contributes no tick deadline. See [`Engine::try_park`]
+    /// / [`Engine::unpark`] for the handshake.
+    pub(crate) parked: AtomicBool,
+    /// The runtime state shared with the flusher thread, so `unpark` can
+    /// nudge it awake (with every session parked it sleeps indefinitely).
+    flusher: Arc<RuntimeShared>,
     /// Configured buffer capacity — the baseline for modules built by a
     /// ruleset swap (rules added mid-life start from the same plan a
     /// fresh reasoner would give them).
     base_capacity: usize,
 }
 
-/// One bucket of a partitioned coalesced flush: the pending retractions
-/// that map to one maintenance partition, plus the predicates whose tables
-/// that partition's DRed pass may touch (split off as a store shard).
+/// Pending sets below this size never sub-split: a one-seed partition has
+/// nothing to parallelise by subject.
+const SUBSPLIT_MIN_PENDING: usize = 2;
+
+/// One first-level bucket of a partitioned maintenance plan: the pending
+/// retractions that map to one maintenance partition, plus the predicates
+/// whose tables that partition's DRed pass may touch (split off as a
+/// store shard).
 struct PendingGroup {
     preds: Vec<slider_model::NodeId>,
+    /// The group's retractions, labelled by source batch. A coalesced
+    /// flush is a single batch 0; an eager combining run keeps one batch
+    /// per caller so each caller gets its own [`RemovalOutcome`].
+    triples: Vec<(usize, Triple)>,
+    /// `Some(closure)` when the group passes the subject-locality gate
+    /// and sub-splits: the *affected predicate closure* whose tables are
+    /// carved into subject-hash buckets, each maintained by its own DRed
+    /// unit over a read-only overlay of the rest of the partition (the
+    /// planner's second level; see
+    /// [`DependencyGraph::subsplit_affected`]).
+    affected: Option<Vec<slider_model::NodeId>>,
+}
+
+/// One caller's batch in a combining eager-removal run: the leader that
+/// holds the maintenance mutex drains every queued batch, plans them
+/// together, and deposits each batch's outcome in its slot before
+/// releasing the mutex — so a blocked caller either finds its result
+/// ready or becomes the next leader.
+struct EagerBatch {
     triples: Vec<Triple>,
+    done: Mutex<Option<RemovalOutcome>>,
+}
+
+/// Shape of an executed maintenance run, for counters and trace events:
+/// how many first-level groups the plan had, how many units actually ran
+/// (a sub-split group contributes one unit per occupied subject bucket),
+/// and how many of those units were subject-bucket carves.
+#[derive(Clone, Copy)]
+struct RunShape {
+    partitions: usize,
+    units: usize,
+    subpartitions: usize,
+}
+
+impl RunShape {
+    /// The unplanned single DRed pass over the whole store.
+    fn single_pass() -> Self {
+        RunShape {
+            partitions: 1,
+            units: 1,
+            subpartitions: 0,
+        }
+    }
+}
+
+/// Runs one unit of deletion work: the batch-labelled `seeds` grouped by
+/// batch, one DRed pass per non-empty batch in batch order, each joining
+/// through `ctx` (the read-only rest of the unit's partition) when the
+/// unit is a subject-bucket carve. Returns one outcome per batch —
+/// empty batches stay zeroed, exactly what a serial run would report.
+fn run_unit(
+    store: &mut VerticalStore,
+    ctx: Option<&VerticalStore>,
+    rules: &[Arc<dyn Rule>],
+    graph: &DependencyGraph,
+    seeds: &[(usize, Triple)],
+    batches: usize,
+) -> Vec<RemovalOutcome> {
+    let mut outcomes = vec![RemovalOutcome::default(); batches];
+    let mut by_batch: Vec<Vec<Triple>> = vec![Vec::new(); batches];
+    for &(b, t) in seeds {
+        by_batch[b].push(t);
+    }
+    for (b, ts) in by_batch.iter().enumerate() {
+        if ts.is_empty() {
+            continue;
+        }
+        outcomes[b] = maintenance::dred(store, ctx, rules, graph, ts, false);
+    }
+    outcomes
 }
 
 impl Engine {
@@ -218,6 +314,7 @@ impl Engine {
     /// resolved `state` under an inflight token it still holds.
     fn dispatch(&self, state: &RulesetState, targets: &[usize], triples: &[Triple]) {
         let mut accepted: Vec<Triple> = Vec::new();
+        let mut buffered_any = false;
         for &i in targets {
             let module = &state.modules[i];
             accepted.clear();
@@ -230,6 +327,7 @@ impl Engine {
             if accepted.is_empty() {
                 continue;
             }
+            buffered_any = true;
             bump(&module.counters.buffered, accepted.len() as u64);
             let capacity = module.capacity.load(Ordering::Relaxed);
             self.fire_chunks(state, i, module.buffer.push_batch_with(&accepted, capacity));
@@ -242,6 +340,11 @@ impl Engine {
             if current < capacity {
                 self.fire_chunks(state, i, module.buffer.take_full_chunks(current));
             }
+        }
+        if buffered_any {
+            // New buffered work may need timeout service: leave the
+            // flusher's parked lane (no-op while unparked).
+            self.unpark();
         }
     }
 
@@ -430,29 +533,110 @@ impl Engine {
         }
     }
 
-    /// One serialised DRed run over `triples` (see
-    /// [`Slider::remove_triples`] for the linearisation contract).
+    /// One eager DRed run over `triples` (see [`Slider::remove_triples`]
+    /// for the linearisation contract), with **combining**: callers
+    /// blocked behind a running maintenance pass are drained together by
+    /// whichever caller acquires the mutex next, and their batches go
+    /// through the same two-level planner as a coalesced flush — eager
+    /// removals whose downward closures are provably disjoint (different
+    /// rule families, or different subject buckets of a subject-local
+    /// family) run as concurrent units under one quiescent section.
+    /// Batch boundaries are preserved: each caller's outcome counts
+    /// exactly its own triples, field for field as a serial run would.
     fn remove_eager(&self, triples: &[Triple]) -> RemovalOutcome {
+        // Fast path: an empty request retracts nothing by definition —
+        // return without touching the maintenance mutex or the store's
+        // gate (pinned by the `gate_write_acquisitions` stat).
+        if triples.is_empty() {
+            return RemovalOutcome::default();
+        }
+        let batch = Arc::new(EagerBatch {
+            triples: triples.to_vec(),
+            done: Mutex::new(None),
+        });
+        self.eager_queue.lock().push(Arc::clone(&batch));
         // One maintenance run at a time; concurrent removers queue here.
         // The maintenance mutex also excludes ruleset swaps, so the state
-        // resolved here stays current for the whole run.
-        let _serial = self.maintenance.lock();
+        // resolved below stays current for the whole run.
+        let serial = self.maintenance.lock();
+        if let Some(outcome) = batch.done.lock().take() {
+            // A combining leader already ran this batch while we were
+            // blocked; the mutex hand-off is the only synchronisation
+            // needed — the leader filled the slot before releasing it.
+            return outcome;
+        }
+        // Leader: drain every waiting batch (ours included) and run them
+        // through the planner under one quiescent section.
+        let batches: Vec<Arc<EagerBatch>> = std::mem::take(&mut *self.eager_queue.lock());
         let state = self.rstate();
         let rules: Vec<Arc<dyn Rule>> = state.modules.iter().map(|m| Arc::clone(&m.rule)).collect();
-        let (outcome, store_size) = self.with_quiescent_store(|store| {
-            maintenance::dred(store, &rules, &state.graph, triples, self.full_rederive)
-        });
-        self.bump_removal_counters(&outcome);
-        if let Some(log) = &self.log {
-            log.record(EventKind::Removal {
-                requested: outcome.requested,
-                retracted: outcome.retracted,
-                overdeleted: outcome.overdeleted,
-                rederived: outcome.rederived,
-                store_size,
+        let labelled: Vec<(usize, Triple)> = batches
+            .iter()
+            .enumerate()
+            .flat_map(|(b, eb)| eb.triples.iter().map(move |&t| (b, t)))
+            .collect();
+        let ((outcomes, shape), store_size) =
+            self.with_quiescent_store(|store| match self.plan_flush(&state, store, &labelled) {
+                Some(groups) => self.run_partitions(&state, store, &rules, groups, batches.len()),
+                None => {
+                    bump(&self.globals.coordinator_work, store.len() as u64);
+                    let outcomes = batches
+                        .iter()
+                        .map(|eb| {
+                            maintenance::dred(
+                                store,
+                                None,
+                                &rules,
+                                &state.graph,
+                                &eb.triples,
+                                self.full_rederive,
+                            )
+                        })
+                        .collect();
+                    (outcomes, RunShape::single_pass())
+                }
             });
+        if shape.units >= 2 {
+            bump(&self.globals.parallel_eager_runs, 1);
         }
-        outcome
+        if shape.subpartitions > 0 {
+            bump(&self.globals.subpartitioned_runs, 1);
+            if let Some(log) = &self.log {
+                let mut total = RemovalOutcome::default();
+                for o in &outcomes {
+                    total.merge(*o);
+                }
+                log.record(EventKind::SubpartitionedRemoval {
+                    pending: labelled.len(),
+                    partitions: shape.partitions,
+                    subpartitions: shape.subpartitions,
+                    retracted: total.retracted,
+                    overdeleted: total.overdeleted,
+                    rederived: total.rederived,
+                    store_size,
+                });
+            }
+        }
+        for (eb, outcome) in batches.iter().zip(&outcomes) {
+            self.bump_removal_counters(outcome);
+            if let Some(log) = &self.log {
+                log.record(EventKind::Removal {
+                    requested: outcome.requested,
+                    retracted: outcome.retracted,
+                    overdeleted: outcome.overdeleted,
+                    rederived: outcome.rederived,
+                    store_size,
+                });
+            }
+            *eb.done.lock() = Some(*outcome);
+        }
+        drop(serial);
+        let own = batch
+            .done
+            .lock()
+            .take()
+            .expect("the leader serves every batch it drained, its own included");
+        own
     }
 
     /// Drains the deferred-retraction queue and applies it: one DRed pass
@@ -476,6 +660,15 @@ impl Engine {
     /// the store (and the quiescence gate) between slices, bounding how
     /// long one tenant's maintenance can hold a shared runtime tick.
     fn flush_maintenance_slice(&self, limit: usize) -> (RemovalOutcome, usize) {
+        // Fast path: nothing pending means nothing to retract — return
+        // the zeroed outcome without taking the maintenance mutex or the
+        // store's gate in write mode (pinned by the
+        // `gate_write_acquisitions` stat). A retraction enqueued between
+        // this check and the caller observing the return was concurrent
+        // with the flush and may legitimately land after it.
+        if self.scheduler.pending() == 0 {
+            return (RemovalOutcome::default(), 0);
+        }
         // One maintenance run at a time, so two racing flushes (threshold
         // vs deadline vs explicit) cannot split one pending generation
         // across two runs.
@@ -485,8 +678,8 @@ impl Engine {
         }
         let state = self.rstate();
         let rules: Vec<Arc<dyn Rule>> = state.modules.iter().map(|m| Arc::clone(&m.rule)).collect();
-        let ((outcome, pending_len, partitions, remaining), store_size) = self
-            .with_quiescent_store(|store| {
+        let ((outcome, pending_len, shape, remaining), store_size) =
+            self.with_quiescent_store(|store| {
                 // Drain *under the maintenance gate (write mode), after the quiescence
                 // re-check*: this is the flush's linearisation point. Any
                 // assertion either completed earlier (its re-assertion
@@ -497,39 +690,65 @@ impl Engine {
                 let pending = self.scheduler.drain_up_to(limit);
                 let remaining = self.scheduler.pending();
                 if pending.is_empty() {
-                    return (RemovalOutcome::default(), 0, 0, remaining);
+                    return (
+                        RemovalOutcome::default(),
+                        0,
+                        RunShape::single_pass(),
+                        remaining,
+                    );
                 }
-                let (outcome, partitions) = match self.plan_flush(&state, store, &pending) {
+                // A coalesced flush is one source batch (label 0): the
+                // planner's batch labels only matter to eager combining.
+                let labelled: Vec<(usize, Triple)> = pending.iter().map(|&t| (0, t)).collect();
+                let (outcome, shape) = match self.plan_flush(&state, store, &labelled) {
                     Some(groups) => {
-                        let n = groups.len();
-                        (self.run_partitions(&state, store, &rules, groups), n)
+                        let (outcomes, shape) =
+                            self.run_partitions(&state, store, &rules, groups, 1);
+                        (outcomes[0], shape)
                     }
-                    None => (
-                        maintenance::dred(
-                            store,
-                            &rules,
-                            &state.graph,
-                            &pending,
-                            self.full_rederive,
-                        ),
-                        1,
-                    ),
+                    None => {
+                        bump(&self.globals.coordinator_work, store.len() as u64);
+                        (
+                            maintenance::dred(
+                                store,
+                                None,
+                                &rules,
+                                &state.graph,
+                                &pending,
+                                self.full_rederive,
+                            ),
+                            RunShape::single_pass(),
+                        )
+                    }
                 };
-                (outcome, pending.len(), partitions, remaining)
+                (outcome, pending.len(), shape, remaining)
             });
         if pending_len == 0 {
             return (outcome, remaining);
         }
         self.bump_removal_counters(&outcome);
         bump(&self.globals.coalesced_runs, 1);
-        if partitions > 1 {
+        if shape.partitions > 1 {
             bump(&self.globals.partitioned_runs, 1);
         }
+        if shape.subpartitions > 0 {
+            bump(&self.globals.subpartitioned_runs, 1);
+        }
         if let Some(log) = &self.log {
-            if partitions > 1 {
+            if shape.subpartitions > 0 {
+                log.record(EventKind::SubpartitionedRemoval {
+                    pending: pending_len,
+                    partitions: shape.partitions,
+                    subpartitions: shape.subpartitions,
+                    retracted: outcome.retracted,
+                    overdeleted: outcome.overdeleted,
+                    rederived: outcome.rederived,
+                    store_size,
+                });
+            } else if shape.partitions > 1 {
                 log.record(EventKind::PartitionedRemoval {
                     pending: pending_len,
-                    partitions,
+                    partitions: shape.partitions,
                     retracted: outcome.retracted,
                     overdeleted: outcome.overdeleted,
                     rederived: outcome.rederived,
@@ -616,6 +835,45 @@ impl Engine {
         self.inflight.dec();
     }
 
+    /// True when the runtime's flusher currently has something to service
+    /// here: a non-empty buffer (timeout drains) or a pending deferred
+    /// retraction (deadline flushes). Queued pool jobs don't count — the
+    /// workers consume those without flusher help, and any conclusions
+    /// they buffer re-arm the flag through [`Engine::unpark`].
+    fn needs_deadline_service(&self) -> bool {
+        self.scheduler.pending() > 0 || !self.buffers_empty(&self.rstate())
+    }
+
+    /// Flusher-side half of the idle-lane parking handshake (Dekker
+    /// style): publish the parked flag first, then re-check for work. A
+    /// producer that made work visible before the re-check is observed
+    /// here (the session stays in rotation); one that raced later
+    /// observes the flag and nudges ([`Engine::unpark`]) — under the
+    /// `SeqCst` pairing at least one side always sees the other, so
+    /// parked-with-work cannot happen. Returns `true` when the session
+    /// is (or stays) parked and the flusher should skip it this tick.
+    pub(crate) fn try_park(&self) -> bool {
+        if self.parked.load(Ordering::SeqCst) {
+            return true;
+        }
+        self.parked.store(true, Ordering::SeqCst);
+        if self.needs_deadline_service() {
+            self.parked.store(false, Ordering::SeqCst);
+            return false;
+        }
+        true
+    }
+
+    /// Producer-side half of the parking handshake: call **after** making
+    /// new flusher-serviced work visible (triples buffered, a retraction
+    /// enqueued). Re-enters the flusher's rotation and wakes it — a cheap
+    /// no-op (one relaxed-failure swap) while the session is unparked.
+    fn unpark(&self) {
+        if self.parked.swap(false, Ordering::SeqCst) {
+            self.flusher.nudge();
+        }
+    }
+
     /// The smallest deadline the runtime's flusher services for this
     /// session — buffer timeout or deferred-retraction max age — or
     /// `None` for a pure batch-mode session (no flusher attention needed).
@@ -627,17 +885,24 @@ impl Engine {
         }
     }
 
-    /// Buckets `pending` by maintenance partition
-    /// ([`DependencyGraph::component_of_predicate`]). Returns `None` when
-    /// the flush must stay single-pass: partitioning disabled,
-    /// conservative (`full_rederive`) mode, fewer than two buckets, a
-    /// bucket whose partition owns every predicate (universal rules), or
-    /// an involved rule without a backward matcher.
+    /// The two-level maintenance planner. **First level**: buckets
+    /// `pending` by maintenance partition
+    /// ([`DependencyGraph::component_of_predicate`]). **Second level**:
+    /// a bucket whose partition passes the subject-locality gate
+    /// ([`DependencyGraph::subsplit_affected`]) with
+    /// [`SliderConfig::deletion_subsplit`] ≥ 2 and seeds in at least two
+    /// subject-hash buckets gets `affected: Some(closure)` — its affected
+    /// tables will be carved by subject so each carve runs its own DRed
+    /// unit. Returns `None` when the flush must stay single-pass:
+    /// partitioning disabled, conservative (`full_rederive`) mode, fewer
+    /// than two buckets with nothing to sub-split, a bucket whose
+    /// partition owns every predicate (universal rules), or an involved
+    /// rule without a backward matcher.
     ///
     /// The returned groups are **size-ordered, largest footprint first**
     /// (a bucket's footprint is the store population of the predicates
-    /// its DRed pass owns): [`Engine::run_partitions`] runs the first
-    /// group on the coordinator thread while the rest execute on the
+    /// its DRed pass owns): [`Engine::run_partitions`] keeps the largest
+    /// unit on the coordinator thread while the rest execute on the
     /// pool, so the group most likely to dominate the flush's critical
     /// path never waits behind a busy worker queue. Ties break on
     /// component id, the inert bucket last, keeping the plan
@@ -646,28 +911,29 @@ impl Engine {
         &self,
         state: &RulesetState,
         store: &VerticalStore,
-        pending: &[Triple],
+        pending: &[(usize, Triple)],
     ) -> Option<Vec<PendingGroup>> {
         use slider_model::FxHashMap;
         if !self.partitioning || self.full_rederive {
             return None;
         }
         let mut pred_comp: FxHashMap<NodeId, Option<usize>> = FxHashMap::default();
-        let mut by_comp: FxHashMap<Option<usize>, Vec<Triple>> = FxHashMap::default();
-        for &t in pending {
+        let mut by_comp: FxHashMap<Option<usize>, Vec<(usize, Triple)>> = FxHashMap::default();
+        for &(b, t) in pending {
             let comp = *pred_comp
                 .entry(t.p)
                 .or_insert_with(|| state.graph.component_of_predicate(t.p));
-            by_comp.entry(comp).or_default().push(t);
+            by_comp.entry(comp).or_default().push((b, t));
         }
-        if by_comp.len() < 2 {
+        if by_comp.len() < 2 && self.subsplit < 2 {
             return None;
         }
-        let mut buckets: Vec<(Option<usize>, Vec<Triple>)> = by_comp.into_iter().collect();
+        let mut buckets: Vec<_> = by_comp.into_iter().collect();
         // Pre-sort for determinism before weighing (hash-map order is
         // arbitrary); the weight sort below is stable.
         buckets.sort_by_key(|(comp, _)| (comp.is_none(), comp.unwrap_or(0)));
         let mut groups = Vec::with_capacity(buckets.len());
+        let mut any_subsplit = false;
         for (comp, triples) in buckets {
             let preds = match comp {
                 Some(c) => {
@@ -679,53 +945,191 @@ impl Engine {
                     state.graph.component_predicates(c)?.to_vec()
                 }
                 None => {
-                    let mut preds: Vec<NodeId> = triples.iter().map(|t| t.p).collect();
+                    let mut preds: Vec<NodeId> = triples.iter().map(|&(_, t)| t.p).collect();
                     preds.sort_unstable();
                     preds.dedup();
                     preds
                 }
             };
+            // Second level: sub-split only when the affected closure is
+            // provably subject-local *and* the seeds actually spread over
+            // at least two subject-hash buckets (one bucket would just be
+            // the whole-partition pass with extra carving).
+            let affected = match comp {
+                Some(c) if self.subsplit > 1 && triples.len() >= SUBSPLIT_MIN_PENDING => {
+                    let mut seed_preds: Vec<NodeId> = triples.iter().map(|&(_, t)| t.p).collect();
+                    seed_preds.sort_unstable();
+                    seed_preds.dedup();
+                    state.graph.subsplit_affected(c, &seed_preds).filter(|_| {
+                        let spread: std::collections::BTreeSet<usize> = triples
+                            .iter()
+                            .map(|&(_, t)| subject_bucket(t.s, self.subsplit))
+                            .collect();
+                        spread.len() >= 2
+                    })
+                }
+                _ => None,
+            };
+            any_subsplit |= affected.is_some();
             let weight: usize = preds.iter().map(|&p| store.count_with_p(p)).sum();
-            groups.push((weight, PendingGroup { preds, triples }));
+            groups.push((
+                weight,
+                PendingGroup {
+                    preds,
+                    triples,
+                    affected,
+                },
+            ));
+        }
+        if groups.len() < 2 && !any_subsplit {
+            return None;
         }
         groups.sort_by_key(|&(weight, _)| std::cmp::Reverse(weight));
         Some(groups.into_iter().map(|(_, g)| g).collect())
     }
 
-    /// Executes one partitioned coalesced flush: every group after the
-    /// first has its footprint split off the store as a self-contained
-    /// shard (tables move wholesale, provenance flags included) and runs
-    /// its own DRed pass as a [`Job::Partition`] on the worker pool; the
-    /// calling thread runs the first — **largest-footprint** (see
-    /// [`Engine::plan_flush`]) — group directly on the main store (its
-    /// pass only touches its own partition's tables) and absorbs the
-    /// shards back as they complete. Sound because the groups' footprints
-    /// are disjoint by construction: no pass reads a triple another pass
-    /// writes. The caller holds the store's maintenance gate in write
-    /// mode and the maintenance mutex; the pool is quiescent, so
-    /// partition jobs are the only work.
+    /// Executes one planned maintenance run. The plan's groups become
+    /// **units** of deletion work:
+    ///
+    /// * A non-sub-split group is one unit. The largest such group (the
+    ///   plan's head, when it exists) runs directly on the main store —
+    ///   its pass only touches its own partition's tables; the rest have
+    ///   their footprints split off as self-contained shards (tables move
+    ///   wholesale, provenance flags included).
+    /// * A sub-split group (`affected: Some`) becomes one unit per
+    ///   occupied subject-hash bucket: its affected tables are carved by
+    ///   subject range, and each carve's DRed pass joins through a
+    ///   read-only [`Overlay`](slider_store::Overlay) of the partition's
+    ///   non-affected remainder (shared `Arc` context).
+    ///
+    /// The calling thread runs the heaviest unit itself (recorded in
+    /// [`StatsSnapshot::coordinator_work`](crate::StatsSnapshot::coordinator_work));
+    /// every other unit executes as a [`Job::Partition`] on the worker
+    /// pool, and the shards are absorbed back as they complete. Sound
+    /// because the units' *mutable* footprints are disjoint by
+    /// construction — no unit writes a triple another unit reads: the
+    /// first level is disjoint by maintenance partition, the second by
+    /// the planner's subject-locality gate. The caller holds the store's
+    /// maintenance gate in write mode and the maintenance mutex; the pool
+    /// is quiescent, so partition jobs are the only work.
+    ///
+    /// Seeds are labelled by source batch (`batches` of them): within a
+    /// unit, batches run as sequential DRed passes in batch order, so the
+    /// returned per-batch outcomes match a serial run field for field.
     fn run_partitions(
         &self,
         state: &RulesetState,
         store: &mut VerticalStore,
         rules: &[Arc<dyn Rule>],
         groups: Vec<PendingGroup>,
-    ) -> RemovalOutcome {
+        batches: usize,
+    ) -> (Vec<RemovalOutcome>, RunShape) {
+        struct Unit {
+            /// `None` = run on the main store (largest non-sub-split
+            /// group only).
+            carve: Option<VerticalStore>,
+            context: Option<Arc<VerticalStore>>,
+            seeds: Vec<(usize, Triple)>,
+            weight: usize,
+        }
+        let shape_partitions = groups.len();
+        let mut units: Vec<Unit> = Vec::new();
+        // Sub-split leftovers to restore after the run: each sub-split
+        // group's seedless affected residual and its shared context.
+        let mut residuals: Vec<VerticalStore> = Vec::new();
+        let mut contexts: Vec<Arc<VerticalStore>> = Vec::new();
+        let mut subpartitions = 0usize;
+        for (gi, group) in groups.into_iter().enumerate() {
+            match group.affected {
+                Some(affected) => {
+                    // Carve the family, then the affected closure out of
+                    // it; what remains of the family is the read-only
+                    // context every bucket joins through.
+                    let mut family = store.split_off(&group.preds);
+                    let mut affected_store = family.split_off(&affected);
+                    let ctx = Arc::new(family);
+                    let mut by_bucket: BTreeMap<usize, Vec<(usize, Triple)>> = BTreeMap::new();
+                    for &(b, t) in &group.triples {
+                        by_bucket
+                            .entry(subject_bucket(t.s, self.subsplit))
+                            .or_default()
+                            .push((b, t));
+                    }
+                    for (bk, seeds) in by_bucket {
+                        let carve = affected_store
+                            .split_off_subjects(|s| subject_bucket(s, self.subsplit) == bk);
+                        subpartitions += 1;
+                        units.push(Unit {
+                            weight: carve.len(),
+                            carve: Some(carve),
+                            context: Some(Arc::clone(&ctx)),
+                            seeds,
+                        });
+                    }
+                    residuals.push(affected_store);
+                    contexts.push(ctx);
+                }
+                None if gi == 0 => units.push(Unit {
+                    weight: group.preds.iter().map(|&p| store.count_with_p(p)).sum(),
+                    carve: None,
+                    context: None,
+                    seeds: group.triples,
+                }),
+                None => {
+                    let carve = store.split_off(&group.preds);
+                    units.push(Unit {
+                        weight: carve.len(),
+                        carve: Some(carve),
+                        context: None,
+                        seeds: group.triples,
+                    });
+                }
+            }
+        }
+        let shape = RunShape {
+            partitions: shape_partitions,
+            units: units.len(),
+            subpartitions,
+        };
+        // The coordinator takes the main-store unit when one exists (it
+        // cannot be dispatched — it *is* the store), otherwise the
+        // heaviest carve; everything else goes to the pool.
+        let coord = units
+            .iter()
+            .position(|u| u.carve.is_none())
+            .unwrap_or_else(|| {
+                let mut best = 0;
+                for (i, u) in units.iter().enumerate() {
+                    if u.weight > units[best].weight {
+                        best = i;
+                    }
+                }
+                best
+            });
+        let coordinator = units.swap_remove(coord);
         let (tx, rx) = unbounded();
-        let mut iter = groups.into_iter();
-        let first = iter.next().expect("plan_flush returns ≥ 2 groups");
         let mut expected = 0usize;
-        for group in iter {
-            let sub = store.split_off(&group.preds);
+        for unit in units {
+            let carve = unit
+                .carve
+                .expect("only the coordinator unit runs on the main store");
+            let ctx = unit.context;
+            let seeds = unit.seeds;
             let rules = rules.to_vec();
             let graph = Arc::clone(&state.graph);
             let tx = tx.clone();
             let task: Box<dyn FnOnce() + Send> = Box::new(move || {
-                let mut sub = sub;
-                let outcome = maintenance::dred(&mut sub, &rules, &graph, &group.triples, false);
+                let mut carve = carve;
+                let outcomes =
+                    run_unit(&mut carve, ctx.as_deref(), &rules, &graph, &seeds, batches);
+                // Drop the context handle *before* sending: the channel's
+                // release/acquire pairing then guarantees the coordinator
+                // (which receives every result before reclaiming the
+                // contexts) sees a sole-owner `Arc`.
+                drop(ctx);
                 // Receiver outliving the flush is guaranteed: the
                 // coordinator below collects exactly this many results.
-                let _ = tx.send((sub, outcome));
+                let _ = tx.send((carve, outcomes));
             });
             expected += 1;
             if let Err(job) = self.queue.push(self.session, Job::Partition(task)) {
@@ -745,15 +1149,48 @@ impl Engine {
         // surfaces as the `expect` below instead of a recv() that blocks
         // forever while holding the store exclusively.
         drop(tx);
-        let mut total = maintenance::dred(store, rules, &state.graph, &first.triples, false);
+        bump(&self.globals.coordinator_work, coordinator.weight as u64);
+        let Unit {
+            carve,
+            context,
+            seeds,
+            ..
+        } = coordinator;
+        let mut merged = match carve {
+            None => run_unit(store, None, rules, &state.graph, &seeds, batches),
+            Some(mut carve) => {
+                let outcomes = run_unit(
+                    &mut carve,
+                    context.as_deref(),
+                    rules,
+                    &state.graph,
+                    &seeds,
+                    batches,
+                );
+                store.absorb(carve);
+                outcomes
+            }
+        };
+        drop(context);
         for _ in 0..expected {
-            let (sub, outcome) = rx
+            let (carve, outcomes) = rx
                 .recv()
                 .expect("partition shard lost — a worker panicked mid-pass");
-            store.absorb(sub);
-            total.merge(outcome);
+            store.absorb(carve);
+            for (m, o) in merged.iter_mut().zip(&outcomes) {
+                m.merge(*o);
+            }
         }
-        total
+        // Restore what the sub-split carving displaced: seedless affected
+        // residuals and the shared contexts (sole-owned again now that
+        // every unit has reported — see the `drop(ctx)` ordering above).
+        for residual in residuals {
+            store.absorb(residual);
+        }
+        for ctx in contexts {
+            store.absorb(Arc::try_unwrap(ctx).unwrap_or_else(|arc| (*arc).clone()));
+        }
+        (merged, shape)
     }
 
     /// Replaces the ruleset on the live engine (see
@@ -959,10 +1396,14 @@ impl Slider {
             maintenance: Mutex::new(()),
             full_rederive: config.full_rederive,
             partitioning: config.maintenance_partitioning,
+            subsplit: config.deletion_subsplit.max(1),
+            eager_queue: Mutex::new(Vec::new()),
             scheduler: MaintenanceScheduler::new(
                 config.maintenance_batch,
                 config.maintenance_max_age,
             ),
+            parked: AtomicBool::new(false),
+            flusher: Arc::clone(core.shared()),
             base_capacity,
         });
         core.register(id, &engine);
@@ -975,6 +1416,12 @@ impl Slider {
     /// This session's handle into its runtime (id, co-tenant count).
     pub fn session_handle(&self) -> &SessionHandle {
         &self.session
+    }
+
+    /// White-box access to the engine for sibling modules' tests.
+    #[cfg(test)]
+    pub(crate) fn engine_for_tests(&self) -> &Arc<Engine> {
+        &self.engine
     }
 
     /// Creates a reasoner for a native fragment with a fresh dictionary.
@@ -1116,6 +1563,11 @@ impl Slider {
         let engine = &self.engine;
         let (fresh, threshold_hit) = engine.scheduler.enqueue(triples);
         bump(&engine.globals.deferred, fresh as u64);
+        if fresh > 0 {
+            // A pending retraction needs the flusher's deadline service:
+            // leave the parked lane (no-op while unparked).
+            engine.unpark();
+        }
         if threshold_hit {
             engine.flush_maintenance();
         }
@@ -1340,6 +1792,9 @@ impl Slider {
             pending_removals: engine.scheduler.pending(),
             coalesced_runs: engine.globals.coalesced_runs.load(Ordering::Relaxed),
             partitioned_runs: engine.globals.partitioned_runs.load(Ordering::Relaxed),
+            subpartitioned_runs: engine.globals.subpartitioned_runs.load(Ordering::Relaxed),
+            parallel_eager_runs: engine.globals.parallel_eager_runs.load(Ordering::Relaxed),
+            coordinator_work: engine.globals.coordinator_work.load(Ordering::Relaxed),
             oldest_pending_age: engine.scheduler.oldest_age(),
             gate_write_acquisitions: engine.store.gate_write_acquisitions(),
             shard_write_conflicts: engine.store.shard_write_conflicts(),
@@ -1929,7 +2384,7 @@ mod tests {
             // so the assertion cannot pass by accident of component ids.
             slider.materialize(&links(small, 3));
             slider.materialize(&links(big, 14));
-            let pending = vec![links(small, 3)[0], links(big, 14)[0]];
+            let pending = vec![(0, links(small, 3)[0]), (0, links(big, 14)[0])];
             let engine = &slider.engine;
             let state = engine.rstate();
             let store = engine.store.exclusive();

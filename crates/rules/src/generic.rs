@@ -162,6 +162,17 @@ impl Rule for Subsumption {
                     .any(|c| store.contains(Triple::new(t.s, self.is, c))),
         )
     }
+
+    /// `is` is subject-local: an `is`-delta's join reads only the `sub`
+    /// partition (`objects_with(sub, t.o)`) and emits at the delta's own
+    /// subject, and `derives((x IS d))` reads the `is` partition only at
+    /// subject `x`. `sub` is *not* local — a `sub`-edge delta fans out to
+    /// every member of the class (`subjects_with(is, ..)`), crossing
+    /// subjects — so a deletion whose affected closure reaches `sub`
+    /// correctly disables sub-splitting.
+    fn subject_local_inputs(&self) -> Vec<NodeId> {
+        vec![self.is]
+    }
 }
 
 #[cfg(test)]

@@ -32,7 +32,8 @@ use slider_baseline::RecomputeOracle;
 use slider_bench::report::{BenchReport, Cell};
 use slider_bench::{family, parse_bench_args};
 use slider_core::{Slider, SliderConfig};
-use slider_model::{Dictionary, NodeId, Triple};
+use slider_model::{DictConfig, Dictionary, NodeId, Term, TermTriple, Triple};
+use slider_rules::Ruleset;
 use slider_store::TriplePattern;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -253,6 +254,95 @@ fn run_read_cell(
     (elapsed, queries.load(Ordering::Relaxed), store)
 }
 
+/// Per-thread vocabulary lists for the dictionary-contention cell:
+/// `overlap` makes every thread intern the *same* terms (pure index
+/// contention — every insert races); disjoint lists only collide on
+/// shard hash.
+fn dict_vocab(threads: usize, per_thread: usize, overlap: bool) -> Vec<Vec<Term>> {
+    (0..threads)
+        .map(|t| {
+            let tag = if overlap { 0 } else { t };
+            (0..per_thread)
+                .map(|i| Term::iri(format!("http://bench/dict/{tag}/term-{i}")))
+                .collect()
+        })
+        .collect()
+}
+
+/// One timed dictionary-interning cell: one thread per vocabulary list,
+/// all interning into a dictionary with `shards` term→id index shards
+/// (`1` = the global-lock baseline). Returns the elapsed time and the
+/// dictionary for verification.
+fn run_dict_cell(lists: &[Vec<Term>], shards: usize) -> (Duration, Dictionary) {
+    let dict = Dictionary::with_config(DictConfig { shards });
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for list in lists {
+            let dict = &dict;
+            scope.spawn(move || {
+                for term in list {
+                    std::hint::black_box(dict.intern(term));
+                }
+            });
+        }
+    });
+    (start.elapsed(), dict)
+}
+
+/// Smoke check for the dictionary-contention cells: whatever the shard
+/// count, interning the same vocabulary must yield the same **dense** id
+/// set (one id per distinct term, no holes above the vocabulary), every
+/// term must round-trip through id→term lookup, and a closure computed
+/// over triples encoded by each dictionary must decode identically — the
+/// sharded index changes contention, never term assignments.
+fn verify_dict_agreement(lists: &[Vec<Term>], global: &Dictionary, sharded: &Dictionary) {
+    let mut distinct: Vec<&Term> = lists.iter().flatten().collect();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let base = slider_model::vocab::VOCAB_LEN as u64;
+    for dict in [global, sharded] {
+        assert_eq!(dict.len(), slider_model::vocab::VOCAB_LEN + distinct.len());
+        let mut ids: Vec<u64> = distinct
+            .iter()
+            .map(|t| dict.id_of(t).expect("term interned").0)
+            .collect();
+        ids.sort_unstable();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(id, base + i as u64, "interned ids are not dense");
+        }
+        for &t in &distinct {
+            let id = dict.id_of(t).expect("term interned");
+            assert_eq!(dict.lookup(id).as_ref(), Some(t), "id→term round-trip");
+        }
+    }
+    // Same closure through either dictionary: a subClassOf chain over the
+    // first distinct terms, encoded per-dictionary (so the raw NodeIds
+    // may differ), closed by the oracle, decoded back to terms.
+    let sco = Term::iri("http://www.w3.org/2000/01/rdf-schema#subClassOf");
+    let chain: Vec<TermTriple> = distinct
+        .windows(2)
+        .take(40)
+        .map(|w| (w[0].clone(), sco.clone(), w[1].clone()))
+        .collect();
+    let closure_terms = |dict: &Dictionary| -> Vec<TermTriple> {
+        let encoded: Vec<Triple> = chain.iter().map(|t| dict.encode_triple(t)).collect();
+        let mut oracle = RecomputeOracle::new(Ruleset::rho_df());
+        oracle.add(&encoded);
+        let mut decoded: Vec<TermTriple> = oracle
+            .to_sorted_vec()
+            .into_iter()
+            .map(|t| dict.decode_triple(t).expect("closure ids decode"))
+            .collect();
+        decoded.sort();
+        decoded
+    };
+    assert_eq!(
+        closure_terms(global),
+        closure_terms(sharded),
+        "oracle closure diverged across dictionary shard counts"
+    );
+}
+
 fn main() {
     let (smoke, json_path) = parse_bench_args("ingest [--smoke] [--json <path>]");
     let p = if smoke { SMOKE } else { FULL };
@@ -444,6 +534,130 @@ fn main() {
             "  {workers} worker(s): sharded is {:.2}x the global-lock baseline",
             elapsed[0].as_secs_f64() / elapsed[1].as_secs_f64().max(1e-9)
         );
+    }
+
+    // --- phase 4: dictionary interning contention ----------------------
+    let dict_threads = *p.workers.last().unwrap();
+    let per_thread = if smoke { 2_000 } else { 50_000 };
+    println!(
+        "dict interning ({dict_threads} thread(s) × {per_thread} terms, \
+         global vs sharded term→id index):"
+    );
+    for (mode, overlap) in [("disjoint", false), ("overlapping", true)] {
+        let lists = dict_vocab(dict_threads, per_thread, overlap);
+        let total: usize = lists.iter().map(Vec::len).sum();
+        let mut elapsed = [Duration::ZERO; SHARD_POINTS.len()];
+        let mut dicts: Vec<Dictionary> = Vec::new();
+        for (cell, &(label, shards)) in SHARD_POINTS.iter().enumerate() {
+            let (mut took, mut dict) = run_dict_cell(&lists, shards);
+            for _ in 1..runs {
+                let (t, d) = run_dict_cell(&lists, shards);
+                if t < took {
+                    (took, dict) = (t, d);
+                }
+            }
+            elapsed[cell] = took;
+            let stats = dict.stats();
+            println!(
+                "  {mode:>11}, {label:>7}: {:>9.2} ms, {:>10.0} terms/s \
+                 ({} shard conflicts)",
+                took.as_secs_f64() * 1e3,
+                total as f64 / took.as_secs_f64().max(1e-9),
+                stats.shard_conflicts,
+            );
+            report.push(
+                Cell::new(format!("dict-intern/{mode}/{label}"))
+                    .param("phase", "dict-intern")
+                    .param("vocabularies", mode)
+                    .param("dict_shards", shards)
+                    .param("threads", dict_threads)
+                    .metric("elapsed_ms", took.as_secs_f64() * 1e3)
+                    .metric("terms_per_sec", total as f64 / took.as_secs_f64().max(1e-9))
+                    .metric("shard_conflicts", stats.shard_conflicts as f64),
+            );
+            dicts.push(dict);
+        }
+        println!(
+            "  {mode:>11}: sharded is {:.2}x the global-index baseline",
+            elapsed[0].as_secs_f64() / elapsed[1].as_secs_f64().max(1e-9)
+        );
+        if p.verify {
+            verify_dict_agreement(&lists, &dicts[0], &dicts[1]);
+            println!("    ✓ global and sharded agree: dense ids, round-trips, same closure");
+        }
+    }
+
+    // --- phase 5: dictionary footprint & post-retraction compaction ----
+    {
+        let members = if smoke { 2_000 } else { 50_000 };
+        println!("dict footprint (load {members} members, retract the burst, auto-sweep):");
+        let dict = Arc::new(Dictionary::new());
+        let slider = Slider::new(Arc::clone(&dict), Ruleset::rho_df(), SliderConfig::batch());
+        let sco = Term::iri("http://www.w3.org/2000/01/rdf-schema#subClassOf");
+        let ty = Term::iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+        let class = |d: usize| Term::iri(format!("http://bench/class-{d}"));
+        let schema: Vec<TermTriple> = (0..10)
+            .map(|d| (class(d), sco.clone(), class(d + 1)))
+            .collect();
+        let burst: Vec<TermTriple> = (0..members)
+            .map(|i| {
+                (
+                    Term::iri(format!("http://bench/member-{i}")),
+                    ty.clone(),
+                    class(0),
+                )
+            })
+            .collect();
+        slider.add_terms(&schema);
+        slider.add_terms_owned(burst.clone());
+        slider.wait_idle();
+        let loaded = dict.stats();
+        let start = Instant::now();
+        let removed = slider.remove_terms(&burst);
+        let took = start.elapsed();
+        assert_eq!(removed, members, "the whole burst was explicit");
+        let after = dict.stats();
+        let reclaim = 1.0 - after.bytes_estimate as f64 / loaded.bytes_estimate.max(1) as f64;
+        println!(
+            "  loaded: {:>6} terms, {:>9} bytes",
+            loaded.terms, loaded.bytes_estimate
+        );
+        println!(
+            "  swept:  {:>6} terms, {:>9} bytes after {} sweep(s) — \
+             {:.1}% reclaimed ({:.2} ms retract+sweep)",
+            after.terms,
+            after.bytes_estimate,
+            after.sweeps,
+            reclaim * 100.0,
+            took.as_secs_f64() * 1e3,
+        );
+        report.push(
+            Cell::new("dict-footprint/retraction-burst")
+                .param("phase", "dict-footprint")
+                .param("members", members)
+                .metric("bytes_after_load", loaded.bytes_estimate as f64)
+                .metric("bytes_after_sweep", after.bytes_estimate as f64)
+                .metric("reclaim_ratio", reclaim)
+                .metric("sweeps", after.sweeps as f64)
+                .metric("tombstones", after.tombstones as f64)
+                .metric("retract_sweep_ms", took.as_secs_f64() * 1e3),
+        );
+        if p.verify {
+            assert!(after.sweeps >= 1, "the retraction burst should auto-sweep");
+            assert!(
+                reclaim >= 0.30,
+                "sweep reclaimed only {:.1}% of dict bytes",
+                reclaim * 100.0
+            );
+            // Every id still reachable from the store survived the sweep.
+            for t in &schema {
+                for term in [&t.0, &t.1, &t.2] {
+                    let id = dict.id_of(term).expect("schema term survived the sweep");
+                    assert_eq!(dict.lookup(id).as_ref(), Some(term));
+                }
+            }
+            println!("    ✓ sweep reclaimed ≥ 30% of dict bytes; store-referenced ids intact");
+        }
     }
 
     if let Some(path) = json_path {

@@ -93,6 +93,19 @@ pub struct SliderConfig {
     /// lock (the `ingest` benchmark's baseline). Default:
     /// [`DEFAULT_SHARDS`](slider_store::DEFAULT_SHARDS).
     pub store_shards: usize,
+    /// Dictionary sweep trigger ratio: after a coalesced DRed flush or an
+    /// eager removal, the engine sweeps the term dictionary
+    /// ([`Dictionary::sweep`](slider_model::Dictionary::sweep)) once the
+    /// number of node ids retired since the last sweep exceeds this
+    /// fraction of the dictionary's live-term count (and an absolute floor
+    /// of 1024 retirements, so small workloads never pay for a sweep).
+    /// The sweep runs under the store's exclusive gate, tombstones
+    /// unreferenced non-vocabulary terms and recycles their ids through a
+    /// free-list; ids of live terms never move. `f64::INFINITY` disables
+    /// automatic sweeping (explicit
+    /// [`Slider::sweep_dictionary`](crate::Slider::sweep_dictionary) still
+    /// works). Default: 0.5.
+    pub dict_sweep_ratio: f64,
 }
 
 impl Default for SliderConfig {
@@ -110,6 +123,7 @@ impl Default for SliderConfig {
             maintenance_partitioning: true,
             deletion_subsplit: 1,
             store_shards: slider_store::DEFAULT_SHARDS,
+            dict_sweep_ratio: 0.5,
         }
     }
 }
@@ -203,6 +217,13 @@ impl SliderConfig {
         self.store_shards = shards.max(1);
         self
     }
+
+    /// Builder-style dictionary sweep ratio (clamped to be non-negative;
+    /// `f64::INFINITY` disables automatic sweeping).
+    pub fn with_dict_sweep_ratio(mut self, ratio: f64) -> Self {
+        self.dict_sweep_ratio = if ratio.is_nan() { 0.5 } else { ratio.max(0.0) };
+        self
+    }
 }
 
 #[cfg(test)]
@@ -224,6 +245,22 @@ mod tests {
         assert!(c.maintenance_partitioning);
         assert_eq!(c.deletion_subsplit, 1);
         assert_eq!(c.store_shards, slider_store::DEFAULT_SHARDS);
+        assert_eq!(c.dict_sweep_ratio, 0.5);
+    }
+
+    #[test]
+    fn dict_sweep_ratio_builder_clamps() {
+        let c = SliderConfig::default();
+        assert_eq!(c.clone().with_dict_sweep_ratio(-1.0).dict_sweep_ratio, 0.0);
+        assert_eq!(c.clone().with_dict_sweep_ratio(2.0).dict_sweep_ratio, 2.0);
+        assert_eq!(
+            c.clone().with_dict_sweep_ratio(f64::NAN).dict_sweep_ratio,
+            0.5
+        );
+        assert!(c
+            .with_dict_sweep_ratio(f64::INFINITY)
+            .dict_sweep_ratio
+            .is_infinite());
     }
 
     #[test]

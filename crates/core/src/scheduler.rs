@@ -161,6 +161,16 @@ impl MaintenanceScheduler {
         self.count.load(Ordering::Relaxed)
     }
 
+    /// Visits every pending retraction without draining. The dictionary
+    /// sweep uses this to root its liveness scan: a pending triple's ids
+    /// must survive the sweep even when the triple has already left the
+    /// store, or a recycled id would alias the retraction at flush time.
+    pub(crate) fn for_each_pending(&self, mut f: impl FnMut(Triple)) {
+        for (t, _) in self.inner.lock().queue.iter() {
+            f(*t);
+        }
+    }
+
     /// Age of the oldest pending retraction — the staleness bound: every
     /// pending retraction has been invisible to queries for at most this
     /// long. `None` when nothing is pending.

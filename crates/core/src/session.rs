@@ -16,7 +16,7 @@ use crate::stats::{bump, GlobalCounters, RuleCounters, RuleStats, StatsSnapshot}
 use crate::trace::{Event, EventKind, EventLog};
 use crossbeam::channel::unbounded;
 use parking_lot::{Mutex, RwLock};
-use slider_model::{Dictionary, NodeId, TermTriple, Triple};
+use slider_model::{Dictionary, FxHashSet, NodeId, SweepOutcome, TermTriple, Triple};
 use slider_rules::{DependencyGraph, Fragment, InputFilter, Rule, Ruleset};
 use slider_store::{subject_bucket, ShardedStore, VerticalStore};
 use std::collections::BTreeMap;
@@ -180,7 +180,19 @@ pub(crate) struct Engine {
     /// ruleset swap (rules added mid-life start from the same plan a
     /// fresh reasoner would give them).
     base_capacity: usize,
+    /// Dictionary sweep trigger ratio (see
+    /// `SliderConfig::dict_sweep_ratio`); `f64::INFINITY` disables the
+    /// automatic post-retraction sweep.
+    dict_sweep_ratio: f64,
+    /// Triples retired (retracted + overdeleted) by maintenance runs
+    /// since the last dictionary sweep — the sweep trigger's numerator.
+    retired_since_sweep: AtomicUsize,
 }
+
+/// Absolute floor for the automatic dictionary sweep: below this many
+/// retirements since the last sweep, a sweep cannot reclaim enough to pay
+/// for its liveness scan, whatever the ratio says.
+const DICT_SWEEP_MIN_RETIRED: usize = 1024;
 
 /// Pending sets below this size never sub-split: a one-seed partition has
 /// nothing to parallelise by subject.
@@ -533,6 +545,69 @@ impl Engine {
         }
     }
 
+    /// Post-retraction dictionary compaction hook. Called inside a
+    /// quiescent-store section (maintenance mutex held, store gate in
+    /// write mode) after a DRed run that retired `retired_now` triples
+    /// (retracted + overdeleted). Accumulates the retirement count and
+    /// sweeps once it clears both the absolute floor
+    /// ([`DICT_SWEEP_MIN_RETIRED`]) and the configured fraction of the
+    /// dictionary's live-term count — large retraction bursts trigger a
+    /// sweep, steady trickles never do.
+    fn maybe_sweep_dict(&self, store: &VerticalStore, retired_now: usize) {
+        if retired_now == 0 {
+            return;
+        }
+        let retired = self
+            .retired_since_sweep
+            .fetch_add(retired_now, Ordering::Relaxed)
+            + retired_now;
+        if retired < DICT_SWEEP_MIN_RETIRED {
+            return;
+        }
+        // An infinite ratio (auto-sweep disabled) makes this comparison
+        // false for any finite retirement count.
+        if (retired as f64) < self.dict_sweep_ratio * self.dict.len() as f64 {
+            return;
+        }
+        self.retired_since_sweep.store(0, Ordering::Relaxed);
+        self.sweep_dict_now(store);
+    }
+
+    /// Sweeps the dictionary against this session's quiescent store: every
+    /// s/p/o node id the store or the pending-retraction queue references
+    /// is the live root set, everything
+    /// else (vocabulary excluded) is tombstoned and its id recycled. The
+    /// caller holds the store exclusively, so no intern→insert window can
+    /// race the liveness scan — `add_terms` keeps an inflight token across
+    /// encoding, which the quiescence check waits out.
+    fn sweep_dict_now(&self, store: &VerticalStore) -> SweepOutcome {
+        let mut live: FxHashSet<NodeId> = FxHashSet::default();
+        for t in store.iter() {
+            live.insert(t.s);
+            live.insert(t.p);
+            live.insert(t.o);
+        }
+        // Pending deferred retractions are roots too: their triples may
+        // already be gone from the store, but recycling their ids would
+        // let a later intern alias the queued retraction at flush time.
+        self.scheduler.for_each_pending(|t| {
+            live.insert(t.s);
+            live.insert(t.p);
+            live.insert(t.o);
+        });
+        let outcome = self.dict.sweep(|id| live.contains(&id));
+        if let Some(log) = &self.log {
+            log.record(EventKind::DictSweep {
+                scanned: outcome.scanned,
+                swept: outcome.swept,
+                live: outcome.live,
+                bytes_before: outcome.bytes_before,
+                bytes_after: outcome.bytes_after,
+            });
+        }
+        outcome
+    }
+
     /// One eager DRed run over `triples` (see [`Slider::remove_triples`]
     /// for the linearisation contract), with **combining**: callers
     /// blocked behind a running maintenance pass are drained together by
@@ -575,8 +650,10 @@ impl Engine {
             .enumerate()
             .flat_map(|(b, eb)| eb.triples.iter().map(move |&t| (b, t)))
             .collect();
-        let ((outcomes, shape), store_size) =
-            self.with_quiescent_store(|store| match self.plan_flush(&state, store, &labelled) {
+        let ((outcomes, shape), store_size) = self.with_quiescent_store(|store| {
+            let (outcomes, shape): (Vec<RemovalOutcome>, RunShape) = match self
+                .plan_flush(&state, store, &labelled)
+            {
                 Some(groups) => self.run_partitions(&state, store, &rules, groups, batches.len()),
                 None => {
                     bump(&self.globals.coordinator_work, store.len() as u64);
@@ -595,7 +672,11 @@ impl Engine {
                         .collect();
                     (outcomes, RunShape::single_pass())
                 }
-            });
+            };
+            let retired: usize = outcomes.iter().map(|o| o.retracted + o.overdeleted).sum();
+            self.maybe_sweep_dict(store, retired);
+            (outcomes, shape)
+        });
         if shape.units >= 2 {
             bump(&self.globals.parallel_eager_runs, 1);
         }
@@ -721,6 +802,7 @@ impl Engine {
                         )
                     }
                 };
+                self.maybe_sweep_dict(store, outcome.retracted + outcome.overdeleted);
                 (outcome, pending.len(), shape, remaining)
             });
         if pending_len == 0 {
@@ -1405,6 +1487,8 @@ impl Slider {
             parked: AtomicBool::new(false),
             flusher: Arc::clone(core.shared()),
             base_capacity,
+            dict_sweep_ratio: config.dict_sweep_ratio,
+            retired_since_sweep: AtomicUsize::new(0),
         });
         core.register(id, &engine);
         Slider {
@@ -1483,12 +1567,38 @@ impl Slider {
     }
 
     /// Encodes and feeds decoded triples (the full input-manager path).
+    ///
+    /// The inflight token taken here covers the **intern → insert**
+    /// window: a post-retraction dictionary sweep scans liveness only at
+    /// verified quiescence, so a term interned by this call can never be
+    /// tombstoned before its triple lands in the store.
     pub fn add_terms(&self, triples: &[TermTriple]) -> usize {
+        let engine = &self.engine;
+        engine.inflight.inc();
         let encoded: Vec<Triple> = triples
             .iter()
-            .map(|t| self.engine.dict.encode_triple(t))
+            .map(|t| engine.dict.encode_triple(t))
             .collect();
-        self.add_triples(&encoded)
+        let fresh = self.add_triples(&encoded);
+        engine.inflight.dec();
+        fresh
+    }
+
+    /// [`Slider::add_terms`] over owned triples: encoding moves each
+    /// first-seen term into the dictionary instead of cloning it — the
+    /// zero-copy loading path (see
+    /// [`Dictionary::encode_triple_owned`]). Same sweep-safety token as
+    /// [`Slider::add_terms`].
+    pub fn add_terms_owned(&self, triples: Vec<TermTriple>) -> usize {
+        let engine = &self.engine;
+        engine.inflight.inc();
+        let encoded: Vec<Triple> = triples
+            .into_iter()
+            .map(|t| engine.dict.encode_triple_owned(t))
+            .collect();
+        let fresh = self.add_triples(&encoded);
+        engine.inflight.dec();
+        fresh
     }
 
     /// Retracts encoded triples and runs DRed truth maintenance (see the
@@ -1753,6 +1863,30 @@ impl Slider {
         self.engine.swap_ruleset(ruleset)
     }
 
+    /// Compacts the term dictionary now: tombstones every non-vocabulary
+    /// term **this session's store** no longer references and recycles
+    /// the freed ids through the interner's free-list. Ids of live terms
+    /// never move — an id held by a caller stays valid as long as its
+    /// triple is in the store. Runs under the maintenance mutex and the
+    /// store's exclusive gate, like a DRed pass; the automatic equivalent
+    /// fires after large retraction flushes (see
+    /// [`SliderConfig::dict_sweep_ratio`](crate::SliderConfig::dict_sweep_ratio)).
+    ///
+    /// **Shared-dictionary caveat**: the live root set is this session's
+    /// store (plus the built-in vocabulary, which is never swept). A
+    /// dictionary shared with other sessions, or holding ids referenced
+    /// only outside the store (custom rules with non-vocabulary constant
+    /// ids, ids cached by the application), must disable automatic
+    /// sweeping (`with_dict_sweep_ratio(f64::INFINITY)`) and only call
+    /// this when every such external id is also present in the store.
+    pub fn sweep_dictionary(&self) -> SweepOutcome {
+        let engine = &self.engine;
+        let _serial = engine.maintenance.lock();
+        engine.retired_since_sweep.store(0, Ordering::Relaxed);
+        let (outcome, _) = engine.with_quiescent_store(|store| engine.sweep_dict_now(store));
+        outcome
+    }
+
     /// Total triples inferred so far (fresh rule conclusions).
     pub fn inferred_count(&self) -> u64 {
         self.stats().total_inferred()
@@ -1777,6 +1911,7 @@ impl Slider {
             })
             .collect();
         let store = engine.store.stats();
+        let dict_stats = engine.dict.stats();
         StatsSnapshot {
             rules,
             input_received: engine.globals.input_received.load(Ordering::Relaxed),
@@ -1802,6 +1937,11 @@ impl Slider {
             ruleset_swaps: engine.globals.ruleset_swaps.load(Ordering::Relaxed),
             budget_deferrals: engine.globals.budget_deferrals.load(Ordering::Relaxed),
             runtime_sessions: self.session.session_count(),
+            dict_terms: dict_stats.terms,
+            dict_tombstones: dict_stats.tombstones,
+            dict_bytes_estimate: dict_stats.bytes_estimate,
+            dict_shard_conflicts: dict_stats.shard_conflicts,
+            dict_sweeps: dict_stats.sweeps,
         }
     }
 
@@ -2597,5 +2737,83 @@ mod tests {
         );
         let stats = slider.stats();
         assert!(stats.rules[rule].full_flushes >= 1);
+    }
+
+    #[test]
+    fn large_retraction_burst_triggers_an_automatic_dict_sweep() {
+        use slider_model::Term;
+        let dict = Arc::new(Dictionary::new());
+        let slider = Slider::new(
+            Arc::clone(&dict),
+            Ruleset::custom("empty"),
+            SliderConfig::batch().with_trace(true),
+        );
+        let keep = (
+            Term::iri("http://e/keep"),
+            Term::iri("http://e/p"),
+            Term::iri("http://e/kept-object"),
+        );
+        slider.add_terms(std::slice::from_ref(&keep));
+        // One shared object keeps the term count close to the burst size,
+        // so the default ratio (retired ≥ 0.5 × live terms) is what this
+        // test actually exercises — not a rigged knob.
+        let burst: Vec<TermTriple> = (0..1500)
+            .map(|i| {
+                (
+                    Term::iri(format!("http://e/s{i}")),
+                    Term::iri("http://e/p"),
+                    Term::iri("http://e/shared-object"),
+                )
+            })
+            .collect();
+        slider.add_terms_owned(burst.clone());
+        slider.wait_idle();
+        let keep_id = dict.id_of(&keep.0).expect("kept term interned");
+        let bytes_before = dict.stats().bytes_estimate;
+        assert_eq!(slider.remove_terms(&burst), 1500);
+        let stats = slider.stats();
+        assert!(stats.dict_sweeps >= 1, "burst should have auto-swept");
+        assert!(stats.dict_tombstones > 0);
+        assert!(stats.dict_bytes_estimate < bytes_before);
+        // Ids of live terms never move across a sweep.
+        assert_eq!(dict.id_of(&keep.0), Some(keep_id));
+        assert_eq!(dict.lookup(keep_id).as_ref(), Some(&keep.0));
+        assert!(
+            slider
+                .events()
+                .expect("tracing enabled")
+                .iter()
+                .any(|e| matches!(e.kind, EventKind::DictSweep { .. })),
+            "the sweep must leave a trace event"
+        );
+    }
+
+    #[test]
+    fn explicit_dictionary_sweep_reclaims_and_reports() {
+        use slider_model::Term;
+        let dict = Arc::new(Dictionary::new());
+        let slider = Slider::new(
+            Arc::clone(&dict),
+            Ruleset::custom("empty"),
+            // Auto-sweep disabled: only the explicit call below may sweep.
+            SliderConfig::batch().with_dict_sweep_ratio(f64::INFINITY),
+        );
+        let triples: Vec<TermTriple> = (0..2000)
+            .map(|i| {
+                (
+                    Term::iri(format!("http://e/s{i}")),
+                    Term::iri("http://e/p"),
+                    Term::iri("http://e/o"),
+                )
+            })
+            .collect();
+        slider.add_terms(&triples);
+        slider.wait_idle();
+        assert_eq!(slider.remove_terms(&triples), 2000);
+        assert_eq!(slider.stats().dict_sweeps, 0, "auto-sweep was disabled");
+        let outcome = slider.sweep_dictionary();
+        assert_eq!(outcome.swept, 2002); // 2000 subjects + p + o
+        assert!(outcome.bytes_after < outcome.bytes_before);
+        assert_eq!(slider.stats().dict_sweeps, 1);
     }
 }

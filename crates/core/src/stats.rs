@@ -210,6 +210,25 @@ pub struct StatsSnapshot {
     /// (1 for a standalone [`Slider`](crate::Slider); the co-tenant count
     /// under [`Runtime::session`](crate::Runtime::session)).
     pub runtime_sessions: usize,
+    /// Live terms in the shared dictionary at snapshot time (vocabulary
+    /// included, tombstoned slots excluded).
+    pub dict_terms: usize,
+    /// Tombstoned dictionary slots: ids retired by a sweep and waiting on
+    /// the free-list for reuse by a future intern.
+    pub dict_tombstones: usize,
+    /// Estimated resident bytes of the dictionary: term string heap plus
+    /// per-term index/slot overhead. Each term's payload is counted once —
+    /// the id→term slot and the term→id index key share one allocation.
+    pub dict_bytes_estimate: usize,
+    /// Times an interning write found its dictionary shard's write lock
+    /// contended. High values relative to intern volume mean concurrent
+    /// loaders are colliding on shards — more
+    /// [`DictConfig::shards`](slider_model::DictConfig::shards) would help.
+    pub dict_shard_conflicts: u64,
+    /// Dictionary compaction sweeps completed (automatic post-retraction
+    /// sweeps and explicit
+    /// [`Slider::sweep_dictionary`](crate::Slider::sweep_dictionary) calls).
+    pub dict_sweeps: u64,
 }
 
 impl StatsSnapshot {
@@ -298,6 +317,15 @@ impl std::fmt::Display for StatsSnapshot {
         )?;
         writeln!(
             f,
+            "dict: {} terms, {} tombstones, {} bytes, {} shard conflicts, {} sweeps",
+            self.dict_terms,
+            self.dict_tombstones,
+            self.dict_bytes_estimate,
+            self.dict_shard_conflicts,
+            self.dict_sweeps
+        )?;
+        writeln!(
+            f,
             "{:<10} {:>8} {:>8} {:>8} {:>10} {:>10} {:>10}",
             "rule", "fired", "full", "timeout", "buffered", "derived", "fresh"
         )?;
@@ -355,6 +383,11 @@ mod tests {
             ruleset_swaps: 0,
             budget_deferrals: 0,
             runtime_sessions: 1,
+            dict_terms: 0,
+            dict_tombstones: 0,
+            dict_bytes_estimate: 0,
+            dict_shard_conflicts: 0,
+            dict_sweeps: 0,
         }
     }
 
@@ -425,6 +458,15 @@ mod tests {
         assert!(with_removals
             .to_string()
             .contains("runtime: 3 sessions, 7 budget deferrals"));
+        // And the dictionary footprint line.
+        with_removals.dict_terms = 120;
+        with_removals.dict_tombstones = 8;
+        with_removals.dict_bytes_estimate = 4096;
+        with_removals.dict_shard_conflicts = 2;
+        with_removals.dict_sweeps = 1;
+        assert!(with_removals
+            .to_string()
+            .contains("dict: 120 terms, 8 tombstones, 4096 bytes, 2 shard conflicts, 1 sweeps"));
     }
 
     #[test]

@@ -142,6 +142,24 @@ pub enum EventKind {
         /// Pending retractions deferred to later ticks.
         remaining: usize,
     },
+    /// A dictionary compaction sweep completed (automatic after a large
+    /// retraction flush, or an explicit
+    /// [`Slider::sweep_dictionary`](crate::Slider::sweep_dictionary)):
+    /// terms no longer referenced by the store were tombstoned and their
+    /// ids pushed onto the interner's free-list. Ids of live terms never
+    /// move.
+    DictSweep {
+        /// Non-vocabulary slots examined.
+        scanned: usize,
+        /// Slots tombstoned by this sweep.
+        swept: usize,
+        /// Live terms remaining after the sweep (vocabulary included).
+        live: usize,
+        /// Dictionary bytes estimate before the sweep.
+        bytes_before: usize,
+        /// Dictionary bytes estimate after the sweep.
+        bytes_after: usize,
+    },
     /// The reasoner reached quiescence.
     Idle {
         /// Store size at quiescence.
@@ -316,6 +334,18 @@ pub fn events_to_json(events: &[Event]) -> String {
                     r#"{{"at_us":{us},"type":"budget_slice","applied":{applied},"remaining":{remaining}}}"#
                 );
             }
+            EventKind::DictSweep {
+                scanned,
+                swept,
+                live,
+                bytes_before,
+                bytes_after,
+            } => {
+                let _ = write!(
+                    out,
+                    r#"{{"at_us":{us},"type":"dict_sweep","scanned":{scanned},"swept":{swept},"live":{live},"bytes_before":{bytes_before},"bytes_after":{bytes_after}}}"#
+                );
+            }
             EventKind::Idle { store_size } => {
                 let _ = write!(
                     out,
@@ -436,6 +466,13 @@ mod tests {
             applied: 128,
             remaining: 72,
         });
+        log.record(EventKind::DictSweep {
+            scanned: 50,
+            swept: 30,
+            live: 20,
+            bytes_before: 9000,
+            bytes_after: 4000,
+        });
         log.record(EventKind::Idle { store_size: 5 });
         let json = events_to_json(&log.events());
         assert!(json.starts_with('['));
@@ -451,12 +488,13 @@ mod tests {
             r#""type":"subpartitioned_removal","pending":6,"partitions":1,"subpartitions":4,"retracted":6,"overdeleted":3,"rederived":2,"store_size":7"#,
             r#""type":"ruleset_swap","dropped":1,"added":2,"kept":6,"overdeleted":4,"rederived":1,"inferred":3,"store_size":8"#,
             r#""type":"budget_slice","applied":128,"remaining":72"#,
+            r#""type":"dict_sweep","scanned":50,"swept":30,"live":20,"bytes_before":9000,"bytes_after":4000"#,
             r#""type":"idle","store_size":5"#,
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
-        // 10 separators for 11 events.
-        assert_eq!(json.matches("},{").count(), 10);
+        // 11 separators for 12 events.
+        assert_eq!(json.matches("},{").count(), 11);
     }
 
     #[test]

@@ -4,40 +4,233 @@
 //! to Longs"). It is shared by every input source and by the reasoner:
 //! multiple parser threads may intern concurrently while rule modules decode
 //! ids for tracing.
+//!
+//! # Architecture: sharded writes, guard-free reads, compaction
+//!
+//! The dictionary has two halves with different concurrency regimes:
+//!
+//! * **term → id** is a hash index sharded by term hash into
+//!   [`DictConfig::shards`] shards, each behind its own `RwLock`. Producers
+//!   interning disjoint terms take disjoint locks; `shards: 1` reproduces
+//!   the old global-lock behaviour as an ablation baseline. Each shard's
+//!   map keys are `Arc<Term>` clones of the slot payload below, so every
+//!   term's string data is materialised exactly once.
+//! * **id → (term, kind)** is an append-only *segmented slot table*:
+//!   fixed-capacity segments of geometrically growing size, created at
+//!   most once (`OnceLock`), plus an atomic published high-water mark.
+//!   Ids are dense and a live id never moves, so readers index straight
+//!   into a segment without any guard. Each slot packs its state
+//!   (empty / live / tombstone) and [`TermKind`] into one `AtomicU64` —
+//!   `kind`/`is_literal` and the [`KindTable`] are a single atomic load,
+//!   zero locks. The term payload itself is an `Arc<Term>` published
+//!   under a per-slot pointer lock in the same idiom as the store's epoch
+//!   snapshots: readers hold the lock only for the `Arc` clone, and the
+//!   lock is never taken while any intern shard lock is held, so decode
+//!   paths complete in bounded time even while interning is write-locked.
+//! * **compaction** ([`Dictionary::sweep`]) tombstones non-vocabulary
+//!   terms the caller proves dead and pushes their ids onto a free-list
+//!   that `intern_slow` reuses. The swept slot drops its payload `Arc`
+//!   and its index entry (the only two holders), so the term's bytes are
+//!   returned to the allocator; the slot itself stays resident for reuse.
+//!   Ids of live terms never change, so stored triples, pending queues
+//!   and pinned snapshots stay valid across any number of sweeps.
 
-use crate::hash::FxHashMap;
+use crate::hash::{FxBuildHasher, FxHashMap};
 use crate::term::{Term, TermKind};
 use crate::triple::{TermTriple, Triple};
 use crate::vocab::{self, NodeId};
-use parking_lot::{MappedRwLockReadGuard, RwLock, RwLockReadGuard};
+use parking_lot::{Mutex, RwLock, RwLockWriteGuard};
+use std::hash::BuildHasher;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
-#[derive(Default)]
-struct Inner {
-    /// id → term. Dense: `terms[i]` is the term of `NodeId(i)`.
-    terms: Vec<Term>,
-    /// term → id.
-    index: FxHashMap<Term, NodeId>,
+/// Configuration for a [`Dictionary`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DictConfig {
+    /// Number of term→id index shards (rounded up to a power of two,
+    /// minimum 1). Interning threads working on disjoint terms contend
+    /// only within a shard; `1` is the old global-lock behaviour, kept as
+    /// the ablation/bench baseline.
+    pub shards: usize,
 }
+
+impl Default for DictConfig {
+    fn default() -> Self {
+        DictConfig { shards: 16 }
+    }
+}
+
+/// Base-two log of the first segment's capacity (1024 slots); segment `k`
+/// holds `1024 << k` slots, so 33 segments cover every assignable id.
+const SEG_SHIFT: usize = 10;
+/// Number of segment cells. `(2^33 - 1) * 1024` ids ≈ 8.8 × 10¹² — far
+/// beyond any load this process can hold; out-of-range ids resolve to
+/// `None` instead of indexing.
+const NUM_SEGS: usize = 33;
+
+/// Slot state: never assigned (or mid-assignment).
+const STATE_EMPTY: u64 = 0;
+/// Slot state: id is live; kind bits are valid.
+const STATE_LIVE: u64 = 1;
+/// Slot state: swept; the id is on the free-list awaiting reuse.
+const STATE_TOMBSTONE: u64 = 2;
+const STATE_MASK: u64 = 0b11;
+const KIND_SHIFT: u64 = 2;
+
+/// Flat-overhead estimate per index entry (`Arc` pointer + id + bucket
+/// slack) for [`Dictionary::bytes_estimate`].
+const INDEX_ENTRY_BYTES: usize = 24;
+/// Estimated `Arc` header (strong + weak counts) per payload.
+const ARC_HEADER_BYTES: usize = 16;
+
+/// One id's cell in the segmented table. `word` is the guard-free half
+/// (state + kind in one atomic); `term` is the pointer-published payload.
+struct Slot {
+    word: AtomicU64,
+    term: Mutex<Option<Arc<Term>>>,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            word: AtomicU64::new(STATE_EMPTY),
+            term: Mutex::new(None),
+        }
+    }
+}
+
+fn pack(kind: TermKind) -> u64 {
+    STATE_LIVE | ((kind as u64) << KIND_SHIFT)
+}
+
+fn unpack_kind(word: u64) -> TermKind {
+    match (word >> KIND_SHIFT) & 0b11 {
+        0 => TermKind::Iri,
+        1 => TermKind::Literal,
+        _ => TermKind::Blank,
+    }
+}
+
+/// Splits an id into (segment, offset): segment `k` starts at id
+/// `(2^k - 1) * 1024` and holds `1024 << k` slots.
+fn locate(id: usize) -> (usize, usize) {
+    let adj = (id >> SEG_SHIFT) + 1;
+    let seg = (usize::BITS - 1 - adj.leading_zeros()) as usize;
+    let base = ((1usize << seg) - 1) << SEG_SHIFT;
+    (seg, id - base)
+}
+
+/// Id allocator: bump pointer plus the free-list sweeps feed.
+#[derive(Default)]
+struct Allocator {
+    next: u64,
+    free: Vec<NodeId>,
+}
+
+/// Point-in-time dictionary counters (see [`Dictionary::stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DictStats {
+    /// Live interned terms (vocabulary included).
+    pub terms: usize,
+    /// Swept slots currently awaiting reuse on the free-list.
+    pub tombstones: usize,
+    /// Estimated resident bytes: term payloads + index entries + slots.
+    pub bytes_estimate: usize,
+    /// Intern-path shard write-lock conflicts (a `try_write` that had to
+    /// block) — contention visibility for the sharding ablation.
+    pub shard_conflicts: u64,
+    /// Completed [`Dictionary::sweep`] passes.
+    pub sweeps: u64,
+}
+
+/// What one [`Dictionary::sweep`] pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepOutcome {
+    /// Live non-vocabulary slots examined.
+    pub scanned: usize,
+    /// Slots tombstoned and pushed onto the free-list.
+    pub swept: usize,
+    /// Live terms remaining after the pass (vocabulary included).
+    pub live: usize,
+    /// [`Dictionary::bytes_estimate`] entering the pass.
+    pub bytes_before: usize,
+    /// [`Dictionary::bytes_estimate`] leaving the pass.
+    pub bytes_after: usize,
+}
+
+/// One shard of the term → id intern index.
+type InternShard = RwLock<FxHashMap<Arc<Term>, NodeId>>;
 
 /// A concurrent, bidirectional term ↔ id dictionary.
 ///
-/// * ids are dense (`0, 1, 2, …` in interning order);
-/// * ids `0..VOCAB_LEN` are the RDF/RDFS vocabulary ([`crate::vocab`]);
+/// * ids are dense (`0, 1, 2, …` in interning order; sweeps recycle dead
+///   ids before the bump pointer grows);
+/// * ids `0..VOCAB_LEN` are the RDF/RDFS vocabulary ([`crate::vocab`]),
+///   never swept;
 /// * interning the same term twice returns the same id;
-/// * term *kinds* (IRI / literal / blank) are kept in a dedicated lock so
-///   hot rules (rdfs1, rdfs4b) can hold a cheap read guard over just the
-///   kind table while joining.
+/// * `kind`/`is_literal`/[`KindTable`] are a single atomic load, and
+///   `lookup`/`with_term` never touch an intern lock, so decode paths
+///   complete in bounded time regardless of writer activity.
 pub struct Dictionary {
-    inner: RwLock<Inner>,
-    kinds: RwLock<Vec<TermKind>>,
+    /// term → id, sharded by term hash.
+    shards: Box<[InternShard]>,
+    shard_mask: usize,
+    /// id → slot, append-only segments (see module docs).
+    segs: [OnceLock<Box<[Slot]>>; NUM_SEGS],
+    /// High-water mark: every id below it has been assigned at least once.
+    published: AtomicUsize,
+    alloc: Mutex<Allocator>,
+    hasher: FxBuildHasher,
+    live: AtomicUsize,
+    tombstones: AtomicUsize,
+    bytes: AtomicUsize,
+    shard_conflicts: AtomicU64,
+    sweeps: AtomicU64,
+}
+
+/// Estimated resident bytes of one interned term: string payload, enum,
+/// `Arc` header, and the index entry that points at it.
+fn term_bytes(term: &Term) -> usize {
+    let heap = match term {
+        Term::Iri(s) | Term::Blank(s) => s.len(),
+        Term::Literal(lit) => {
+            lit.lexical.len()
+                + match &lit.kind {
+                    crate::term::LiteralKind::Plain => 0,
+                    crate::term::LiteralKind::Lang(t) | crate::term::LiteralKind::Typed(t) => {
+                        t.len()
+                    }
+                }
+        }
+    };
+    heap + std::mem::size_of::<Term>() + ARC_HEADER_BYTES + INDEX_ENTRY_BYTES
 }
 
 impl Dictionary {
-    /// Creates a dictionary with the vocabulary pre-interned at fixed ids.
+    /// Creates a dictionary with the default [`DictConfig`] and the
+    /// vocabulary pre-interned at fixed ids.
     pub fn new() -> Self {
+        Dictionary::with_config(DictConfig::default())
+    }
+
+    /// Creates a dictionary with `config.shards` index shards (rounded up
+    /// to a power of two) and the vocabulary pre-interned at fixed ids.
+    pub fn with_config(config: DictConfig) -> Self {
+        let shards = config.shards.max(1).next_power_of_two();
         let dict = Dictionary {
-            inner: RwLock::new(Inner::default()),
-            kinds: RwLock::new(Vec::new()),
+            shards: (0..shards)
+                .map(|_| RwLock::new(FxHashMap::default()))
+                .collect(),
+            shard_mask: shards - 1,
+            segs: std::array::from_fn(|_| OnceLock::new()),
+            published: AtomicUsize::new(0),
+            alloc: Mutex::new(Allocator::default()),
+            hasher: FxBuildHasher::default(),
+            live: AtomicUsize::new(0),
+            tombstones: AtomicUsize::new(0),
+            bytes: AtomicUsize::new(0),
+            shard_conflicts: AtomicU64::new(0),
+            sweeps: AtomicU64::new(0),
         };
         for iri in vocab::ALL {
             dict.intern(&Term::iri(*iri));
@@ -46,60 +239,134 @@ impl Dictionary {
         dict
     }
 
-    /// Interns `term`, returning its id (existing or fresh).
-    pub fn intern(&self, term: &Term) -> NodeId {
-        // Fast path: already interned.
-        if let Some(&id) = self.inner.read().index.get(term) {
-            return id;
-        }
-        self.intern_slow(term.clone())
+    /// Number of term→id index shards (after power-of-two rounding).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
     }
 
-    /// Interns an owned term, avoiding a clone when the term is fresh.
-    pub fn intern_owned(&self, term: Term) -> NodeId {
-        if let Some(&id) = self.inner.read().index.get(&term) {
+    fn shard_of(&self, hash: u64) -> &RwLock<FxHashMap<Arc<Term>, NodeId>> {
+        &self.shards[(hash as usize) & self.shard_mask]
+    }
+
+    /// Interns `term`, returning its id (existing or fresh). The term is
+    /// cloned once, only when it is actually inserted.
+    pub fn intern(&self, term: &Term) -> NodeId {
+        let hash = self.hasher.hash_one(term);
+        // Fast path: already interned.
+        if let Some(&id) = self.shard_of(hash).read().get(term) {
             return id;
         }
-        self.intern_slow(term)
+        self.intern_slow(std::borrow::Cow::Borrowed(term), hash)
+    }
+
+    /// Interns an owned term, avoiding any clone when the term is fresh.
+    pub fn intern_owned(&self, term: Term) -> NodeId {
+        let hash = self.hasher.hash_one(&term);
+        if let Some(&id) = self.shard_of(hash).read().get(&term) {
+            return id;
+        }
+        self.intern_slow(std::borrow::Cow::Owned(term), hash)
     }
 
     #[cold]
-    fn intern_slow(&self, term: Term) -> NodeId {
-        let mut inner = self.inner.write();
+    fn intern_slow(&self, term: std::borrow::Cow<'_, Term>, hash: u64) -> NodeId {
+        let shard = self.shard_of(hash);
+        let mut map = match shard.try_write() {
+            Some(map) => map,
+            None => {
+                self.shard_conflicts.fetch_add(1, Ordering::Relaxed);
+                shard.write()
+            }
+        };
         // Double-check: another thread may have interned it meanwhile.
-        if let Some(&id) = inner.index.get(&term) {
+        if let Some(&id) = map.get(term.as_ref()) {
             return id;
         }
-        let id = NodeId(inner.terms.len() as u64);
-        let kind = term.kind();
-        inner.terms.push(term.clone());
-        inner.index.insert(term, id);
-        // Keep the kind table in lock-step. Taking the second lock while
-        // holding the first serialises growth, which is what we want: a
-        // reader of `kinds` never observes an id it cannot classify *if* it
-        // obtained the id from the dictionary before locking.
-        self.kinds.write().push(kind);
+        // The single materialisation: the slot payload and the index key
+        // below share this one allocation.
+        let payload = Arc::new(term.into_owned());
+        let kind = payload.kind();
+        let (id, reused) = {
+            let mut alloc = self.alloc.lock();
+            match alloc.free.pop() {
+                Some(id) => (id, true),
+                None => {
+                    let id = NodeId(alloc.next);
+                    alloc.next += 1;
+                    (id, false)
+                }
+            }
+        };
+        let slot = self.slot(id.index());
+        // Payload before word: a reader that observes LIVE always finds
+        // the payload published (or already retired by a later sweep).
+        *slot.term.lock() = Some(Arc::clone(&payload));
+        slot.word.store(pack(kind), Ordering::Release);
+        self.published.fetch_max(id.index() + 1, Ordering::AcqRel);
+        self.bytes.fetch_add(
+            term_bytes(&payload)
+                + if reused {
+                    0
+                } else {
+                    std::mem::size_of::<Slot>()
+                },
+            Ordering::Relaxed,
+        );
+        self.live.fetch_add(1, Ordering::Relaxed);
+        if reused {
+            self.tombstones.fetch_sub(1, Ordering::Relaxed);
+        }
+        map.insert(payload, id);
         id
+    }
+
+    /// The slot for `id`, creating its segment on first touch.
+    fn slot(&self, id: usize) -> &Slot {
+        let (seg, off) = locate(id);
+        let cells = self.segs[seg].get_or_init(|| {
+            let cap = 1usize << (SEG_SHIFT + seg);
+            (0..cap).map(|_| Slot::new()).collect()
+        });
+        &cells[off]
+    }
+
+    /// The slot for `id` if its segment exists — the read-side accessor:
+    /// never allocates, never locks.
+    fn slot_if_present(&self, id: NodeId) -> Option<&Slot> {
+        let (seg, off) = locate(id.index());
+        self.segs.get(seg)?.get().map(|cells| &cells[off])
     }
 
     /// Returns the id of `term` if it has been interned.
     pub fn id_of(&self, term: &Term) -> Option<NodeId> {
-        self.inner.read().index.get(term).copied()
+        let hash = self.hasher.hash_one(term);
+        self.shard_of(hash).read().get(term).copied()
+    }
+
+    /// The payload of a live id: one per-slot pointer-clone lock, no
+    /// intern or shard lock (see the module docs).
+    fn payload(&self, id: NodeId) -> Option<Arc<Term>> {
+        let slot = self.slot_if_present(id)?;
+        if slot.word.load(Ordering::Acquire) & STATE_MASK != STATE_LIVE {
+            return None;
+        }
+        slot.term.lock().clone()
     }
 
     /// Returns a clone of the term with id `id`.
     pub fn lookup(&self, id: NodeId) -> Option<Term> {
-        self.inner.read().terms.get(id.index()).cloned()
+        self.payload(id).map(|term| (*term).clone())
     }
 
-    /// Runs `f` on the term with id `id` without cloning it.
+    /// Runs `f` on the term with id `id` without cloning its string data.
     pub fn with_term<R>(&self, id: NodeId, f: impl FnOnce(&Term) -> R) -> Option<R> {
-        self.inner.read().terms.get(id.index()).map(f)
+        self.payload(id).map(|term| f(&term))
     }
 
-    /// The kind (IRI / literal / blank) of `id`.
+    /// The kind (IRI / literal / blank) of `id` — a single atomic load.
     pub fn kind(&self, id: NodeId) -> Option<TermKind> {
-        self.kinds.read().get(id.index()).copied()
+        let word = self.slot_if_present(id)?.word.load(Ordering::Acquire);
+        (word & STATE_MASK == STATE_LIVE).then(|| unpack_kind(word))
     }
 
     /// True if `id` is an interned literal.
@@ -107,22 +374,123 @@ impl Dictionary {
         self.kind(id) == Some(TermKind::Literal)
     }
 
-    /// A read guard over the kind table, for batch classification in hot
-    /// rule loops. The guard indexes by [`NodeId`].
+    /// A handle over the kind table, for batch classification in hot rule
+    /// loops. Each query is one atomic load — the handle holds no lock.
     pub fn kinds(&self) -> KindTable<'_> {
-        KindTable {
-            guard: RwLockReadGuard::map(self.kinds.read(), |v| v.as_slice()),
-        }
+        KindTable { dict: self }
     }
 
-    /// Number of interned terms (including the vocabulary).
+    /// Number of live interned terms (including the vocabulary).
     pub fn len(&self) -> usize {
-        self.inner.read().terms.len()
+        self.live.load(Ordering::Relaxed)
     }
 
     /// True if only… never: the vocabulary is always present.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// One past the largest id ever assigned (tombstones included): the
+    /// dense-id bound. `len() == high_water()` exactly when no slot is
+    /// currently tombstoned.
+    pub fn high_water(&self) -> usize {
+        self.published.load(Ordering::Acquire)
+    }
+
+    /// Estimated resident bytes: term payloads (materialised once each),
+    /// index entries, and slot cells. Maintained incrementally; sweeps
+    /// subtract the payload and index share of each reclaimed term (slot
+    /// cells stay resident for reuse and are never subtracted).
+    pub fn bytes_estimate(&self) -> usize {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time counters for stats plumbing.
+    pub fn stats(&self) -> DictStats {
+        DictStats {
+            terms: self.len(),
+            tombstones: self.tombstones.load(Ordering::Relaxed),
+            bytes_estimate: self.bytes_estimate(),
+            shard_conflicts: self.shard_conflicts.load(Ordering::Relaxed),
+            sweeps: self.sweeps.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Compacts the dictionary: every **live, non-vocabulary** id for
+    /// which `live` answers `false` is tombstoned — its index entry and
+    /// payload `Arc` are dropped (reclaiming the term's bytes) and its id
+    /// goes onto the free-list for `intern` to reuse. Ids for which
+    /// `live` answers `true` are untouched: their `lookup`/`kind` results
+    /// are identical before and after the pass.
+    ///
+    /// The caller owns the liveness proof. The engine runs sweeps under
+    /// its quiescent-store gate with `live` = "referenced by the store",
+    /// which is sound because no intern-and-insert can be mid-flight
+    /// there; a standalone caller must equally guarantee that no term it
+    /// reports dead is concurrently being re-interned for use.
+    pub fn sweep(&self, live: impl Fn(NodeId) -> bool) -> SweepOutcome {
+        let bytes_before = self.bytes_estimate();
+        let high = self.high_water();
+        let mut scanned = 0usize;
+        let mut freed: Vec<NodeId> = Vec::new();
+        for raw in vocab::VOCAB_LEN..high {
+            let id = NodeId(raw as u64);
+            let Some(slot) = self.slot_if_present(id) else {
+                continue;
+            };
+            if slot.word.load(Ordering::Acquire) & STATE_MASK != STATE_LIVE {
+                continue;
+            }
+            scanned += 1;
+            if live(id) {
+                continue;
+            }
+            let Some(payload) = slot.term.lock().clone() else {
+                continue;
+            };
+            let hash = self.hasher.hash_one(&*payload);
+            let mut map = self.shard_of(hash).write();
+            // Re-check under the shard lock: only this id's own entry may
+            // be removed (a racing sweep or re-intern may have moved on).
+            if map.get(&*payload) != Some(&id) {
+                continue;
+            }
+            map.remove(&*payload);
+            // Index entry gone: no interner can hand this id out any
+            // more. Retire the slot while still holding the shard lock.
+            slot.word.store(STATE_TOMBSTONE, Ordering::Release);
+            *slot.term.lock() = None;
+            drop(map);
+            self.bytes
+                .fetch_sub(term_bytes(&payload), Ordering::Relaxed);
+            self.live.fetch_sub(1, Ordering::Relaxed);
+            self.tombstones.fetch_add(1, Ordering::Relaxed);
+            freed.push(id);
+        }
+        let swept = freed.len();
+        if swept > 0 {
+            self.alloc.lock().free.extend(freed);
+        }
+        self.sweeps.fetch_add(1, Ordering::Relaxed);
+        SweepOutcome {
+            scanned,
+            swept,
+            live: self.len(),
+            bytes_before,
+            bytes_after: self.bytes_estimate(),
+        }
+    }
+
+    /// Holds the intern write lock of the shard that owns `term`, blocking
+    /// every intern routed there until the guard drops. A diagnostic/test
+    /// hook (mirroring `ShardedStore::write_shard`): the concurrency suite
+    /// uses it to pin that `lookup`/`kind` complete in bounded time while
+    /// interning is write-locked.
+    pub fn lock_intern_shard(&self, term: &Term) -> InternShardGuard<'_> {
+        let hash = self.hasher.hash_one(term);
+        InternShardGuard {
+            _guard: self.shard_of(hash).write(),
+        }
     }
 
     /// Encodes a decoded triple.
@@ -134,7 +502,7 @@ impl Dictionary {
         }
     }
 
-    /// Encodes an owned decoded triple.
+    /// Encodes an owned decoded triple (no term clones on fresh terms).
     pub fn encode_triple_owned(&self, t: TermTriple) -> Triple {
         Triple {
             s: self.intern_owned(t.0),
@@ -173,16 +541,25 @@ impl std::fmt::Debug for Dictionary {
     }
 }
 
-/// Read guard over the term-kind table (see [`Dictionary::kinds`]).
+/// Holds one intern shard's write lock (see
+/// [`Dictionary::lock_intern_shard`]).
+pub struct InternShardGuard<'a> {
+    _guard: RwLockWriteGuard<'a, FxHashMap<Arc<Term>, NodeId>>,
+}
+
+/// Handle over the term-kind table (see [`Dictionary::kinds`]). Queries
+/// are single atomic loads against the segmented slot table — the handle
+/// holds no lock, so it can be kept across arbitrarily long rule loops
+/// without blocking writers.
 pub struct KindTable<'a> {
-    guard: MappedRwLockReadGuard<'a, [TermKind]>,
+    dict: &'a Dictionary,
 }
 
 impl KindTable<'_> {
     /// The kind of `id`, if known.
     #[inline]
     pub fn kind(&self, id: NodeId) -> Option<TermKind> {
-        self.guard.get(id.index()).copied()
+        self.dict.kind(id)
     }
 
     /// True if `id` is a literal.
@@ -303,30 +680,195 @@ mod tests {
     }
 
     #[test]
-    fn concurrent_interning_is_consistent() {
-        let d = Arc::new(Dictionary::new());
-        let mut handles = Vec::new();
-        for thread in 0..8 {
-            let d = Arc::clone(&d);
-            handles.push(std::thread::spawn(move || {
-                let mut ids = Vec::new();
-                for i in 0..500 {
-                    // All threads intern the same 500 terms, racing.
-                    let _ = thread;
-                    ids.push(d.intern(&Term::iri(format!("http://example.org/{i}"))));
-                }
-                ids
-            }));
+    fn segment_locate_covers_the_geometric_layout() {
+        assert_eq!(locate(0), (0, 0));
+        assert_eq!(locate(1023), (0, 1023));
+        assert_eq!(locate(1024), (1, 0));
+        assert_eq!(locate(3071), (1, 2047));
+        assert_eq!(locate(3072), (2, 0));
+        // Every id maps to an in-capacity offset and bases chain densely.
+        let mut next_base = 0usize;
+        for seg in 0..8 {
+            let base = ((1usize << seg) - 1) << SEG_SHIFT;
+            assert_eq!(base, next_base);
+            next_base = base + (1024 << seg);
+            assert_eq!(locate(base), (seg, 0));
+            assert_eq!(locate(next_base - 1), (seg, (1024 << seg) - 1));
         }
-        let all: Vec<Vec<NodeId>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-        for ids in &all {
-            assert_eq!(ids, &all[0], "same term must map to same id on all threads");
-        }
-        assert_eq!(d.len(), vocab::VOCAB_LEN + 500);
-        // Kind table is in lock-step.
+    }
+
+    #[test]
+    fn shard_counts_round_to_powers_of_two() {
         assert_eq!(
-            d.kinds().kind(NodeId((d.len() - 1) as u64)),
-            Some(TermKind::Iri)
+            Dictionary::with_config(DictConfig { shards: 0 }).shard_count(),
+            1
         );
+        assert_eq!(
+            Dictionary::with_config(DictConfig { shards: 1 }).shard_count(),
+            1
+        );
+        assert_eq!(
+            Dictionary::with_config(DictConfig { shards: 3 }).shard_count(),
+            4
+        );
+        assert_eq!(Dictionary::new().shard_count(), 16);
+    }
+
+    /// Satellite pin: the index key shares the slot payload's allocation,
+    /// so each term's string data is resident exactly once. Double
+    /// materialisation (the old `terms` + `index`-key layout) would at
+    /// least double the per-term growth.
+    #[test]
+    fn bytes_estimate_counts_each_term_once() {
+        let d = Dictionary::new();
+        let base = d.bytes_estimate();
+        assert!(base > 0, "vocabulary is accounted");
+        let payload = "x".repeat(1_000);
+        let n = 100usize;
+        let mut heap = 0usize;
+        for i in 0..n {
+            let iri = format!("http://e/{payload}/{i}");
+            heap += iri.len();
+            d.intern(&Term::iri(iri));
+        }
+        let grown = d.bytes_estimate() - base;
+        assert!(grown >= heap, "estimate must cover the string payloads");
+        let overhead = n
+            * (std::mem::size_of::<Term>()
+                + ARC_HEADER_BYTES
+                + INDEX_ENTRY_BYTES
+                + std::mem::size_of::<Slot>());
+        assert!(
+            grown <= heap + overhead,
+            "each term is materialised once: grew {grown}, singly-stored bound {}",
+            heap + overhead
+        );
+    }
+
+    #[test]
+    fn sweep_tombstones_reclaims_and_reuses_ids() {
+        let d = Dictionary::new();
+        let keep = d.intern(&Term::iri("http://e/keep"));
+        let drop1 = d.intern(&Term::iri("http://e/drop-1"));
+        let drop2 = d.intern(&Term::iri("http://e/drop-2"));
+        let bytes_full = d.bytes_estimate();
+        let outcome = d.sweep(|id| id == keep);
+        assert_eq!(outcome.scanned, 3);
+        assert_eq!(outcome.swept, 2);
+        assert_eq!(outcome.live, vocab::VOCAB_LEN + 1);
+        assert_eq!(outcome.bytes_before, bytes_full);
+        assert!(outcome.bytes_after < bytes_full);
+        // Live ids are untouched; dead ids resolve to nothing.
+        assert_eq!(d.lookup(keep), Some(Term::iri("http://e/keep")));
+        assert_eq!(d.kind(keep), Some(TermKind::Iri));
+        assert_eq!(d.lookup(drop1), None);
+        assert_eq!(d.kind(drop2), None);
+        assert_eq!(d.id_of(&Term::iri("http://e/drop-1")), None);
+        assert_eq!(d.stats().tombstones, 2);
+        // The free-list feeds reuse: fresh interns take the dead ids and
+        // the high-water mark does not grow.
+        let high = d.high_water();
+        let fresh1 = d.intern(&Term::literal("fresh-1"));
+        let fresh2 = d.intern(&Term::iri("http://e/fresh-2"));
+        let mut recycled = vec![fresh1, fresh2];
+        recycled.sort_unstable();
+        let mut expected = vec![drop1, drop2];
+        expected.sort_unstable();
+        assert_eq!(recycled, expected);
+        assert_eq!(d.high_water(), high);
+        assert_eq!(d.stats().tombstones, 0);
+        // A reused slot's kind follows its new incarnation atomically.
+        assert_eq!(d.kind(fresh1), Some(TermKind::Literal));
+        assert_eq!(d.lookup(fresh1), Some(Term::literal("fresh-1")));
+    }
+
+    #[test]
+    fn sweep_never_touches_the_vocabulary() {
+        let d = Dictionary::new();
+        let outcome = d.sweep(|_| false);
+        assert_eq!(outcome.swept, 0);
+        assert_eq!(d.len(), vocab::VOCAB_LEN);
+        assert_eq!(
+            d.lookup(vocab::RDF_TYPE),
+            Some(Term::iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"))
+        );
+        assert_eq!(d.stats().sweeps, 1);
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        // The battery runs at every shard width the proptests sweep:
+        // 1 (the global-lock ablation baseline), 2, 4 and 16.
+        for shards in [1usize, 2, 4, 16] {
+            let d = Arc::new(Dictionary::with_config(DictConfig { shards }));
+            let mut handles = Vec::new();
+            for thread in 0..8 {
+                let d = Arc::clone(&d);
+                handles.push(std::thread::spawn(move || {
+                    let mut ids = Vec::new();
+                    for i in 0..500 {
+                        // All threads intern the same 500 terms, racing —
+                        // plus a disjoint per-thread tail below.
+                        ids.push(d.intern(&Term::iri(format!("http://example.org/{i}"))));
+                    }
+                    let mut own = Vec::new();
+                    for i in 0..50 {
+                        own.push(
+                            d.intern_owned(Term::iri(format!("http://example.org/t{thread}/{i}"))),
+                        );
+                    }
+                    (ids, own)
+                }));
+            }
+            let all: Vec<(Vec<NodeId>, Vec<NodeId>)> =
+                handles.into_iter().map(|h| h.join().unwrap()).collect();
+            for (ids, _) in &all {
+                assert_eq!(
+                    ids, &all[0].0,
+                    "same term must map to same id on all threads ({shards} shards)"
+                );
+            }
+            // Dense ids: shared + disjoint interns tile 0..len exactly.
+            let expected_len = vocab::VOCAB_LEN + 500 + 8 * 50;
+            assert_eq!(d.len(), expected_len, "{shards} shards");
+            assert_eq!(d.high_water(), expected_len, "{shards} shards");
+            let mut every: Vec<NodeId> = all
+                .iter()
+                .flat_map(|(ids, own)| ids.iter().chain(own).copied())
+                .collect();
+            every.sort_unstable();
+            every.dedup();
+            assert_eq!(every.len(), 500 + 8 * 50, "{shards} shards");
+            // Kind table is in lock-step with interning.
+            let table = d.kinds();
+            for &id in &every {
+                assert_eq!(table.kind(id), Some(TermKind::Iri), "{shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn lookups_do_not_block_behind_an_intern_write_lock() {
+        // Single shard: the one guard below write-locks the *entire*
+        // intern path, yet id→term/kind reads still complete.
+        let d = Arc::new(Dictionary::with_config(DictConfig { shards: 1 }));
+        let id = d.intern(&Term::iri("http://e/pinned"));
+        let guard = d.lock_intern_shard(&Term::iri("http://e/any"));
+        let (tx, rx) = std::sync::mpsc::channel();
+        let reader = std::thread::spawn({
+            let d = Arc::clone(&d);
+            move || {
+                tx.send((d.lookup(id), d.kind(id), d.kinds().kind(vocab::RDF_TYPE)))
+                    .unwrap();
+            }
+        });
+        let (term, kind, vocab_kind) = rx
+            .recv_timeout(std::time::Duration::from_secs(10))
+            .expect("lookup/kind blocked behind a held intern write lock");
+        assert_eq!(term, Some(Term::iri("http://e/pinned")));
+        assert_eq!(kind, Some(TermKind::Iri));
+        assert_eq!(vocab_kind, Some(TermKind::Iri));
+        drop(guard);
+        reader.join().unwrap();
     }
 }

@@ -175,6 +175,147 @@ impl Rule for Subsumption {
     }
 }
 
+/// `(x P y) ⊢ (x IS c)` — domain typing over a configurable property
+/// (the generic `PRP-DOM` for one known property/class pair; the built-in
+/// [`PrpDom`](crate::PrpDom) reads the schema at run time and is therefore
+/// universal-input, which bars its component from every partitioned plan).
+#[derive(Debug, Clone, Copy)]
+pub struct Domain {
+    name: &'static str,
+    pred: NodeId,
+    is: NodeId,
+    class: NodeId,
+}
+
+impl Domain {
+    /// A domain rule typing subjects of `pred` as `class` members via the
+    /// `is` membership predicate, reported as `name`.
+    pub fn new(name: &'static str, pred: NodeId, is: NodeId, class: NodeId) -> Self {
+        Domain {
+            name,
+            pred,
+            is,
+            class,
+        }
+    }
+}
+
+impl Rule for Domain {
+    fn read_predicates(&self) -> Option<Vec<NodeId>> {
+        Some(vec![self.pred])
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn definition(&self) -> &'static str {
+        "(x P y) ⊢ (x IS c)"
+    }
+
+    fn input_filter(&self) -> InputFilter {
+        InputFilter::Predicates(vec![self.pred])
+    }
+
+    fn output_signature(&self) -> OutputSignature {
+        OutputSignature::Predicates(vec![self.is])
+    }
+
+    fn apply(&self, _store: &StoreView, delta: &[Triple], out: &mut Vec<Triple>) {
+        for &t in delta {
+            if t.p == self.pred {
+                out.push(Triple::new(t.s, self.is, self.class));
+            }
+        }
+    }
+
+    fn derives(&self, store: &StoreView, t: Triple) -> Option<bool> {
+        // (x IS c) ⇐ ∃y: (x P y).
+        Some(
+            t.p == self.is
+                && t.o == self.class
+                && store.objects_with(self.pred, t.s).next().is_some(),
+        )
+    }
+
+    /// `pred` is subject-local (the membership shape): a `pred`-delta
+    /// emits at its own subject, and `derives((x IS c))` reads the `pred`
+    /// partition only at subject `x` — every maintenance step stays on
+    /// the seed's subject.
+    fn subject_local_inputs(&self) -> Vec<NodeId> {
+        vec![self.pred]
+    }
+}
+
+/// `(x P y) ⊢ (y IS c)` — range typing over a configurable property (the
+/// generic `PRP-RNG` for one known property/class pair).
+///
+/// Unlike [`Domain`], `pred` is **not** subject-local and must not be
+/// declared: a `(x P y)` delta emits at the triple's *object* `y`, and
+/// `derives((y IS c))` reads the `pred` partition by object
+/// (`subjects_with(pred, y)`) — both cross subjects, so a deletion whose
+/// affected closure reaches `pred` through this rule correctly disables
+/// sub-splitting.
+#[derive(Debug, Clone, Copy)]
+pub struct Range {
+    name: &'static str,
+    pred: NodeId,
+    is: NodeId,
+    class: NodeId,
+}
+
+impl Range {
+    /// A range rule typing objects of `pred` as `class` members via the
+    /// `is` membership predicate, reported as `name`.
+    pub fn new(name: &'static str, pred: NodeId, is: NodeId, class: NodeId) -> Self {
+        Range {
+            name,
+            pred,
+            is,
+            class,
+        }
+    }
+}
+
+impl Rule for Range {
+    fn read_predicates(&self) -> Option<Vec<NodeId>> {
+        Some(vec![self.pred])
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn definition(&self) -> &'static str {
+        "(x P y) ⊢ (y IS c)"
+    }
+
+    fn input_filter(&self) -> InputFilter {
+        InputFilter::Predicates(vec![self.pred])
+    }
+
+    fn output_signature(&self) -> OutputSignature {
+        OutputSignature::Predicates(vec![self.is])
+    }
+
+    fn apply(&self, _store: &StoreView, delta: &[Triple], out: &mut Vec<Triple>) {
+        for &t in delta {
+            if t.p == self.pred {
+                out.push(Triple::new(t.o, self.is, self.class));
+            }
+        }
+    }
+
+    fn derives(&self, store: &StoreView, t: Triple) -> Option<bool> {
+        // (y IS c) ⇐ ∃x: (x P y).
+        Some(
+            t.p == self.is
+                && t.o == self.class
+                && store.subjects_with(self.pred, t.s).next().is_some(),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,6 +389,84 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn domain_types_subjects_range_types_objects() {
+        use slider_baseline_free_closure::closure;
+        let rs = Ruleset::custom("typing")
+            .with(Domain::new("DOM", P, IS, n(7)))
+            .with(Range::new("RNG", P, IS, n(8)));
+        let store = closure(&rs, &[Triple::new(n(1), P, n(2))]);
+        assert!(store.contains(Triple::new(n(1), IS, n(7))));
+        assert!(store.contains(Triple::new(n(2), IS, n(8))));
+        assert_eq!(store.len(), 3);
+    }
+
+    /// `derives` agrees with one-step `apply` for the typing rules too.
+    #[test]
+    fn domain_range_derives_match_one_step_apply() {
+        let store: VerticalStore = [
+            Triple::new(n(1), P, n(2)),
+            Triple::new(n(3), P, n(2)),
+            Triple::new(n(9), IS, n(7)),
+        ]
+        .into_iter()
+        .collect();
+        let all: Vec<Triple> = store.iter().collect();
+        let rules: Vec<Box<dyn Rule>> = vec![
+            Box::new(Domain::new("DOM", P, IS, n(7))),
+            Box::new(Range::new("RNG", P, IS, n(8))),
+        ];
+        for rule in &rules {
+            let mut out = Vec::new();
+            rule.apply(&store.view(), &all, &mut out);
+            out.sort_unstable();
+            out.dedup();
+            for s in 1..10u64 {
+                for p in [P, IS, n(77)] {
+                    for o in 1..10u64 {
+                        let probe = Triple::new(n(s), p, n(o));
+                        assert_eq!(
+                            rule.derives(&store.view(), probe),
+                            Some(out.binary_search(&probe).is_ok()),
+                            "{}: derives disagrees with apply on {probe:?}",
+                            rule.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// The membership-shaped typing family sub-splits on fact bursts:
+    /// `Domain` declares its fact input subject-local, so the affected
+    /// closure {P, IS} passes the gate; `Range` (object-emitting) does
+    /// not declare it and correctly disqualifies the plan; schema-edge
+    /// seeds disqualify through `Subsumption` as before.
+    #[test]
+    fn domain_bursts_qualify_for_subsplit_range_disqualifies() {
+        const SUB: NodeId = NodeId(102);
+        let local = Ruleset::custom("dom-family")
+            .with(Domain::new("DOM", P, IS, n(7)))
+            .with(Subsumption::new("SUB", IS, SUB));
+        let g = DependencyGraph::build(&local);
+        let c = g.component_of(0);
+        assert_eq!(g.component_of(1), c, "one family");
+        assert_eq!(g.subsplit_affected(c, &[P]), Some(vec![P, IS]));
+        assert_eq!(g.subsplit_affected(c, &[IS]), Some(vec![IS]));
+        assert_eq!(g.subsplit_affected(c, &[SUB]), None, "schema seeds");
+        let with_range = Ruleset::custom("dom-rng-family")
+            .with(Domain::new("DOM", P, IS, n(7)))
+            .with(Range::new("RNG", P, IS, n(8)))
+            .with(Subsumption::new("SUB", IS, SUB));
+        let g2 = DependencyGraph::build(&with_range);
+        let c2 = g2.component_of(0);
+        assert_eq!(
+            g2.subsplit_affected(c2, &[P]),
+            None,
+            "Range's object emission crosses subjects"
+        );
     }
 
     #[test]

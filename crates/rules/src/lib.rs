@@ -56,7 +56,7 @@ mod rule;
 mod ruleset;
 
 pub use axioms::axiomatic_triples;
-pub use generic::{Subsumption, Transitive};
+pub use generic::{Domain, Range, Subsumption, Transitive};
 pub use graph::DependencyGraph;
 pub use rdfs::{Rdfs1, Rdfs10, Rdfs12, Rdfs13, Rdfs4a, Rdfs4b, Rdfs6, Rdfs8};
 pub use rdfs_plus::{

@@ -154,6 +154,18 @@ fn replay(events: &[Event], rule_names: &[&'static str], input_size: usize) {
                      {remaining} deferred to later ticks"
                 );
             }
+            EventKind::DictSweep {
+                scanned,
+                swept,
+                live,
+                bytes_before,
+                bytes_after,
+            } => {
+                println!(
+                    "[{step:>4} {ms:>8.2}ms] dict    sweep: {swept}/{scanned} terms tombstoned, \
+                     {live} live, {bytes_before} -> {bytes_after} bytes"
+                );
+            }
             EventKind::Idle { store_size: size } => {
                 store_size = *size;
                 println!("[{step:>4} {ms:>8.2}ms] idle    (closure complete)");

@@ -184,7 +184,7 @@
 //!
 //! | module | crate | contents |
 //! |--------|-------|----------|
-//! | [`model`] | `slider-model` | terms, triples, dictionary, vocabulary |
+//! | [`model`] | `slider-model` | terms, triples, sharded lock-free-read dictionary (+ sweep compaction), vocabulary |
 //! | [`parser`] | `slider-parser` | N-Triples + Turtle subset, writer |
 //! | [`store`] | `slider-store` | vertically partitioned triple store |
 //! | [`rules`] | `slider-rules` | ρdf/RDFS rules, dependency graph |
@@ -209,7 +209,9 @@ pub mod prelude {
     pub use slider_core::{
         RemovalOutcome, Runtime, RuntimeConfig, SessionHandle, Slider, SliderConfig, SwapOutcome,
     };
-    pub use slider_model::{Dictionary, Literal, NodeId, Term, TermTriple, Triple};
+    pub use slider_model::{
+        DictConfig, DictStats, Dictionary, Literal, NodeId, SweepOutcome, Term, TermTriple, Triple,
+    };
     pub use slider_parser::{NTriplesParser, TurtleParser};
     pub use slider_rules::{DependencyGraph, Fragment, Rule, Ruleset};
     pub use slider_store::{EpochSnapshot, ShardedStore, StoreView, TriplePattern, VerticalStore};

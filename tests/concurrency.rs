@@ -417,6 +417,51 @@ fn queries_complete_while_a_shard_write_lock_is_held() {
     reader.join().unwrap();
 }
 
+/// Dictionary tentpole, acceptance pin: id→term and id→kind lookups take
+/// **zero locks** — they answer from the append-only segmented slot table
+/// and complete in bounded time while an intern write lock is held
+/// indefinitely. `shards: 1` is the worst case: the single shard's lock
+/// covers every term, so a regression back to lock-pinned lookups (the
+/// old `RwLock<Inner>` design) deadlocks the reader thread and trips the
+/// `recv_timeout`.
+#[test]
+fn dict_lookups_complete_while_an_intern_write_lock_is_held() {
+    use slider::model::vocab::VOCAB_LEN;
+    use slider::model::{DictConfig, TermKind};
+
+    let dict = Arc::new(Dictionary::with_config(DictConfig { shards: 1 }));
+    let iri = Term::iri("http://example.org/held-shard");
+    let lit = Term::literal("forty-two");
+    let iri_id = dict.intern(&iri);
+    let lit_id = dict.intern(&lit);
+
+    // One shard ⇒ this guard write-locks the entire term→id index.
+    let guard = dict.lock_intern_shard(&iri);
+    let (tx, rx) = std::sync::mpsc::channel();
+    let reader = {
+        let dict = Arc::clone(&dict);
+        std::thread::spawn(move || {
+            let _ = tx.send((
+                dict.lookup(iri_id),
+                dict.kind(iri_id),
+                dict.kind(lit_id),
+                dict.is_literal(lit_id),
+                dict.len(),
+            ));
+        })
+    };
+    let (looked_up, iri_kind, lit_kind, lit_is_literal, len) = rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("id→term/kind lookups blocked behind a held intern write lock");
+    assert_eq!(looked_up, Some(iri), "lookup resolved the wrong payload");
+    assert_eq!(iri_kind, Some(TermKind::Iri));
+    assert_eq!(lit_kind, Some(TermKind::Literal));
+    assert!(lit_is_literal);
+    assert_eq!(len, VOCAB_LEN + 2);
+    drop(guard);
+    reader.join().unwrap();
+}
+
 /// Lock-free read path (c): reads complete while `exclusive()` holds the
 /// whole store gathered behind the maintenance gate in write mode — and
 /// they see the **pre-exclusive** epoch until the section releases, at

@@ -733,6 +733,84 @@ fn chain_retractions_never_subsplit() {
     assert_matches_oracle(&slider, &oracle, "disqualified sub-split");
 }
 
+/// ROADMAP item 3 follow-up (a): the membership-shaped domain rule
+/// declares its property subject-local (`(x P y) ⊢ (x IS c)` emits at the
+/// delta's own subject), so a burst of property-assertion retractions
+/// sub-splits by subject bucket — while the range rule's conclusion lands
+/// on the *object* (`(x P y) ⊢ (y IS c)`, not subject-local), so a range
+/// burst silently degrades to the single whole-partition pass. Both land
+/// exactly on the recompute oracle.
+#[test]
+fn domain_burst_subsplits_and_range_burst_degrades() {
+    use slider::rules::{Domain, Range};
+    const WORKS: NodeId = NodeId(700);
+    const IS_EMP: NodeId = NodeId(701);
+    const EMPLOYEE: NodeId = NodeId(702);
+    const FEEDS: NodeId = NodeId(710);
+    const IS_FED: NodeId = NodeId(711);
+    const FED: NodeId = NodeId(712);
+    let ruleset = || {
+        Ruleset::custom("domain-range")
+            .with(Domain::new("DOM", WORKS, IS_EMP, EMPLOYEE))
+            .with(Range::new("RNG", FEEDS, IS_FED, FED))
+    };
+
+    // Members whose subject-hash buckets differ at sub-split width 4 —
+    // the domain burst's seeds are guaranteed to occupy two units.
+    let m0 = member_in_bucket(4, 0);
+    let m1 = member_in_bucket(4, 1);
+    let input = vec![
+        Triple::new(m0, WORKS, n(20)),
+        Triple::new(m1, WORKS, n(21)),
+        Triple::new(n(30), FEEDS, n(31)),
+        Triple::new(n(32), FEEDS, n(33)),
+    ];
+    let slider = Slider::new(
+        Arc::new(Dictionary::new()),
+        ruleset(),
+        SliderConfig::default()
+            .with_deletion_subsplit(4)
+            .with_maintenance_batch(usize::MAX)
+            .with_maintenance_max_age(None),
+    );
+    slider.materialize(&input);
+    let mut oracle = RecomputeOracle::new(ruleset());
+    oracle.add(&input);
+    assert!(slider.store().contains(Triple::new(m0, IS_EMP, EMPLOYEE)));
+    assert!(slider.store().contains(Triple::new(n(31), IS_FED, FED)));
+
+    // Domain burst: two members, two subject buckets → two parallel
+    // intra-partition DRed units.
+    let domain_burst = [Triple::new(m0, WORKS, n(20)), Triple::new(m1, WORKS, n(21))];
+    slider.remove_deferred(&domain_burst);
+    slider.flush_maintenance();
+    oracle.remove(&domain_burst);
+    assert_matches_oracle(&slider, &oracle, "domain burst");
+    assert!(!slider.store().contains(Triple::new(m0, IS_EMP, EMPLOYEE)));
+    assert_eq!(
+        slider.stats().subpartitioned_runs,
+        1,
+        "the domain burst did not sub-split"
+    );
+
+    // Range burst: same shape, but `FEEDS` crosses subjects — the planner
+    // must refuse to sub-split and still match the oracle.
+    let range_burst = [
+        Triple::new(n(30), FEEDS, n(31)),
+        Triple::new(n(32), FEEDS, n(33)),
+    ];
+    slider.remove_deferred(&range_burst);
+    slider.flush_maintenance();
+    oracle.remove(&range_burst);
+    assert_matches_oracle(&slider, &oracle, "range burst");
+    assert!(!slider.store().contains(Triple::new(n(31), IS_FED, FED)));
+    assert_eq!(
+        slider.stats().subpartitioned_runs,
+        1,
+        "a range burst must not sub-split (conclusions cross subjects)"
+    );
+}
+
 /// The empty-maintenance fast path: a flush with nothing pending and an
 /// eager removal of nothing return the zero outcome WITHOUT taking the
 /// store's exclusive write gate.
@@ -1209,5 +1287,250 @@ proptest! {
         // The sharded store's lock-free length counter never drifts from
         // the actual table population, whatever the interleaving.
         prop_assert_eq!(slider.store().len(), slider.store().to_sorted_vec().len());
+    }
+}
+
+/// A pending deferred retraction roots its ids against dictionary
+/// sweeps: sweeping between a deferral and its flush must not tombstone
+/// the pending triple's ids even when the triple has already left the
+/// store — a recycled id could alias the queued retraction at flush time,
+/// and the re-assertion-cancels invariant depends on the pending term
+/// re-interning to its pending id.
+#[test]
+fn sweeps_never_recycle_ids_referenced_by_pending_retractions() {
+    use slider::model::vocab::ALL;
+    let dict = Arc::new(Dictionary::new());
+    let slider = Slider::new(
+        Arc::clone(&dict),
+        Ruleset::rho_df(),
+        SliderConfig::default()
+            .with_maintenance_batch(usize::MAX)
+            .with_maintenance_max_age(None),
+    );
+    let a = Term::iri("http://example.org/pending/a");
+    let b = Term::iri("http://example.org/pending/b");
+    let sco = Term::iri(ALL[RDFS_SUB_CLASS_OF.index()]);
+    let triple = (a.clone(), sco.clone(), b.clone());
+    slider.add_terms(std::slice::from_ref(&triple));
+    slider.wait_idle();
+    let a_id = dict.id_of(&a).expect("a interned");
+    let b_id = dict.id_of(&b).expect("b interned");
+
+    // Eagerly retract: (a sco b) leaves the store, a/b stay in the dict
+    // with no store reference. Then defer a retraction of the same triple
+    // — its encoding references the now store-dead ids.
+    assert_eq!(slider.remove_terms(std::slice::from_ref(&triple)), 1);
+    assert_eq!(
+        slider.remove_terms_deferred(std::slice::from_ref(&triple)),
+        1
+    );
+    assert_eq!(slider.stats().pending_removals, 1);
+
+    // The sweep must treat the pending ids as live roots.
+    slider.sweep_dictionary();
+    assert_eq!(
+        dict.lookup(a_id),
+        Some(a.clone()),
+        "sweep took a pending id"
+    );
+    assert_eq!(
+        dict.lookup(b_id),
+        Some(b.clone()),
+        "sweep took a pending id"
+    );
+    assert_eq!(slider.stats().pending_removals, 1);
+
+    // Re-asserting the pending triple cancels the retraction by encoded
+    // id — sound only because the ids survived the sweep.
+    slider.add_terms(std::slice::from_ref(&triple));
+    slider.wait_idle();
+    assert_eq!(dict.id_of(&a), Some(a_id), "re-intern changed a live id");
+    assert_eq!(slider.stats().cancelled_removals, 1);
+    assert_eq!(slider.stats().pending_removals, 0);
+    assert_eq!(slider.flush_maintenance(), RemovalOutcome::default());
+    assert!(slider
+        .store()
+        .contains(Triple::new(a_id, RDFS_SUB_CLASS_OF, b_id)));
+}
+
+// ---------- the dictionary-sweep property test --------------------------------
+
+/// One scripted operation of the sweep property test: the deferred mix
+/// over *decoded* (term) triples, plus explicit dictionary sweeps.
+#[derive(Debug, Clone)]
+enum SweepOp {
+    Add(Vec<TermTriple>),
+    Defer(Vec<TermTriple>),
+    Flush,
+    Sweep,
+}
+
+fn sweep_node(v: u64) -> Term {
+    Term::iri(format!("http://example.org/sweep/n{v}"))
+}
+
+/// Decoded triples over a small term pool: schema-heavy predicates (the
+/// real vocabulary IRIs, so they intern to the fixed ids the ρdf rules
+/// match on) over few nodes plus the odd literal object — collisions are
+/// frequent, so flushes leave dictionary garbage for sweeps to find.
+fn sweep_term_triple() -> impl Strategy<Value = TermTriple> {
+    use slider::model::vocab::ALL;
+    let node = || (0u64..10).prop_map(sweep_node);
+    let object = prop_oneof![
+        4 => (0u64..10).prop_map(sweep_node),
+        1 => (0u64..3).prop_map(|v| Term::literal(format!("lit{v}"))),
+    ];
+    (
+        node(),
+        prop_oneof![
+            3 => Just(Term::iri(ALL[RDFS_SUB_CLASS_OF.index()])),
+            2 => Just(Term::iri(ALL[RDF_TYPE.index()])),
+            2 => Just(Term::iri(ALL[RDFS_SUB_PROPERTY_OF.index()])),
+            2 => (0u64..3).prop_map(sweep_node),
+        ],
+        object,
+    )
+}
+
+fn sweep_op() -> impl Strategy<Value = SweepOp> {
+    let batch = || prop::collection::vec(sweep_term_triple(), 1..8);
+    prop_oneof![
+        3 => batch().prop_map(SweepOp::Add),
+        3 => batch().prop_map(SweepOp::Defer),
+        1 => Just(SweepOp::Flush),
+        2 => Just(SweepOp::Sweep),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// The compaction acceptance property: ANY interleaving of term-level
+    /// adds, deferrals, flushes and **dictionary sweeps** ends
+    /// closure-identical to the recompute oracle, and no sweep ever moves
+    /// or corrupts a live id. Comparison is over *decoded* closures
+    /// against an oracle with a never-swept dictionary — a term
+    /// retracted, swept and later re-asserted legally returns under a
+    /// fresh id, so raw id-triple equality would be the wrong invariant.
+    /// Every id the store references before a sweep must resolve to the
+    /// same term and kind after it (ids of live terms never move), and a
+    /// sweep must not disturb the pending-retraction queue (its ids are
+    /// liveness roots even when their triples already left the store).
+    #[test]
+    fn sweep_interleavings_match_oracle_and_keep_live_ids_stable(
+        ops in prop::collection::vec(sweep_op(), 1..14),
+    ) {
+        let dict = Arc::new(Dictionary::new());
+        let slider = Slider::new(
+            Arc::clone(&dict),
+            Ruleset::rho_df(),
+            SliderConfig::default()
+                .with_maintenance_batch(usize::MAX)
+                .with_maintenance_max_age(None),
+        );
+        let oracle_dict = Dictionary::new();
+        let mut oracle = RecomputeOracle::new(Ruleset::rho_df());
+        // Model of the scheduler in term space: distinct pending
+        // retractions over terms known at defer time, re-assertion
+        // cancelling (sound because pending ids are sweep roots — the
+        // re-asserted term re-interns to its pending id, never a fresh
+        // one).
+        let mut pending: Vec<TermTriple> = Vec::new();
+        let decoded = |d: &Dictionary, v: Vec<Triple>| -> Vec<TermTriple> {
+            let mut out: Vec<TermTriple> = v
+                .into_iter()
+                .map(|t| d.decode_triple(t).expect("store references an undecodable id"))
+                .collect();
+            out.sort();
+            out
+        };
+        let encode_oracle = |batch: &[TermTriple]| -> Vec<Triple> {
+            batch.iter().map(|t| oracle_dict.encode_triple(t)).collect()
+        };
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                SweepOp::Add(batch) => {
+                    slider.add_terms(batch);
+                    oracle.add(&encode_oracle(batch));
+                    pending.retain(|t| !batch.contains(t));
+                }
+                SweepOp::Defer(batch) => {
+                    // `remove_terms_deferred` looks terms up (never
+                    // interns): triples over unknown terms are skipped.
+                    let known: Vec<TermTriple> = batch
+                        .iter()
+                        .filter(|(s, p, o)| {
+                            dict.id_of(s).is_some()
+                                && dict.id_of(p).is_some()
+                                && dict.id_of(o).is_some()
+                        })
+                        .cloned()
+                        .collect();
+                    slider.remove_terms_deferred(batch);
+                    for t in known {
+                        if !pending.contains(&t) {
+                            pending.push(t);
+                        }
+                    }
+                }
+                SweepOp::Flush => {
+                    let outcome = slider.flush_maintenance();
+                    prop_assert_eq!(outcome.requested, pending.len(), "op {}", i);
+                    oracle.remove(&encode_oracle(&pending));
+                    pending.clear();
+                }
+                SweepOp::Sweep => {
+                    // Pin every store-referenced id's resolution across
+                    // the sweep: live ids never move.
+                    let before: Vec<(NodeId, Term)> = {
+                        let mut ids: Vec<NodeId> = slider
+                            .store()
+                            .to_sorted_vec()
+                            .into_iter()
+                            .flat_map(|t| [t.s, t.p, t.o])
+                            .collect();
+                        ids.sort_unstable();
+                        ids.dedup();
+                        ids.into_iter()
+                            .map(|id| (id, dict.lookup(id).expect("live id resolves")))
+                            .collect()
+                    };
+                    slider.sweep_dictionary();
+                    for (id, term) in &before {
+                        let resolved = dict.lookup(*id);
+                        prop_assert_eq!(
+                            resolved.as_ref(),
+                            Some(term),
+                            "sweep moved live id {:?} (op {})",
+                            id,
+                            i
+                        );
+                        prop_assert_eq!(dict.kind(*id), Some(term.kind()), "op {}", i);
+                    }
+                    prop_assert_eq!(
+                        slider.stats().pending_removals,
+                        pending.len(),
+                        "a sweep disturbed the pending queue (op {})",
+                        i
+                    );
+                }
+            }
+            slider.wait_idle();
+            prop_assert_eq!(
+                decoded(&dict, slider.store().to_sorted_vec()),
+                decoded(&oracle_dict, oracle.to_sorted_vec()),
+                "decoded closure diverged after op {} of {:?}",
+                i,
+                ops
+            );
+        }
+        // Drain what is still pending; the decoded end states agree too.
+        slider.flush_maintenance();
+        oracle.remove(&encode_oracle(&pending));
+        prop_assert_eq!(
+            decoded(&dict, slider.store().to_sorted_vec()),
+            decoded(&oracle_dict, oracle.to_sorted_vec())
+        );
+        prop_assert_eq!(slider.stats().store.explicit, oracle.explicit_len());
     }
 }
